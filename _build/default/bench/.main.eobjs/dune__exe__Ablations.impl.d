@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Engine Fmt Group Hashtbl List Msg Network Protocols Sim Simtime String Workload

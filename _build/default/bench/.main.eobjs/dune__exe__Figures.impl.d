@@ -1,0 +1,1 @@
+bench/figures.ml: Bytes Core Engine Fmt Fun Int List Network Printf Protocols Sim Simtime Store String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures Fmt List Micro Perf String Sys

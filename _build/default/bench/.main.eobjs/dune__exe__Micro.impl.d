@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Core Fmt Group Hashtbl Instance Int List Measure Printf Sim Staged Store String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/perf.ml: Core Engine Fmt Group Hashtbl List Network Option Printf Protocols Sim Simtime Store String Workload

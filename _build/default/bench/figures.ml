@@ -1,0 +1,397 @@
+(* Regenerates every figure of the paper from executed protocol traces.
+   Figures 1-4 and 7-14 are phase timelines of single requests; figures 5,
+   6, 15 and 16 are the classification views, derived from the technique
+   metadata plus the observed signatures. *)
+
+open Sim
+
+let hr () = Fmt.pr "%s@." (String.make 78 '-')
+
+let section title =
+  hr ();
+  Fmt.pr "%s@." title;
+  hr ()
+
+(* Run one request through a freshly built instance; return the instance
+   and the request id. *)
+let run_single ?(n = 3) ?(ops = [ Store.Operation.Incr ("x", 1) ])
+    ?(run_ms = 10_000) ~factory () =
+  let engine = Engine.create ~seed:3 () in
+  let net = Network.create engine ~n:(n + 1) Network.default_config in
+  let replicas = List.init n Fun.id in
+  let clients = [ n ] in
+  let inst : Core.Technique.instance = factory net ~replicas ~clients in
+  let request = Store.Operation.request ~client:n ops in
+  let reply = ref None in
+  inst.Core.Technique.submit ~client:n request (fun r -> reply := Some r);
+  ignore (Engine.run ~until:(Simtime.of_ms run_ms) engine);
+  (inst, request.Store.Operation.rid, !reply)
+
+(* Lane diagram in the style of the paper's figures: one lane per actor,
+   phase codes placed on a scaled time axis. *)
+let render_lanes marks =
+  match marks with
+  | [] -> ()
+  | _ ->
+      let t_max =
+        List.fold_left
+          (fun acc (m : Core.Phase_trace.mark) -> max acc (Simtime.to_us m.time))
+          1 marks
+      in
+      let width = 60 in
+      let col t = t * (width - 4) / t_max in
+      let actors =
+        List.sort_uniq compare
+          (List.map (fun (m : Core.Phase_trace.mark) -> m.replica) marks)
+      in
+      (* Actor order: client first, then replicas ascending. *)
+      let actors =
+        List.sort
+          (fun a b ->
+            match (a, b) with
+            | None, None -> 0
+            | None, _ -> -1
+            | _, None -> 1
+            | Some x, Some y -> Int.compare x y)
+          actors
+      in
+      Fmt.pr "  %-10s 0%s%s@." "" (String.make (width - 8) ' ')
+        (Simtime.to_string (Simtime.of_us t_max));
+      List.iter
+        (fun actor ->
+          let lane = Bytes.make width '.' in
+          List.iter
+            (fun (m : Core.Phase_trace.mark) ->
+              if m.replica = actor then begin
+                let code = Core.Phase.code m.phase in
+                let c = min (col (Simtime.to_us m.time)) (width - String.length code) in
+                Bytes.blit_string code 0 lane c (String.length code)
+              end)
+            marks;
+          let name =
+            match actor with
+            | None -> "client"
+            | Some r -> Printf.sprintf "replica %d" r
+          in
+          Fmt.pr "  %-10s %s@." name (Bytes.to_string lane))
+        actors;
+      Fmt.pr "@."
+
+let show_timeline ~(info : Core.Technique.info) inst rid =
+  let marks = Core.Phase_trace.marks inst.Core.Technique.phases ~rid in
+  let signature = Core.Phase_trace.signature inst.Core.Technique.phases ~rid in
+  let sequence = Core.Phase_trace.sequence inst.Core.Technique.phases ~rid in
+  Fmt.pr "technique : %s (paper §%s)@." info.name info.section;
+  Fmt.pr "sequence  : %a@." Core.Phase.pp_sequence sequence;
+  Fmt.pr "signature : %a   [paper row: %a]  %s@." Core.Phase.pp_sequence
+    signature Core.Phase.pp_sequence info.expected_phases
+    (if signature = info.expected_phases then "OK" else "** MISMATCH **");
+  Fmt.pr "@.";
+  render_lanes marks;
+  Fmt.pr "  %-10s %-4s %-10s %s@." "time" "ph" "actor" "note";
+  List.iter
+    (fun (m : Core.Phase_trace.mark) ->
+      let actor =
+        match m.replica with
+        | None -> "client"
+        | Some r -> Printf.sprintf "replica %d" r
+      in
+      Fmt.pr "  %-10s %-4s %-10s %s@."
+        (Simtime.to_string m.time)
+        (Core.Phase.code m.phase) actor m.note)
+    marks;
+  Fmt.pr "@."
+
+(* Passthrough configurations keep the wire traffic equal to the message
+   pattern the paper's diagrams draw. *)
+let active net ~replicas ~clients =
+  Protocols.Active.create net ~replicas ~clients
+    ~config:{ Protocols.Active.default_config with passthrough = true }
+    ()
+
+let passive net ~replicas ~clients =
+  Protocols.Passive.create net ~replicas ~clients
+    ~config:{ Protocols.Passive.default_config with passthrough = true }
+    ()
+
+let semi_active net ~replicas ~clients =
+  Protocols.Semi_active.create net ~replicas ~clients
+    ~config:{ Protocols.Semi_active.default_config with passthrough = true }
+    ()
+
+let semi_passive net ~replicas ~clients =
+  Protocols.Semi_passive.create net ~replicas ~clients
+    ~config:{ Protocols.Semi_passive.passthrough = true }
+    ()
+
+let eager_primary ?(interactive = false) () net ~replicas ~clients =
+  Protocols.Eager_primary.create net ~replicas ~clients
+    ~config:
+      {
+        Protocols.Eager_primary.default_config with
+        passthrough = true;
+        interactive;
+      }
+    ()
+
+let eager_ue_locking net ~replicas ~clients =
+  Protocols.Eager_ue_locking.create net ~replicas ~clients
+    ~config:
+      { Protocols.Eager_ue_locking.default_config with passthrough = true }
+    ()
+
+let eager_ue_abcast net ~replicas ~clients =
+  Protocols.Eager_ue_abcast.create net ~replicas ~clients
+    ~config:
+      { Protocols.Eager_ue_abcast.default_config with passthrough = true }
+    ()
+
+let lazy_primary net ~replicas ~clients =
+  Protocols.Lazy_primary.create net ~replicas ~clients
+    ~config:{ Protocols.Lazy_primary.default_config with passthrough = true }
+    ()
+
+let lazy_ue net ~replicas ~clients =
+  Protocols.Lazy_ue.create net ~replicas ~clients
+    ~config:{ Protocols.Lazy_ue.default_config with passthrough = true }
+    ()
+
+let certification net ~replicas ~clients =
+  Protocols.Certification_based.create net ~replicas ~clients
+    ~config:
+      { Protocols.Certification_based.default_config with passthrough = true }
+    ()
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1 — Functional model with the five phases";
+  List.iter
+    (fun p ->
+      Fmt.pr "  %-4s %s@." (Core.Phase.code p) (Core.Phase.long_name p))
+    Core.Phase.all;
+  Fmt.pr
+    "@.An abstract replication protocol is a sequence RE SC EX AC END;@.\
+     techniques differ by skipping, merging, reordering or looping phases@.\
+     (compare the signatures printed by the other figures).@."
+
+let timeline_figure ~title ~info ~factory ?ops ?n () =
+  section title;
+  let inst, rid, reply = run_single ~factory ?ops ?n () in
+  (match reply with
+  | Some r ->
+      Fmt.pr "client reply: committed=%b value=%s@." r.Core.Technique.committed
+        (match r.Core.Technique.value with
+        | Some v -> string_of_int v
+        | None -> "-")
+  | None -> Fmt.pr "client reply: NONE@.");
+  show_timeline ~info inst rid
+
+let fig2 () =
+  timeline_figure ~title:"Figure 2 — Active replication"
+    ~info:Protocols.Active.info ~factory:active ()
+
+let fig3 () =
+  timeline_figure ~title:"Figure 3 — Passive replication"
+    ~info:Protocols.Passive.info ~factory:passive ()
+
+let fig4 () =
+  timeline_figure ~title:"Figure 4 — Semi-active replication"
+    ~info:Protocols.Semi_active.info ~factory:semi_active
+    ~ops:[ Store.Operation.Write_random "x" ] ()
+
+let render_matrix ~rows ~cols ~cell =
+  let width = 34 in
+  Fmt.pr "%-20s" "";
+  List.iter (fun (_, label) -> Fmt.pr "| %-*s" width label) cols;
+  Fmt.pr "@.";
+  List.iter
+    (fun (rk, rlabel) ->
+      Fmt.pr "%-20s" rlabel;
+      List.iter
+        (fun (ck, _) ->
+          let names = cell rk ck in
+          Fmt.pr "| %-*s" width (String.concat ", " names))
+        cols;
+      Fmt.pr "@.")
+    rows
+
+let fig5 () =
+  section "Figure 5 — Replication in distributed systems";
+  let cells = Core.Classify.fig5_cells Protocols.Registry.infos in
+  render_matrix
+    ~rows:[ (true, "transparent"); (false, "not transparent") ]
+    ~cols:[ (true, "determinism needed"); (false, "determinism not needed") ]
+    ~cell:(fun transparent det ->
+      match List.assoc_opt (transparent, det) cells with
+      | Some names -> names
+      | None -> [])
+
+let fig6 () =
+  section "Figure 6 — Replication in database systems (Gray et al.)";
+  let cells = Core.Classify.fig6_cells Protocols.Registry.infos in
+  render_matrix
+    ~rows:
+      [ (Core.Technique.Eager, "eager"); (Core.Technique.Lazy, "lazy") ]
+    ~cols:
+      [
+        (Core.Technique.Primary, "primary copy");
+        (Core.Technique.Update_everywhere, "update everywhere");
+      ]
+    ~cell:(fun prop own ->
+      match List.assoc_opt (prop, own) cells with
+      | Some names -> names
+      | None -> [])
+
+let fig7 () =
+  timeline_figure ~title:"Figure 7 — Eager primary copy"
+    ~info:Protocols.Eager_primary.info ~factory:(eager_primary ()) ()
+
+let fig8 () =
+  timeline_figure
+    ~title:"Figure 8 — Eager update everywhere with distributed locking"
+    ~info:Protocols.Eager_ue_locking.info ~factory:eager_ue_locking ()
+
+let fig9 () =
+  timeline_figure
+    ~title:"Figure 9 — Eager update everywhere based on atomic broadcast"
+    ~info:Protocols.Eager_ue_abcast.info ~factory:eager_ue_abcast ()
+
+let fig10 () =
+  timeline_figure ~title:"Figure 10 — Lazy primary copy"
+    ~info:Protocols.Lazy_primary.info ~factory:lazy_primary ()
+
+let fig11 () =
+  section "Figure 11 — Lazy update everywhere (with reconciliation)";
+  (* Two clients update the same item at different delegates inside the
+     propagation window, forcing the reconciliation the figure shows. *)
+  let engine = Engine.create ~seed:3 () in
+  let net = Network.create engine ~n:5 Network.default_config in
+  let replicas = [ 0; 1; 2 ] and clients = [ 3; 4 ] in
+  let inst =
+    Protocols.Lazy_ue.create net ~replicas ~clients
+      ~config:
+        {
+          Protocols.Lazy_ue.default_config with
+          passthrough = true;
+          propagation_delay = Simtime.of_ms 20;
+        }
+      ()
+  in
+  let submit client v =
+    let req =
+      Store.Operation.request ~client [ Store.Operation.Write ("x", v) ]
+    in
+    inst.Core.Technique.submit ~client req (fun _ -> ());
+    req.Store.Operation.rid
+  in
+  let rid_a = submit 3 100 in
+  let rid_b = submit 4 200 in
+  ignore (Engine.run ~until:(Simtime.of_sec 10.) engine);
+  Fmt.pr "conflicting updates from two delegates; conflicts detected: %d@."
+    (Protocols.Lazy_ue.conflicts inst);
+  Fmt.pr "replicas converged after reconciliation: %b@.@."
+    (Core.Convergence.converged
+       (List.map inst.Core.Technique.replica_store replicas));
+  List.iter
+    (fun rid -> show_timeline ~info:Protocols.Lazy_ue.info inst rid)
+    [ rid_a; rid_b ]
+
+let fig12 () =
+  timeline_figure
+    ~title:"Figure 12 — Eager primary copy, multi-operation transaction"
+    ~info:Protocols.Eager_primary.info
+    ~factory:(eager_primary ~interactive:true ())
+    ~ops:
+      [ Store.Operation.Incr ("a", 1); Store.Operation.Incr ("b", 1) ]
+    ()
+
+let fig13 () =
+  timeline_figure
+    ~title:
+      "Figure 13 — Eager update everywhere (locking), multi-operation \
+       transaction"
+    ~info:Protocols.Eager_ue_locking.info ~factory:eager_ue_locking
+    ~ops:
+      [ Store.Operation.Incr ("a", 1); Store.Operation.Incr ("b", 1) ]
+    ()
+
+let fig14 () =
+  timeline_figure ~title:"Figure 14 — Certification-based replication"
+    ~info:Protocols.Certification_based.info ~factory:certification ()
+
+(* Observed signatures for all techniques, each run once with a request
+   that exercises its distinctive path. *)
+let observed_signatures () =
+  List.map
+    (fun ((key, (info : Core.Technique.info), _) : string * _ * _) ->
+      let factory =
+        match key with
+        | "active" -> active
+        | "passive" -> passive
+        | "semi-active" -> semi_active
+        | "semi-passive" -> semi_passive
+        | "eager-primary" -> eager_primary ()
+        | "eager-ue-locking" -> eager_ue_locking
+        | "eager-ue-abcast" -> eager_ue_abcast
+        | "lazy-primary" -> lazy_primary
+        | "lazy-ue" -> lazy_ue
+        | "certification" -> certification
+        | _ -> assert false
+      in
+      let ops =
+        if key = "semi-active" then [ Store.Operation.Write_random "x" ]
+        else [ Store.Operation.Incr ("x", 1) ]
+      in
+      let inst, rid, _ = run_single ~factory ~ops () in
+      (info, Core.Phase_trace.signature inst.Core.Technique.phases ~rid))
+    Protocols.Registry.all
+
+let fig15 () =
+  section "Figure 15 — Possible combinations of phases (strong consistency)";
+  let observed = observed_signatures () in
+  let strong =
+    List.filter_map
+      (fun ((info : Core.Technique.info), signature) ->
+        if info.strong_consistency then Some signature else None)
+      observed
+  in
+  let combos = Core.Classify.fig15_combinations strong in
+  List.iter
+    (fun seq ->
+      Fmt.pr "  %a   (SC/AC before END: %b)@." Core.Phase.pp_sequence seq
+        (Core.Classify.has_sync_before_response seq))
+    combos;
+  Fmt.pr
+    "@.Every strong-consistency technique synchronises (SC and/or AC) before@.\
+     answering the client — the paper's claim below Figure 15.@."
+
+let fig16 () =
+  section "Figure 16 — Synthetic view of approaches";
+  let observed = observed_signatures () in
+  let rows = Core.Classify.synthetic_rows observed in
+  Core.Classify.pp_synthetic Fmt.stdout rows;
+  let mismatches = List.filter (fun r -> not r.Core.Classify.matches) rows in
+  Fmt.pr "@.%d/%d observed signatures match the paper's table.@."
+    (List.length rows - List.length mismatches)
+    (List.length rows)
+
+let all =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+  ]

@@ -1,0 +1,34 @@
+(* Benchmark harness entry point.
+
+   With no arguments, regenerates every figure of the paper (fig1..fig16)
+   and runs the §6 performance study (perf1..perf5) plus the Bechamel
+   micro-benchmarks. Individual experiments can be selected by id:
+
+     dune exec bench/main.exe -- fig16 perf2
+
+   The experiment ids match the index in DESIGN.md and EXPERIMENTS.md. *)
+
+let registry =
+  Figures.all @ Perf.all @ Ablations.all @ [ ("micro", Micro.run) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] -> registry
+    | ids ->
+        List.map
+          (fun id ->
+            match List.assoc_opt id registry with
+            | Some f -> (id, f)
+            | None ->
+                Fmt.epr "unknown experiment %S; known: %s@." id
+                  (String.concat " " (List.map fst registry));
+                exit 1)
+          ids
+  in
+  List.iter
+    (fun (_, f) ->
+      f ();
+      Fmt.pr "@.")
+    selected

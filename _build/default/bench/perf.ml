@@ -1,0 +1,625 @@
+(* The performance study the paper announces in §6: "a performance study
+   of the different approaches, taking into account different workloads
+   and failures assumptions". Absolute numbers are simulator-relative;
+   the comparisons (who wins, where, by what shape) are the result. *)
+
+open Sim
+
+let hr () = Fmt.pr "%s@." (String.make 78 '-')
+
+let section title =
+  hr ();
+  Fmt.pr "%s@." title;
+  hr ()
+
+(* Passthrough factories: wire traffic == protocol message pattern. *)
+let techniques : (string * Workload.Runner.factory) list =
+  [
+    ( "active",
+      fun net ~replicas ~clients ->
+        Protocols.Active.create net ~replicas ~clients
+          ~config:{ Protocols.Active.default_config with passthrough = true }
+          () );
+    ( "passive",
+      fun net ~replicas ~clients ->
+        Protocols.Passive.create net ~replicas ~clients
+          ~config:{ Protocols.Passive.default_config with passthrough = true }
+          () );
+    ( "semi-active",
+      fun net ~replicas ~clients ->
+        Protocols.Semi_active.create net ~replicas ~clients
+          ~config:
+            { Protocols.Semi_active.default_config with passthrough = true }
+          () );
+    ( "semi-passive",
+      fun net ~replicas ~clients ->
+        Protocols.Semi_passive.create net ~replicas ~clients
+          ~config:{ Protocols.Semi_passive.passthrough = true }
+          () );
+    ( "eager-primary",
+      fun net ~replicas ~clients ->
+        Protocols.Eager_primary.create net ~replicas ~clients
+          ~config:
+            { Protocols.Eager_primary.default_config with passthrough = true }
+          () );
+    ( "eager-ue-locking",
+      fun net ~replicas ~clients ->
+        Protocols.Eager_ue_locking.create net ~replicas ~clients
+          ~config:
+            {
+              Protocols.Eager_ue_locking.default_config with
+              passthrough = true;
+            }
+          () );
+    ( "eager-ue-abcast",
+      fun net ~replicas ~clients ->
+        Protocols.Eager_ue_abcast.create net ~replicas ~clients
+          ~config:
+            {
+              Protocols.Eager_ue_abcast.default_config with
+              passthrough = true;
+            }
+          () );
+    ( "lazy-primary",
+      fun net ~replicas ~clients ->
+        Protocols.Lazy_primary.create net ~replicas ~clients
+          ~config:
+            { Protocols.Lazy_primary.default_config with passthrough = true }
+          () );
+    ( "lazy-ue",
+      fun net ~replicas ~clients ->
+        Protocols.Lazy_ue.create net ~replicas ~clients
+          ~config:{ Protocols.Lazy_ue.default_config with passthrough = true }
+          () );
+    ( "certification",
+      fun net ~replicas ~clients ->
+        Protocols.Certification_based.create net ~replicas ~clients
+          ~config:
+            {
+              Protocols.Certification_based.default_config with
+              passthrough = true;
+            }
+          () );
+  ]
+
+let technique name = List.assoc name techniques
+
+(* --- perf1: response time vs degree of replication ------------------- *)
+
+let latency_vs_replicas () =
+  section
+    "perf1 — Update response time (ms, mean) vs number of replicas \
+     (100% updates)";
+  let spec =
+    {
+      Workload.Spec.default with
+      update_ratio = 1.0;
+      txns_per_client = 30;
+      n_keys = 200;
+    }
+  in
+  let ns = [ 3; 5; 7; 9 ] in
+  Fmt.pr "%-18s" "technique";
+  List.iter (fun n -> Fmt.pr "%10s" (Printf.sprintf "n=%d" n)) ns;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, factory) ->
+      Fmt.pr "%-18s" name;
+      List.iter
+        (fun n ->
+          let result =
+            Workload.Runner.run ~n_replicas:n ~n_clients:2 ~spec factory
+          in
+          Fmt.pr "%10.2f" result.Workload.Runner.latency_ms.Workload.Stats.mean)
+        ns;
+      Fmt.pr "@.")
+    techniques
+
+(* --- perf2: throughput and aborts vs update ratio --------------------- *)
+
+let mix_sweep () =
+  section
+    "perf2 — Throughput (committed txn/s) and abort rate vs update ratio \
+     (n=3)";
+  let ratios = [ 0.0; 0.2; 0.5; 0.8; 1.0 ] in
+  Fmt.pr "%-18s" "technique";
+  List.iter (fun r -> Fmt.pr "%16s" (Printf.sprintf "%.0f%%upd" (100. *. r))) ratios;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, factory) ->
+      Fmt.pr "%-18s" name;
+      List.iter
+        (fun update_ratio ->
+          let spec =
+            {
+              Workload.Spec.default with
+              update_ratio;
+              txns_per_client = 40;
+              n_keys = 50;
+              key_skew = 0.9;
+            }
+          in
+          let result = Workload.Runner.run ~n_clients:4 ~spec factory in
+          let total =
+            result.Workload.Runner.committed + result.Workload.Runner.aborted
+          in
+          let abort_pct =
+            if total = 0 then 0.
+            else
+              100.
+              *. float_of_int result.Workload.Runner.aborted
+              /. float_of_int total
+          in
+          Fmt.pr "%16s"
+            (Printf.sprintf "%.0f/s %.0f%%ab" result.Workload.Runner.throughput
+               abort_pct))
+        ratios;
+      Fmt.pr "@.")
+    techniques
+
+(* --- perf3: failover behaviour ---------------------------------------- *)
+
+let failover () =
+  section
+    "perf3 — Failure assumptions: crash of replica 0 at t=100ms under a \
+     steady update stream";
+  Fmt.pr "%-18s %14s %14s %10s %10s@." "technique" "max gap (ms)"
+    "p99 lat (ms)" "committed" "converged";
+  List.iter
+    (fun (name, factory) ->
+      let spec =
+        {
+          Workload.Spec.default with
+          update_ratio = 1.0;
+          txns_per_client = 40;
+          think_time = Simtime.of_ms 2;
+        }
+      in
+      let result =
+        Workload.Runner.run ~n_replicas:3 ~n_clients:2 ~spec
+          ~failures:[ { Workload.Runner.at = Simtime.of_ms 100; replica = 0 } ]
+          factory
+      in
+      Fmt.pr "%-18s %14.1f %14.1f %10d %10b@." name
+        (Simtime.to_ms result.Workload.Runner.max_response_gap)
+        result.Workload.Runner.latency_ms.Workload.Stats.p99
+        result.Workload.Runner.committed result.Workload.Runner.converged)
+    techniques;
+  Fmt.pr
+    "@.Reading: active/semi-active/semi-passive mask the crash (gap ≈ \
+     detection time);@.primary-based techniques pay a visible take-over \
+     (client retry) spike.@."
+
+(* --- perf4: eager vs lazy --------------------------------------------- *)
+
+let eager_vs_lazy () =
+  section
+    "perf4 — Eager vs lazy: client latency vs inconsistency window (n=3)";
+  let pairs =
+    [
+      ("eager-primary", "lazy-primary");
+      ("eager-ue-abcast", "lazy-ue");
+    ]
+  in
+  Fmt.pr "%-18s %16s %22s@." "technique" "upd latency (ms)"
+    "convergence lag (ms)";
+  let measure name =
+    (* Custom loop to measure how long after the last client response the
+       replicas take to converge. *)
+    let factory = technique name in
+    let engine = Engine.create ~seed:21 () in
+    let net = Network.create engine ~n:5 Network.default_config in
+    let replicas = [ 0; 1; 2 ] and clients = [ 3; 4 ] in
+    let inst = factory net ~replicas ~clients in
+    let lat = Workload.Stats.recorder () in
+    let last_reply = ref Simtime.zero in
+    let gen = Workload.Generator.create ~seed:5
+        { Workload.Spec.default with update_ratio = 1.0; txns_per_client = 20 }
+    in
+    List.iter
+      (fun client ->
+        let rec go i =
+          if i < 20 then begin
+            let _, req = Workload.Generator.request gen ~client in
+            let t0 = Engine.now engine in
+            inst.Core.Technique.submit ~client req (fun reply ->
+                Workload.Stats.record lat
+                  (Simtime.to_ms (Simtime.sub reply.Core.Technique.at t0));
+                last_reply := Simtime.max !last_reply reply.Core.Technique.at;
+                go (i + 1))
+          end
+        in
+        go 0)
+      clients;
+    (* Step until all replies are in, then until converged. *)
+    ignore (Engine.run ~until:(Simtime.of_sec 30.) ~max_events:5_000_000 engine);
+    let stores = List.map inst.Core.Technique.replica_store replicas in
+    ignore stores;
+    (* Re-run time-travel style: we can't rewind, so approximate the
+       convergence lag with a second pass: run a fresh instance, stop the
+       engine at the moment of the last reply, then step in 1ms slices
+       until converged. *)
+    let engine2 = Engine.create ~seed:21 () in
+    let net2 = Network.create engine2 ~n:5 Network.default_config in
+    let inst2 = factory net2 ~replicas ~clients in
+    let gen2 = Workload.Generator.create ~seed:5
+        { Workload.Spec.default with update_ratio = 1.0; txns_per_client = 20 }
+    in
+    let last2 = ref Simtime.zero in
+    List.iter
+      (fun client ->
+        let rec go i =
+          if i < 20 then begin
+            let _, req = Workload.Generator.request gen2 ~client in
+            inst2.Core.Technique.submit ~client req (fun reply ->
+                last2 := Simtime.max !last2 reply.Core.Technique.at;
+                go (i + 1))
+          end
+        in
+        go 0)
+      clients;
+    (* Run until no more client work is outstanding. *)
+    let rec drain_replies () =
+      let before = !last2 in
+      ignore
+        (Engine.run
+           ~until:(Simtime.add (Engine.now engine2) (Simtime.of_ms 50))
+           engine2);
+      if Simtime.(!last2 > before) then drain_replies ()
+    in
+    drain_replies ();
+    let stores2 = List.map inst2.Core.Technique.replica_store replicas in
+    let t_last = !last2 in
+    let rec until_converged () =
+      if
+        Core.Convergence.converged stores2
+        || Simtime.(Engine.now engine2 > Simtime.of_sec 60.)
+      then Engine.now engine2
+      else begin
+        ignore
+          (Engine.run
+             ~until:(Simtime.add (Engine.now engine2) (Simtime.of_ms 1))
+             engine2);
+        until_converged ()
+      end
+    in
+    let t_conv = until_converged () in
+    let lag = Simtime.to_ms (Simtime.sub t_conv t_last) in
+    ((Workload.Stats.summary lat).Workload.Stats.mean, lag)
+  in
+  List.iter
+    (fun (eager, lazy_) ->
+      List.iter
+        (fun name ->
+          let latency, lag = measure name in
+          Fmt.pr "%-18s %16.2f %22.1f@." name latency lag)
+        [ eager; lazy_ ])
+    pairs;
+  Fmt.pr
+    "@.Reading: lazy halves the client-visible latency but leaves a window@.\
+     during which copies diverge; eager pays the coordination before END.@."
+
+(* --- perf5: messages per transaction ----------------------------------- *)
+
+let message_counts () =
+  section "perf5 — Messages and communication steps per update transaction";
+  Fmt.pr "%-18s %12s %14s@." "technique" "msgs/txn" "latency (ms)";
+  List.iter
+    (fun (name, factory) ->
+      (* Background traffic (heartbeats) is measured on an idle instance
+         and subtracted. *)
+      let idle_rate =
+        let engine = Engine.create ~seed:9 () in
+        let net = Network.create engine ~n:4 Network.default_config in
+        let inst = factory net ~replicas:[ 0; 1; 2 ] ~clients:[ 3 ] in
+        ignore inst;
+        ignore (Engine.run ~until:(Simtime.of_sec 1.) engine);
+        float_of_int (Network.messages_sent net)
+      in
+      let engine = Engine.create ~seed:9 () in
+      let net = Network.create engine ~n:4 Network.default_config in
+      let inst = factory net ~replicas:[ 0; 1; 2 ] ~clients:[ 3 ] in
+      let n_txns = 50 in
+      let lat = Workload.Stats.recorder () in
+      let rec go i =
+        if i < n_txns then begin
+          let req =
+            Store.Operation.request ~client:3 [ Store.Operation.Incr ("x", 1) ]
+          in
+          let t0 = Engine.now engine in
+          inst.Core.Technique.submit ~client:3 req (fun reply ->
+              Workload.Stats.record lat
+                (Simtime.to_ms (Simtime.sub reply.Core.Technique.at t0));
+              go (i + 1))
+        end
+      in
+      go 0;
+      ignore (Engine.run ~until:(Simtime.of_sec 1.) engine);
+      let total = float_of_int (Network.messages_sent net) in
+      let per_txn = (total -. idle_rate) /. float_of_int n_txns in
+      Fmt.pr "%-18s %12.1f %14.2f@." name (max 0. per_txn)
+        (Workload.Stats.summary lat).Workload.Stats.mean)
+    techniques;
+  Fmt.pr
+    "@.Reading: lazy primary is the cheapest (one round + deferred refresh);@.\
+     distributed locking pays per-operation lock+exec rounds plus 2PC.@."
+
+
+(* --- perf6: LAN vs WAN ------------------------------------------------- *)
+
+let wan () =
+  section
+    "perf6 — Geo-distribution: update latency (ms, mean), LAN vs WAN \
+     between sites";
+  (* WAN: replicas sit at distant sites (25ms one-way between them);
+     each client is co-located with its local replica (0.5ms). *)
+  let wan_tune net ~replicas ~clients =
+    let wan = Network.Constant (Simtime.of_ms 25) in
+    let lan = Network.Uniform (Simtime.of_us 300, Simtime.of_us 700) in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b -> if a < b then Network.set_link_latency net a b wan)
+          replicas)
+      replicas;
+    List.iter
+      (fun c ->
+        let local = List.nth replicas (c mod List.length replicas) in
+        List.iter
+          (fun r ->
+            Network.set_link_latency net c r
+              (if r = local then lan else wan))
+          replicas)
+      clients
+  in
+  let spec =
+    { Workload.Spec.default with update_ratio = 1.0; txns_per_client = 20 }
+  in
+  Fmt.pr "%-18s %12s %12s %10s@." "technique" "LAN" "WAN" "ratio";
+  List.iter
+    (fun (name, factory) ->
+      let lan_result = Workload.Runner.run ~n_clients:3 ~spec factory in
+      let wan_result =
+        Workload.Runner.run ~n_clients:3 ~spec ~tune:wan_tune
+          ~deadline:(Simtime.of_sec 600.) factory
+      in
+      let l = lan_result.Workload.Runner.latency_ms.Workload.Stats.mean in
+      let w = wan_result.Workload.Runner.latency_ms.Workload.Stats.mean in
+      Fmt.pr "%-18s %12.2f %12.2f %9.1fx@." name l w
+        (if l > 0. then w /. l else 0.))
+    techniques;
+  Fmt.pr
+    "@.Reading: over a WAN the coordination rounds dominate: eager@.\
+     techniques inflate by the number of wide-area round trips they@.\
+     make before END, while lazy techniques stay at the local round@.\
+     trip — the paper's \"access data locally\" motivation (§4).@."
+
+
+(* --- perf7: where the time goes, phase by phase ------------------------ *)
+
+let phase_breakdown () =
+  section
+    "perf7 — Phase-by-phase latency decomposition (ms, mean over a 100%\
+     -update run)";
+  Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." "technique" "RE>SC" "SC>EX"
+    "EX>AC" "AC>END" "total" "END>AC";
+  List.iter
+    (fun (name, factory) ->
+      let engine = Engine.create ~seed:77 () in
+      let net = Network.create engine ~n:5 Network.default_config in
+      let replicas = [ 0; 1; 2 ] and clients = [ 3; 4 ] in
+      let inst = factory net ~replicas ~clients in
+      List.iter
+        (fun client ->
+          let rec go i =
+            if i < 15 then
+              inst.Core.Technique.submit ~client
+                (Store.Operation.request ~client
+                   [ Store.Operation.Incr (Printf.sprintf "k%d" i, 1) ])
+                (fun _ -> go (i + 1))
+          in
+          go 0)
+        clients;
+      ignore (Engine.run ~until:(Simtime.of_sec 60.) engine);
+      (* For each request, the first mark time of each phase. *)
+      let sums = Hashtbl.create 8 in
+      let counts = Hashtbl.create 8 in
+      let add key v =
+        Hashtbl.replace sums key (v +. Option.value ~default:0. (Hashtbl.find_opt sums key));
+        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      in
+      List.iter
+        (fun rid ->
+          let marks = Core.Phase_trace.marks inst.Core.Technique.phases ~rid in
+          let first phase =
+            List.find_opt
+              (fun (m : Core.Phase_trace.mark) -> Core.Phase.equal m.phase phase)
+              marks
+            |> Option.map (fun (m : Core.Phase_trace.mark) -> Simtime.to_ms m.time)
+          in
+          let re = first Core.Phase.Request in
+          let sc = first Core.Phase.Server_coordination in
+          let ex = first Core.Phase.Execution in
+          let ac = first Core.Phase.Agreement_coordination in
+          let fin = first Core.Phase.Response in
+          let gap a b key =
+            match (a, b) with Some x, Some y when y >= x -> add key (y -. x) | _ -> ()
+          in
+          (* Chain through whichever phases the technique has. *)
+          let chain = [ ("RE>SC", re, sc); ("SC>EX", (if sc = None then re else sc), ex) ] in
+          List.iter (fun (k, a, b) -> gap a b k) chain;
+          (match (ex, ac, fin) with
+          | Some x, Some a, Some f when a >= x && f >= a ->
+              add "EX>AC" (a -. x);
+              add "AC>END" (f -. a)
+          | Some x, Some a, Some f when f >= x && a >= f ->
+              (* Lazy: AC after END — the propagation tail the client
+                 never waits for. *)
+              add "END>AC" (a -. f)
+          | Some x, _, Some f when f >= x -> add "EX>END" (f -. x)
+          | _ -> ());
+          gap re fin "total")
+        (Core.Phase_trace.rids inst.Core.Technique.phases);
+      let mean key =
+        match (Hashtbl.find_opt sums key, Hashtbl.find_opt counts key) with
+        | Some s, Some c when c > 0 -> Printf.sprintf "%.2f" (s /. float_of_int c)
+        | _ -> "-"
+      in
+      Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." name (mean "RE>SC")
+        (mean "SC>EX") (mean "EX>AC") (mean "AC>END") (mean "total")
+        (mean "END>AC"))
+    techniques;
+  Fmt.pr
+    "@.Reading: the functional model's phases as a latency budget. Lazy@.\
+     techniques put AC after END; their END>AC column is the propagation@.\
+     tail the client never waits for.@."
+
+
+(* --- perf8: contention under open-loop load ---------------------------- *)
+
+let contention () =
+  section
+    "perf8 — Contention under open-loop (Poisson) load: abort rate and \
+     latency vs offered load, hot keyspace (n=3, 4 clients)";
+  let rates = [ 50.; 150.; 400. ] in
+  Fmt.pr "%-18s" "technique";
+  List.iter
+    (fun r -> Fmt.pr "%22s" (Printf.sprintf "%.0f txn/s/client" r))
+    rates;
+  Fmt.pr "@.";
+  List.iter
+    (fun name ->
+      let factory = technique name in
+      Fmt.pr "%-18s" name;
+      List.iter
+        (fun rate ->
+          let spec =
+            {
+              Workload.Spec.default with
+              update_ratio = 1.0;
+              txns_per_client = 60;
+              n_keys = 10;
+              key_skew = 0.95;
+            }
+          in
+          let result =
+            Workload.Runner.run ~n_clients:4 ~spec ~arrival:(`Poisson rate)
+              factory
+          in
+          let total =
+            result.Workload.Runner.committed + result.Workload.Runner.aborted
+          in
+          let abort_pct =
+            if total = 0 then 0.
+            else
+              100.
+              *. float_of_int result.Workload.Runner.aborted
+              /. float_of_int total
+          in
+          Fmt.pr "%22s"
+            (Printf.sprintf "%.1fms %.0f%%ab"
+               result.Workload.Runner.latency_ms.Workload.Stats.mean abort_pct))
+        rates;
+      Fmt.pr "@.")
+    [ "eager-ue-locking"; "certification"; "eager-ue-abcast"; "lazy-ue" ];
+  Fmt.pr
+    "@.Reading: open-loop load piles conflicting transactions up: locking@.\
+     queues (latency grows) while certification aborts (optimism priced);@.\
+     ordered execution (eager-ue-abcast) and lazy commits stay flat.@."
+
+
+(* --- perf9: partitions -------------------------------------------------- *)
+
+let partitions () =
+  section
+    "perf9 — Partition tolerance: replica 2 isolated from t=50ms to \
+     t=600ms (consensus-based ordering engines)";
+  (* Factories on the consensus-based engine where the ordering matters:
+     the sequencer engine assumes accurate detection and is not safe under
+     the wrong suspicions a partition causes (see Abcast_seq). *)
+  let part_techniques =
+    [
+      ( "active (CT)",
+        fun net ~replicas ~clients ->
+          Protocols.Active.create net ~replicas ~clients
+            ~config:
+              {
+                Protocols.Active.default_config with
+                abcast_impl = Group.Abcast.Consensus_based;
+                passthrough = true;
+              }
+            () );
+      ( "passive",
+        fun net ~replicas ~clients ->
+          Protocols.Passive.create net ~replicas ~clients
+            ~config:
+              { Protocols.Passive.default_config with passthrough = true }
+            () );
+      ( "eager-ue-abcast(CT)",
+        fun net ~replicas ~clients ->
+          Protocols.Eager_ue_abcast.create net ~replicas ~clients
+            ~config:
+              {
+                Protocols.Eager_ue_abcast.default_config with
+                abcast_impl = Group.Abcast.Consensus_based;
+                passthrough = true;
+              }
+            () );
+      ( "lazy-ue (CT)",
+        fun net ~replicas ~clients ->
+          Protocols.Lazy_ue.create net ~replicas ~clients
+            ~config:
+              {
+                Protocols.Lazy_ue.default_config with
+                abcast_impl = Group.Abcast.Consensus_based;
+                passthrough = true;
+              }
+            () );
+    ]
+  in
+  Fmt.pr "%-22s %12s %14s %12s %12s@." "technique" "committed" "max gap (ms)"
+    "converged" "1SR";
+  List.iter
+    (fun (name, factory) ->
+      let spec =
+        {
+          Workload.Spec.default with
+          update_ratio = 1.0;
+          txns_per_client = 30;
+          think_time = Simtime.of_ms 4;
+        }
+      in
+      let result =
+        Workload.Runner.run ~n_clients:2 ~spec
+          ~partitions:
+            [
+              {
+                Workload.Runner.at = Simtime.of_ms 50;
+                group = [ 2 ];
+                heal_at = Simtime.of_ms 600;
+              };
+            ]
+          ~deadline:(Simtime.of_sec 300.) factory
+      in
+      Fmt.pr "%-22s %12d %14.1f %12b %12b@." name
+        result.Workload.Runner.committed
+        (Simtime.to_ms result.Workload.Runner.max_response_gap)
+        result.Workload.Runner.converged result.Workload.Runner.serializable)
+    part_techniques;
+  Fmt.pr
+    "@.Reading: majority sides keep committing through the partition;@.\
+     the isolated replica catches up after the heal (progress gossip /@.\
+     rejoin); lazy-ue never stalls at all and reconciles afterwards.@."
+
+let all =
+  [
+    ("perf1", latency_vs_replicas);
+    ("perf2", mix_sweep);
+    ("perf3", failover);
+    ("perf4", eager_vs_lazy);
+    ("perf5", message_counts);
+    ("perf6", wan);
+    ("perf7", phase_breakdown);
+    ("perf8", contention);
+    ("perf9", partitions);
+  ]

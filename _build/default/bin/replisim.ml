@@ -1,0 +1,191 @@
+(* replisim — run any of the paper's replication techniques under a
+   configurable workload on the simulated cluster.
+
+     replisim list
+     replisim run -t eager-ue-abcast -n 5 --clients 4 --updates 0.8
+     replisim run -t passive --crash 0@100ms
+     replisim trace -t active
+*)
+
+open Cmdliner
+
+let technique_conv =
+  let parse s =
+    match Protocols.Registry.find s with
+    | Some entry -> Ok entry
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown technique %S (try: %s)" s
+               (String.concat " " Protocols.Registry.keys)))
+  in
+  let print ppf (key, _, _) = Format.pp_print_string ppf key in
+  Arg.conv (parse, print)
+
+let technique_arg =
+  Arg.(
+    required
+    & opt (some technique_conv) None
+    & info [ "t"; "technique" ] ~docv:"TECHNIQUE"
+        ~doc:
+          (Printf.sprintf "Replication technique to run. One of: %s."
+             (String.concat ", " Protocols.Registry.keys)))
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ replica; at ] -> (
+        let ms =
+          if Filename.check_suffix at "ms" then
+            int_of_string_opt (Filename.chop_suffix at "ms")
+          else int_of_string_opt at
+        in
+        match (int_of_string_opt replica, ms) with
+        | Some r, Some ms ->
+            Ok { Workload.Runner.at = Sim.Simtime.of_ms ms; replica = r }
+        | _ -> Error (`Msg "expected REPLICA@MILLIS, e.g. 0@100ms"))
+    | _ -> Error (`Msg "expected REPLICA@MILLIS, e.g. 0@100ms")
+  in
+  let print ppf { Workload.Runner.at; replica } =
+    Format.fprintf ppf "%d@%a" replica Sim.Simtime.pp at
+  in
+  Arg.conv (parse, print)
+
+(* ---- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the implemented replication techniques." in
+  let run () =
+    List.iter
+      (fun (key, info, _) ->
+        Fmt.pr "%-18s %a@." key Core.Technique.pp_info info)
+      Protocols.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let doc = "Run a workload against a technique and report the metrics." in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"M" ~doc:"Client count.")
+  in
+  let updates =
+    Arg.(
+      value & opt float 0.5
+      & info [ "updates" ] ~docv:"RATIO" ~doc:"Fraction of update transactions.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 50
+      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 1
+      & info [ "ops" ] ~docv:"K" ~doc:"Operations per transaction.")
+  in
+  let keys =
+    Arg.(value & opt int 100 & info [ "keys" ] ~docv:"K" ~doc:"Database size.")
+  in
+  let skew =
+    Arg.(
+      value & opt float 0.6
+      & info [ "skew" ] ~docv:"THETA" ~doc:"Zipfian access skew (0 = uniform).")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let crashes =
+    Arg.(
+      value & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"R@MS"
+          ~doc:"Crash replica R at time MS (repeatable), e.g. --crash 0@100ms.")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Emit the result as a CSV row (with header).")
+  in
+  let run (key, _, factory) n m updates txns ops keys skew seed crashes csv =
+    let spec =
+      {
+        Workload.Spec.n_keys = keys;
+        key_skew = skew;
+        update_ratio = updates;
+        ops_per_txn = ops;
+        txns_per_client = txns;
+        think_time = Sim.Simtime.of_ms 1;
+      }
+    in
+    let result =
+      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m ~failures:crashes
+        ~spec
+        (fun net ~replicas ~clients -> factory net ~replicas ~clients)
+    in
+    if csv then begin
+      let label = Printf.sprintf "%s;n=%d;upd=%.2f;seed=%d" key n updates seed in
+      Workload.Report.to_csv Fmt.stdout [ (label, result) ];
+      exit 0
+    end;
+    Fmt.pr "workload  : %a@." Workload.Spec.pp spec;
+    Fmt.pr "result    : %a@." Workload.Runner.pp_result result;
+    Fmt.pr "latencies : all [%a]@." Workload.Stats.pp_summary
+      result.Workload.Runner.latency_ms;
+    Fmt.pr "            upd [%a]@." Workload.Stats.pp_summary
+      result.Workload.Runner.update_latency_ms;
+    Fmt.pr "            read[%a]@." Workload.Stats.pp_summary
+      result.Workload.Runner.read_latency_ms;
+    Fmt.pr "failover  : max response gap %a@." Sim.Simtime.pp
+      result.Workload.Runner.max_response_gap
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ technique_arg $ replicas $ clients $ updates $ txns $ ops
+      $ keys $ skew $ seed $ crashes $ csv)
+
+(* ---- trace ---------------------------------------------------------- *)
+
+let trace_cmd =
+  let doc =
+    "Run a single transaction and print its phase trace (the paper's \
+     timeline figures)."
+  in
+  let nondet =
+    Arg.(
+      value & flag
+      & info [ "nondet" ]
+          ~doc:"Use a non-deterministic write (exercises semi-active's AC).")
+  in
+  let run (_, (info : Core.Technique.info), factory) nondet =
+    let engine = Sim.Engine.create ~seed:3 () in
+    let net = Sim.Network.create engine ~n:4 Sim.Network.default_config in
+    let inst = factory net ~replicas:[ 0; 1; 2 ] ~clients:[ 3 ] in
+    let ops =
+      if nondet then [ Store.Operation.Write_random "x" ]
+      else [ Store.Operation.Incr ("x", 1) ]
+    in
+    let request = Store.Operation.request ~client:3 ops in
+    inst.Core.Technique.submit ~client:3 request (fun _ -> ());
+    ignore (Sim.Engine.run ~until:(Sim.Simtime.of_sec 10.) engine);
+    let rid = request.Store.Operation.rid in
+    Fmt.pr "technique : %s (paper §%s)@." info.name info.section;
+    Fmt.pr "signature : %a   [paper row: %a]@." Core.Phase.pp_sequence
+      (Core.Phase_trace.signature inst.Core.Technique.phases ~rid)
+      Core.Phase.pp_sequence info.expected_phases;
+    Core.Phase_trace.pp_marks Fmt.stdout
+      (Core.Phase_trace.marks inst.Core.Technique.phases ~rid)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ technique_arg $ nondet)
+
+let () =
+  let doc =
+    "Replication techniques from 'Understanding Replication in Databases \
+     and Distributed Systems' (Wiesmann et al., ICDCS 2000), reproduced on \
+     a discrete-event simulator."
+  in
+  let info = Cmd.info "replisim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/bank.ml: Core Engine Fmt Fun List Network Printf Protocols Rng Sim Simtime Store

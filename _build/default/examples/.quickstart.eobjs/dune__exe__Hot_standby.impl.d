@@ -1,0 +1,1 @@
+examples/hot_standby.ml: Core Engine Fmt List Network Protocols Sim Simtime Store

@@ -1,0 +1,1 @@
+examples/mobile_sync.ml: Core Engine Fmt List Network Protocols Sim Simtime Store

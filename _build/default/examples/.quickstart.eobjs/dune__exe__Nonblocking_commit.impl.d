@@ -1,0 +1,1 @@
+examples/nonblocking_commit.ml: Core Engine Fmt List Network Sim Simtime

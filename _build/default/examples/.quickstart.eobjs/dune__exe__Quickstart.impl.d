@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Engine Fmt List Network Option Protocols Sim Simtime Store

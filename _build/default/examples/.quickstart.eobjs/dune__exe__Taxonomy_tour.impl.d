@@ -1,0 +1,1 @@
+examples/taxonomy_tour.ml: Core Fmt Format List Protocols Workload

@@ -1,0 +1,78 @@
+(* Blocking vs non-blocking atomic commitment (paper §2.1).
+
+   "Databases accept to live with blocking protocols ... distributed
+   systems usually look for non-blocking protocols."
+
+   The same scenario twice: three sites prepare a transaction and the
+   coordinator crashes before announcing the outcome.
+
+   - With two-phase commit the prepared participants are wedged: they can
+     never learn the decision (in a real database an operator must
+     intervene — exactly the paper's remark).
+   - With three-phase commit the survivors elect a recovery coordinator,
+     exchange their states, and terminate on their own (all still
+     uncertain, so they abort — safely, since nobody could have
+     committed).
+
+     dune exec examples/nonblocking_commit.exe
+*)
+
+open Sim
+
+let scenario name run_protocol =
+  Fmt.pr "=== %s ===@." name;
+  let engine = Engine.create ~seed:8 () in
+  let net = Network.create engine ~n:3 Network.default_config in
+  let decisions = ref [] in
+  let learn ~me ~txn:_ decision =
+    decisions := (me, decision) :: !decisions;
+    Fmt.pr "  site %d learned %s at %a@." me decision Simtime.pp
+      (Engine.now engine)
+  in
+  run_protocol net ~learn;
+  (* The coordinator (site 0) crashes while the votes are in flight:
+     every participant has prepared, nobody knows the outcome. *)
+  ignore
+    (Engine.schedule engine ~after:(Simtime.of_us 1_500) (fun () ->
+         Fmt.pr "  *** coordinator (site 0) crashes ***@.";
+         Network.crash net 0));
+  ignore (Engine.run ~until:(Simtime.of_sec 10.) engine);
+  let survivors_decided =
+    List.filter (fun (me, _) -> me <> 0) !decisions |> List.length
+  in
+  if survivors_decided = 0 then
+    Fmt.pr "  outcome: survivors BLOCKED — nobody ever decided@."
+  else Fmt.pr "  outcome: survivors terminated on their own@.";
+  Fmt.pr "@."
+
+let () =
+  scenario "two-phase commit (the blocking protocol databases accept)"
+    (fun net ~learn ->
+      let group =
+        Core.Two_phase_commit.create_group net ~nodes:[ 0; 1; 2 ]
+          ~vote:(fun ~me:_ ~txn:_ -> true)
+          ~learn:(fun ~me ~txn d ->
+            learn ~me ~txn
+              (match d with
+              | Core.Two_phase_commit.Commit -> "COMMIT"
+              | Core.Two_phase_commit.Abort -> "ABORT"))
+          ()
+      in
+      Core.Two_phase_commit.start group ~coordinator:0
+        ~participants:[ 0; 1; 2 ] ~txn:1
+        ~on_complete:(fun _ -> ()));
+  scenario "three-phase commit (the non-blocking alternative)"
+    (fun net ~learn ->
+      let group =
+        Core.Three_phase_commit.create_group net ~nodes:[ 0; 1; 2 ]
+          ~vote:(fun ~me:_ ~txn:_ -> true)
+          ~learn:(fun ~me ~txn d ->
+            learn ~me ~txn
+              (match d with
+              | Core.Three_phase_commit.Commit -> "COMMIT"
+              | Core.Three_phase_commit.Abort -> "ABORT"))
+          ()
+      in
+      Core.Three_phase_commit.start group ~coordinator:0
+        ~participants:[ 0; 1; 2 ] ~txn:1
+        ~on_complete:(fun _ -> ()))

@@ -1,0 +1,1 @@
+lib/core/certification.ml: List Store

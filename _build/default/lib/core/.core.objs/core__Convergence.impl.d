@@ -1,0 +1,1 @@
+lib/core/convergence.ml: Format List Option Store String

@@ -1,0 +1,1 @@
+lib/core/linearizability.ml: Array Hashtbl List Option Sim Store

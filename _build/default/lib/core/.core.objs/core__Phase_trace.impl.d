@@ -1,0 +1,1 @@
+lib/core/phase_trace.ml: Format Hashtbl List Phase Sim

@@ -1,0 +1,1 @@
+lib/core/phase_trace.mli: Format Phase Sim

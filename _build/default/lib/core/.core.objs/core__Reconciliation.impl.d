@@ -1,0 +1,1 @@
+lib/core/reconciliation.ml: Hashtbl List Option Store

@@ -1,0 +1,1 @@
+lib/core/seq_consistency.ml: Array Buffer Hashtbl List Option Store

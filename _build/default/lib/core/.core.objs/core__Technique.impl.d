@@ -1,0 +1,1 @@
+lib/core/technique.ml: Format Phase Phase_trace Sim Store

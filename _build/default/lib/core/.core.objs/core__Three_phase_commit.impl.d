@@ -1,0 +1,1 @@
+lib/core/three_phase_commit.ml: Engine Group Hashtbl List Msg Network Option Sim Simtime

@@ -1,0 +1,1 @@
+lib/core/three_phase_commit.mli: Group Sim

@@ -1,0 +1,1 @@
+lib/core/two_phase_commit.ml: Engine Group Hashtbl List Msg Network Sim Simtime

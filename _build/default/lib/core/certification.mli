@@ -1,0 +1,37 @@
+(** Certification of optimistically-executed transactions
+    (paper §5.4.2, [KA98]).
+
+    In certification-based replication a transaction executes on shadow
+    copies at one site; its readset (with the versions read) and writeset
+    are then atomically broadcast. Upon delivery, {e every} replica runs
+    the same deterministic test against its local copies: the transaction
+    commits iff no item it read has been overwritten by a transaction
+    certified earlier in the total order. Because all replicas evaluate
+    the same test in the same ABCAST order against identically-evolving
+    copies, they reach the same verdict without an extra agreement
+    round — which is why the technique has no separate AC phase in
+    Figure 16. *)
+
+(** [certify kv ~reads] is [true] when every version in [reads] is still
+    the current version of the item in [kv]. *)
+val certify : Store.Kv.t -> reads:(Store.Operation.key * int) list -> bool
+
+(** Stateful certifier over one replica's store, with commit/abort
+    counters (the abort rate is part of the §6 performance study). *)
+type t
+
+val create : Store.Kv.t -> t
+
+(** [offer t ~reads ~writes] certifies and, on success, applies the
+    writeset with fresh version numbers assigned in certification order
+    (identical at every replica, since all certify in the same ABCAST
+    order against identical stores). [Some installed_writes] on commit,
+    [None] on abort. *)
+val offer :
+  t ->
+  reads:(Store.Operation.key * int) list ->
+  writes:(Store.Operation.key * int * int) list ->
+  (Store.Operation.key * int * int) list option
+
+val committed : t -> int
+val aborted : t -> int

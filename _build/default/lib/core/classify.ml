@@ -1,0 +1,109 @@
+(** Deriving the paper's classification figures from technique metadata
+    and {e observed} phase traces, so the taxonomy is checked against the
+    running protocols rather than transcribed. *)
+
+(* ---- Figure 5: replication in distributed systems ------------------- *)
+
+(** Cells of the (failure transparency × determinism) matrix. *)
+let fig5_cells infos =
+  let ds =
+    List.filter
+      (fun (i : Technique.info) -> i.community = Technique.Distributed_systems)
+      infos
+  in
+  let cell ~transparent ~needs_det =
+    List.filter_map
+      (fun (i : Technique.info) ->
+        if
+          i.failure_transparent = transparent
+          && i.requires_determinism = needs_det
+        then Some i.name
+        else None)
+      ds
+  in
+  [
+    ((true, true), cell ~transparent:true ~needs_det:true);
+    ((true, false), cell ~transparent:true ~needs_det:false);
+    ((false, true), cell ~transparent:false ~needs_det:true);
+    ((false, false), cell ~transparent:false ~needs_det:false);
+  ]
+
+(* ---- Figure 6: replication in database systems ---------------------- *)
+
+(** Cells of the Gray et al. (propagation × ownership) matrix. *)
+let fig6_cells infos =
+  let db =
+    List.filter
+      (fun (i : Technique.info) -> i.community = Technique.Databases)
+      infos
+  in
+  let cell ~propagation ~ownership =
+    List.filter_map
+      (fun (i : Technique.info) ->
+        if i.propagation = propagation && i.ownership = ownership then
+          Some i.name
+        else None)
+      db
+  in
+  [
+    ((Technique.Eager, Technique.Primary), cell ~propagation:Eager ~ownership:Primary);
+    ( (Technique.Eager, Technique.Update_everywhere),
+      cell ~propagation:Eager ~ownership:Update_everywhere );
+    ((Technique.Lazy, Technique.Primary), cell ~propagation:Lazy ~ownership:Primary);
+    ( (Technique.Lazy, Technique.Update_everywhere),
+      cell ~propagation:Lazy ~ownership:Update_everywhere );
+  ]
+
+(* ---- Figure 15: possible combinations of phases --------------------- *)
+
+(** Distinct phase signatures among the observed ones, de-duplicated,
+    strong-consistency techniques only (that is what Figure 15 shows). *)
+let fig15_combinations observed =
+  List.fold_left
+    (fun acc seq -> if List.mem seq acc then acc else acc @ [ seq ])
+    [] observed
+
+(** The paper's claim below Figure 15: every strong-consistency technique
+    has an SC and/or AC step before END. *)
+let has_sync_before_response seq =
+  let rec scan = function
+    | [] -> false
+    | Phase.Response :: _ -> false
+    | (Phase.Server_coordination | Phase.Agreement_coordination) :: _ -> true
+    | _ :: rest -> scan rest
+  in
+  scan seq
+
+(* ---- Figure 16: synthetic view of approaches ------------------------ *)
+
+type synthetic_row = {
+  technique : string;
+  observed : Phase.t list;  (** signature observed in execution *)
+  expected : Phase.t list;  (** the paper's row *)
+  matches : bool;
+  strong : bool;
+}
+
+let synthetic_rows pairs =
+  List.map
+    (fun ((info : Technique.info), observed) ->
+      {
+        technique = info.name;
+        observed;
+        expected = info.expected_phases;
+        matches = observed = info.expected_phases;
+        strong = info.strong_consistency;
+      })
+    pairs
+
+let pp_synthetic ppf rows =
+  Format.fprintf ppf "%-42s %-22s %-22s %s@." "Technique" "Observed" "Paper"
+    "Consistency";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-42s %-22s %-22s %s%s@." r.technique
+        (Format.asprintf "%a" Phase.pp_sequence r.observed)
+        (Format.asprintf "%a" Phase.pp_sequence r.expected)
+        (if r.strong then "strong" else "weak")
+        (if r.matches then "" else "  <-- MISMATCH"))
+    rows

@@ -1,0 +1,38 @@
+(** Deriving the paper's classification figures from technique metadata
+    and {e observed} phase traces, so the taxonomy is checked against the
+    running protocols rather than transcribed.
+
+    Figure 5 classifies the distributed-systems techniques by failure
+    transparency × determinism requirement; Figure 6 is Gray et al.'s
+    propagation × ownership matrix for databases; Figure 15 enumerates
+    the possible phase combinations of strong-consistency techniques;
+    Figure 16 is the synthetic per-technique table. *)
+
+(** Cells of the Figure 5 matrix, keyed by
+    (failure_transparent, requires_determinism). *)
+val fig5_cells : Technique.info list -> ((bool * bool) * string list) list
+
+(** Cells of the Figure 6 matrix, keyed by (propagation, ownership). *)
+val fig6_cells :
+  Technique.info list ->
+  ((Technique.propagation * Technique.ownership) * string list) list
+
+(** Distinct phase signatures among the observed ones, first-seen order. *)
+val fig15_combinations : Phase.t list list -> Phase.t list list
+
+(** The paper's claim below Figure 15: strong consistency requires an SC
+    and/or AC step before END. *)
+val has_sync_before_response : Phase.t list -> bool
+
+type synthetic_row = {
+  technique : string;
+  observed : Phase.t list;  (** signature observed in execution *)
+  expected : Phase.t list;  (** the paper's Figure 16 row *)
+  matches : bool;
+  strong : bool;
+}
+
+val synthetic_rows :
+  (Technique.info * Phase.t list) list -> synthetic_row list
+
+val pp_synthetic : Format.formatter -> synthetic_row list -> unit

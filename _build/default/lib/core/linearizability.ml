@@ -1,0 +1,63 @@
+type kind = Read of int | Write of int
+
+type op = {
+  key : Store.Operation.key;
+  kind : kind;
+  invoked : Sim.Simtime.t;
+  responded : Sim.Simtime.t;
+}
+
+(* Wing–Gong style search: repeatedly pick a "minimal" remaining operation
+   (one whose invocation precedes every remaining response) and try to
+   linearize it next; a read is admissible only if it returns the current
+   register value. Memoised on (remaining set, register value). *)
+let check_key ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  if n > 62 then
+    invalid_arg "Linearizability.check_key: more than 62 ops per key";
+  let full_mask = if n = 0 then 0 else (1 lsl n) - 1 in
+  let memo = Hashtbl.create 1024 in
+  let rec search remaining value =
+    if remaining = 0 then true
+    else
+      let key = (remaining, value) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          (* Earliest response among remaining ops bounds which operations
+             may linearize next. *)
+          let min_response = ref Sim.Simtime.infinity in
+          for i = 0 to n - 1 do
+            if remaining land (1 lsl i) <> 0 then
+              min_response := Sim.Simtime.min !min_response arr.(i).responded
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let bit = 1 lsl !i in
+            if
+              remaining land bit <> 0
+              && Sim.Simtime.(arr.(!i).invoked <= !min_response)
+            then begin
+              match arr.(!i).kind with
+              | Write w -> if search (remaining lxor bit) w then ok := true
+              | Read r ->
+                  if r = value && search (remaining lxor bit) value then
+                    ok := true
+            end;
+            incr i
+          done;
+          Hashtbl.replace memo key !ok;
+          !ok
+  in
+  search full_mask 0
+
+let check ops =
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_key op.key) in
+      Hashtbl.replace by_key op.key (op :: cur))
+    ops;
+  Hashtbl.fold (fun _ key_ops acc -> acc && check_key (List.rev key_ops)) by_key true

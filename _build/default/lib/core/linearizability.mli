@@ -1,0 +1,29 @@
+(** Linearizability checker (paper §2.2; Herlihy–Wing, checked with the
+    Wing–Gong algorithm).
+
+    Takes a complete history of register operations with real-time
+    invocation/response intervals and decides whether some linearization
+    exists: a total order that respects real time (if op A responded
+    before op B was invoked, A orders first) in which every read returns
+    the value of the latest preceding write (or the initial value 0).
+
+    Linearizability is local (composable), so each key is checked
+    independently. The distributed-systems techniques of the paper
+    (active, passive, semi-active, semi-passive) must all pass this. *)
+
+type kind = Read of int  (** value returned *) | Write of int
+
+type op = {
+  key : Store.Operation.key;
+  kind : kind;
+  invoked : Sim.Simtime.t;
+  responded : Sim.Simtime.t;
+}
+
+(** [check ops] decides linearizability of the complete history [ops].
+    Histories of a few hundred operations per key are fine; the search is
+    exponential in the worst case but memoised. *)
+val check : op list -> bool
+
+(** Check a single key's sub-history. *)
+val check_key : op list -> bool

@@ -1,0 +1,61 @@
+type mark = {
+  rid : int;
+  phase : Phase.t;
+  replica : int option;
+  time : Sim.Simtime.t;
+  note : string;
+}
+
+type t = { by_rid : (int, mark list ref) Hashtbl.t; mutable rev_rids : int list }
+
+let create () = { by_rid = Hashtbl.create 64; rev_rids = [] }
+
+let mark t ~rid ?replica ?(note = "") phase time =
+  let cell =
+    match Hashtbl.find_opt t.by_rid rid with
+    | Some cell -> cell
+    | None ->
+        let cell = ref [] in
+        Hashtbl.replace t.by_rid rid cell;
+        t.rev_rids <- rid :: t.rev_rids;
+        cell
+  in
+  cell := { rid; phase; replica; time; note } :: !cell
+
+let marks t ~rid =
+  match Hashtbl.find_opt t.by_rid rid with
+  | None -> []
+  | Some cell -> List.rev !cell
+
+let sequence t ~rid =
+  let ms = marks t ~rid in
+  let rec collapse = function
+    | a :: (b :: _ as rest) ->
+        if Phase.equal a.phase b.phase then collapse rest
+        else a.phase :: collapse rest
+    | [ a ] -> [ a.phase ]
+    | [] -> []
+  in
+  collapse ms
+
+let signature t ~rid =
+  let seq = sequence t ~rid in
+  List.fold_left
+    (fun acc p -> if List.exists (Phase.equal p) acc then acc else acc @ [ p ])
+    [] seq
+
+let rids t = List.rev t.rev_rids
+let clear t =
+  Hashtbl.reset t.by_rid;
+  t.rev_rids <- []
+
+let pp_marks ppf ms =
+  List.iter
+    (fun m ->
+      let replica =
+        match m.replica with None -> "client" | Some r -> "replica " ^ string_of_int r
+      in
+      Format.fprintf ppf "%8s  %-3s  %-10s %s@."
+        (Sim.Simtime.to_string m.time)
+        (Phase.code m.phase) replica m.note)
+    ms

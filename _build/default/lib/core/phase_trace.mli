@@ -1,0 +1,44 @@
+(** Per-request phase traces.
+
+    Every protocol implementation marks the start of each functional-model
+    phase as it processes a request. Figures 1–4 and 7–16 of the paper are
+    regenerated from these marks, and the tests check each technique's
+    observed phase sequence against the paper's synthetic view
+    (Figure 16). *)
+
+type mark = {
+  rid : int;  (** request id *)
+  phase : Phase.t;
+  replica : int option;  (** None when it is a client-side event *)
+  time : Sim.Simtime.t;
+  note : string;
+}
+
+type t
+
+val create : unit -> t
+
+val mark :
+  t ->
+  rid:int ->
+  ?replica:int ->
+  ?note:string ->
+  Phase.t ->
+  Sim.Simtime.t ->
+  unit
+
+(** All marks of a request, in chronological (recording) order. *)
+val marks : t -> rid:int -> mark list
+
+(** The request's phase sequence: phases ordered by first occurrence.
+    A second occurrence after a different phase (the §5 per-operation
+    loops) appears again. Consecutive duplicates are collapsed. *)
+val sequence : t -> rid:int -> Phase.t list
+
+(** Like [sequence] but collapsing any repetition, giving the canonical
+    Figure-16 row (first occurrence order only). *)
+val signature : t -> rid:int -> Phase.t list
+
+val rids : t -> int list
+val clear : t -> unit
+val pp_marks : Format.formatter -> mark list -> unit

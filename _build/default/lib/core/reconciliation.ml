@@ -1,0 +1,88 @@
+(** Reconciliation for lazy update-everywhere replication (paper §4.6).
+
+    Replicas commit locally and propagate writesets only after the fact,
+    so two sites may commit conflicting transactions concurrently: the
+    copies are then "not only stale but inconsistent". The paper's
+    "straightforward solution in the case of our simple model" is adopted
+    here: run an atomic broadcast and determine the {e after-commit order}
+    from its delivery order. Every replica applies writesets in that
+    order, re-versioning writes with a shared counter, so all copies
+    converge to identical (value, version) pairs. The loser of a conflict
+    is the transaction delivered earlier (its write is overwritten — a
+    transaction "that must be undone"); conflicts are counted when a
+    delivered foreign writeset overlaps a local commit that has not yet
+    been delivered. *)
+
+type t = {
+  kv : Store.Kv.t;
+  (* Per-item version counter advancing in after-commit order — identical
+     at every replica because deliveries are totally ordered. *)
+  next_version : (Store.Operation.key, int) Hashtbl.t;
+  (* Local commits whose writesets have not yet come back through the
+     after-commit order, in commit order. *)
+  mutable outstanding : (int * (Store.Operation.key * int * int) list) list;
+  mutable applied : int;
+  mutable conflicts : int;
+}
+
+let create kv =
+  {
+    kv;
+    next_version = Hashtbl.create 32;
+    outstanding = [];
+    applied = 0;
+    conflicts = 0;
+  }
+
+let bump t k =
+  let v = 1 + Option.value ~default:0 (Hashtbl.find_opt t.next_version k) in
+  Hashtbl.replace t.next_version k v;
+  v
+
+(** Register a transaction committed locally at this replica, awaiting its
+    slot in the after-commit order. *)
+let local_commit t ~tid ~writes = t.outstanding <- t.outstanding @ [ (tid, writes) ]
+
+(** Apply one transaction's writeset in after-commit (ABCAST delivery)
+    order. The delivery order is authoritative for the replicated prefix;
+    local commits still awaiting their slot are newer than anything
+    delivered, so their values are re-applied on top (a replica never sees
+    its own committed state regress). Returns the re-versioned writes. *)
+let deliver t ~tid ~writes =
+  t.applied <- t.applied + 1;
+  let local = List.mem_assoc tid t.outstanding in
+  t.outstanding <- List.remove_assoc tid t.outstanding;
+  if not local then begin
+    (* A foreign transaction conflicts with any outstanding local commit
+       touching the same items: one of the two must be undone. *)
+    let keys = List.map (fun (k, _, _) -> k) writes in
+    let clash =
+      List.exists
+        (fun (_, local_writes) ->
+          List.exists (fun (k, _, _) -> List.mem k keys) local_writes)
+        t.outstanding
+    in
+    if clash then t.conflicts <- t.conflicts + 1
+  end;
+  let installed =
+    List.map
+      (fun (k, value, _local_version) ->
+        let version = bump t k in
+        Store.Kv.force t.kv k ~value ~version;
+        (k, value, version))
+      writes
+  in
+  (* Outstanding local commits win locally until globally ordered. *)
+  List.iter
+    (fun (_, local_writes) ->
+      List.iter
+        (fun (k, value, _) ->
+          let current = Option.value ~default:0 (Hashtbl.find_opt t.next_version k) in
+          Store.Kv.force t.kv k ~value ~version:current)
+        local_writes)
+    t.outstanding;
+  installed
+
+let applied t = t.applied
+let conflicts t = t.conflicts
+let outstanding_count t = List.length t.outstanding

@@ -1,0 +1,35 @@
+(** Reconciliation for lazy update-everywhere replication (paper §4.6).
+
+    Replicas commit locally and propagate writesets only after the fact,
+    so two sites may commit conflicting transactions concurrently: the
+    copies are then "not only stale but inconsistent". The paper's
+    "straightforward solution in the case of our simple model" is adopted
+    here: run an atomic broadcast and determine the {e after-commit
+    order} from its delivery order. Every replica applies writesets in
+    that order with a shared re-versioning counter, so all copies
+    converge; local commits still awaiting their slot stay visible
+    locally (a replica never sees its own committed state regress). The
+    loser of a conflict is the transaction delivered earlier — a
+    transaction "that must be undone". *)
+
+type t
+
+val create : Store.Kv.t -> t
+
+(** Register a transaction committed locally at this replica, awaiting
+    its slot in the after-commit order. *)
+val local_commit :
+  t -> tid:int -> writes:(Store.Operation.key * int * int) list -> unit
+
+(** Apply one transaction's writeset in after-commit (ABCAST delivery)
+    order; returns the writes as re-versioned. A foreign writeset that
+    overlaps an outstanding local commit counts as one conflict. *)
+val deliver :
+  t ->
+  tid:int ->
+  writes:(Store.Operation.key * int * int) list ->
+  (Store.Operation.key * int * int) list
+
+val applied : t -> int
+val conflicts : t -> int
+val outstanding_count : t -> int

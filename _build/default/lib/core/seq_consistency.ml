@@ -1,0 +1,51 @@
+type op = Read of Store.Operation.key * int | Write of Store.Operation.key * int
+
+let check histories =
+  let procs = Array.of_list (List.map Array.of_list histories) in
+  let n = Array.length procs in
+  let memo = Hashtbl.create 1024 in
+  (* State: per-process next-op indices plus current store contents. *)
+  let encode indices store =
+    let buf = Buffer.create 32 in
+    Array.iter (fun i -> Buffer.add_string buf (string_of_int i ^ ",")) indices;
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (k ^ "=" ^ string_of_int v ^ ";"))
+      (List.sort compare store);
+    Buffer.contents buf
+  in
+  let read store k = Option.value ~default:0 (List.assoc_opt k store) in
+  let rec search indices store =
+    let all_done = ref true in
+    Array.iteri
+      (fun p i -> if i < Array.length procs.(p) then all_done := false)
+      indices;
+    if !all_done then true
+    else
+      let key = encode indices store in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let ok = ref false in
+          let p = ref 0 in
+          while (not !ok) && !p < n do
+            let i = indices.(!p) in
+            if i < Array.length procs.(!p) then begin
+              match procs.(!p).(i) with
+              | Write (k, v) ->
+                  let indices' = Array.copy indices in
+                  indices'.(!p) <- i + 1;
+                  if search indices' ((k, v) :: List.remove_assoc k store) then
+                    ok := true
+              | Read (k, v) ->
+                  if read store k = v then begin
+                    let indices' = Array.copy indices in
+                    indices'.(!p) <- i + 1;
+                    if search indices' store then ok := true
+                  end
+            end;
+            incr p
+          done;
+          Hashtbl.replace memo key !ok;
+          !ok
+  in
+  search (Array.make n 0) []

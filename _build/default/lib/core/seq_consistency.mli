@@ -1,0 +1,15 @@
+(** Sequential-consistency checker (paper §2.2, [AW94]).
+
+    Sequential consistency requires some total order of all operations
+    that (a) respects each process's program order and (b) makes every
+    read return the latest preceding write. Unlike linearizability it
+    ignores real time, so it is strictly weaker — the paper notes it
+    "allows, under some conditions, to read old values", which is also
+    why it is not composable and must be checked over all keys at once. *)
+
+type op = Read of Store.Operation.key * int | Write of Store.Operation.key * int
+
+(** [check histories] — one operation list per process, in program order.
+    Exponential in the worst case (memoised); intended for test-sized
+    histories. *)
+val check : op list list -> bool

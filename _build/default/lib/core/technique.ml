@@ -1,0 +1,64 @@
+(** The common interface and classification metadata of a replication
+    technique.
+
+    The metadata fields are the classification dimensions the paper uses:
+    Figure 5 classifies distributed-systems techniques by failure
+    transparency and server determinism, Figure 6 classifies database
+    techniques by update propagation (eager/lazy) and update location
+    (primary/update-everywhere), and Figure 16 gives each technique's phase
+    sequence and consistency class. *)
+
+type community = Distributed_systems | Databases
+
+type propagation = Eager | Lazy
+
+type ownership = Primary | Update_everywhere
+
+type info = {
+  name : string;
+  community : community;
+  propagation : propagation;
+  ownership : ownership;
+  requires_determinism : bool;
+      (** replicas must produce identical results from identical inputs *)
+  failure_transparent : bool;
+      (** a replica crash is invisible to the client (no resubmission) *)
+  strong_consistency : bool;
+      (** linearisability (DS) or 1-copy serialisability (DB) *)
+  expected_phases : Phase.t list;  (** the technique's Figure 16 row *)
+  section : string;  (** paper section describing it *)
+}
+
+(** The outcome of one request, delivered to the client's callback. *)
+type reply = {
+  rid : int;
+  committed : bool;
+  value : int option;  (** last value read, when the request read data *)
+  at : Sim.Simtime.t;
+  replica : int;  (** replica that produced the response *)
+}
+
+(** A running replicated system: the uniform handle the examples, tests and
+    benchmarks drive. Each protocol module exposes
+    [create : ... -> instance]. *)
+type instance = {
+  info : info;
+  submit : client:int -> Store.Operation.request -> (reply -> unit) -> unit;
+  replica_store : int -> Store.Kv.t;
+  history : Store.History.t;
+  phases : Phase_trace.t;
+  replicas : int list;
+}
+
+let pp_info ppf i =
+  let propagation = match i.propagation with Eager -> "eager" | Lazy -> "lazy" in
+  let ownership =
+    match i.ownership with
+    | Primary -> "primary copy"
+    | Update_everywhere -> "update everywhere"
+  in
+  Format.fprintf ppf "%s (%s, %s, %s): %a" i.name
+    (match i.community with
+    | Distributed_systems -> "distributed systems"
+    | Databases -> "databases")
+    propagation ownership Phase.pp_sequence i.expected_phases

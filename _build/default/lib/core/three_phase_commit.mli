@@ -1,0 +1,49 @@
+(** Three-phase commit — the {e non-blocking} atomic commitment protocol
+    (Skeen), included as the distributed-systems counterpart to the
+    blocking {!Two_phase_commit} the databases accept (paper §2.1:
+    "database protocols are blocking ... distributed systems usually look
+    for non-blocking protocols").
+
+    The coordinator first collects votes (as in 2PC), then disseminates a
+    PRE-COMMIT and waits for acknowledgements before the final COMMIT.
+    The extra round buys crash resilience: no participant can commit while
+    another is still {e uncertain} (has not seen the pre-commit), so when
+    the coordinator crashes the survivors can always finish on their own —
+    a recovery coordinator (the lowest alive participant, per the failure
+    detector) polls the survivors' states and decides:
+
+    - some participant committed or pre-committed → COMMIT everywhere;
+    - otherwise (all uncertain or aborted) → ABORT everywhere.
+
+    Safe under crash-stop failures with accurate detection (no partitions
+    — the classic 3PC caveat). Costs three rounds instead of two; the
+    trade-off is quantified in ablation abl8. *)
+
+type decision = Commit | Abort
+
+type group
+
+val create_group :
+  Sim.Network.t ->
+  nodes:int list ->
+  ?fd:Group.Fd.group ->
+  ?rto:Sim.Simtime.t ->
+  ?passthrough:bool ->
+  ?decision_timeout:Sim.Simtime.t ->
+  vote:(me:int -> txn:int -> bool) ->
+  learn:(me:int -> txn:int -> decision -> unit) ->
+  unit ->
+  group
+
+(** Run one 3PC round. [on_complete] fires at the node that decides —
+    normally the coordinator, or the recovery coordinator after a crash. *)
+val start :
+  group ->
+  coordinator:int ->
+  participants:int list ->
+  txn:int ->
+  on_complete:(decision -> unit) ->
+  unit
+
+val commits : group -> int
+val aborts : group -> int

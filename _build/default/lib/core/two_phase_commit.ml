@@ -1,0 +1,147 @@
+open Sim
+
+type decision = Commit | Abort
+
+type Msg.t +=
+  | Prepare of { gid : int; txn : int; coordinator : int }
+  | Vote of { gid : int; txn : int; from : int; yes : bool }
+  | Decision of { gid : int; txn : int; decision : decision }
+
+type round = {
+  participants : int list;
+  mutable yes_votes : int list;
+  mutable decided : decision option;
+  on_complete : decision -> unit;
+  timeout_timer : Engine.timer option;
+}
+
+type t = {
+  gid : int;
+  me : int;
+  chan : Group.Rchan.t;
+  vote : me:int -> txn:int -> bool;
+  learn : me:int -> txn:int -> decision -> unit;
+  rounds : (int, round) Hashtbl.t; (* coordinator-side, by txn *)
+  learned : (int, decision) Hashtbl.t; (* participant-side dedup *)
+}
+
+type group = {
+  g_gid : int;
+  net : Network.t;
+  chan_group : Group.Rchan.group;
+  handles : (int, t) Hashtbl.t;
+  participant_timeout : Simtime.t option;
+  mutable n_commits : int;
+  mutable n_aborts : int;
+}
+
+let next_gid = ref 0
+
+let decide group t ~txn round decision =
+  if round.decided = None then begin
+    round.decided <- Some decision;
+    (match round.timeout_timer with Some tm -> Engine.cancel tm | None -> ());
+    (match decision with
+    | Commit -> group.n_commits <- group.n_commits + 1
+    | Abort -> group.n_aborts <- group.n_aborts + 1);
+    List.iter
+      (fun dst ->
+        if dst <> t.me then
+          Group.Rchan.send t.chan ~dst (Decision { gid = t.gid; txn; decision }))
+      round.participants;
+    (* The coordinator learns synchronously, before [on_complete], so a
+       caller that starts dependent work from [on_complete] sees the
+       decision's effects already applied locally. *)
+    if not (Hashtbl.mem t.learned txn) then begin
+      Hashtbl.replace t.learned txn decision;
+      t.learn ~me:t.me ~txn decision
+    end;
+    round.on_complete decision
+  end
+
+let handle_msg group t msg =
+  match msg with
+  | Prepare { gid; txn; coordinator } when gid = t.gid ->
+      let yes = t.vote ~me:t.me ~txn in
+      Group.Rchan.send t.chan ~dst:coordinator
+        (Vote { gid = t.gid; txn; from = t.me; yes })
+  | Vote { gid; txn; from; yes } when gid = t.gid -> (
+      match Hashtbl.find_opt t.rounds txn with
+      | None -> ()
+      | Some round ->
+          if round.decided = None then
+            if not yes then decide group t ~txn round Abort
+            else begin
+              if not (List.mem from round.yes_votes) then
+                round.yes_votes <- from :: round.yes_votes;
+              if List.length round.yes_votes = List.length round.participants
+              then decide group t ~txn round Commit
+            end)
+  | Decision { gid; txn; decision } when gid = t.gid ->
+      if not (Hashtbl.mem t.learned txn) then begin
+        Hashtbl.replace t.learned txn decision;
+        t.learn ~me:t.me ~txn decision
+      end
+  | _ -> ()
+
+let create_group net ~nodes ?rto ?passthrough ?participant_timeout ~vote ~learn
+    () =
+  incr next_gid;
+  let gid = !next_gid in
+  let chan_group = Group.Rchan.create_group net ~nodes ?rto ?passthrough () in
+  let group =
+    {
+      g_gid = gid;
+      net;
+      chan_group;
+      handles = Hashtbl.create 8;
+      participant_timeout;
+      n_commits = 0;
+      n_aborts = 0;
+    }
+  in
+  List.iter
+    (fun me ->
+      let t =
+        {
+          gid;
+          me;
+          chan = Group.Rchan.handle chan_group ~me;
+          vote;
+          learn;
+          rounds = Hashtbl.create 16;
+          learned = Hashtbl.create 16;
+        }
+      in
+      Group.Rchan.on_deliver t.chan (fun ~src msg ->
+          ignore src;
+          handle_msg group t msg);
+      Hashtbl.replace group.handles me t)
+    nodes;
+  group
+
+let start group ~coordinator ~participants ~txn ~on_complete =
+  let t = Hashtbl.find group.handles coordinator in
+  let timeout_timer =
+    match group.participant_timeout with
+    | None -> None
+    | Some delay ->
+        Some
+          (Engine.schedule (Network.engine group.net) ~after:delay (fun () ->
+               match Hashtbl.find_opt t.rounds txn with
+               | Some round when round.decided = None ->
+                   (* Presumed abort: missing votes count as NO. *)
+                   decide group t ~txn round Abort
+               | _ -> ()))
+  in
+  let round =
+    { participants; yes_votes = []; decided = None; on_complete; timeout_timer }
+  in
+  Hashtbl.replace t.rounds txn round;
+  List.iter
+    (fun dst ->
+      Group.Rchan.send t.chan ~dst (Prepare { gid = t.gid; txn; coordinator }))
+    participants
+
+let commits group = group.n_commits
+let aborts group = group.n_aborts

@@ -1,0 +1,45 @@
+(** Two-phase commit (paper §4.3–§4.4, [GR93]).
+
+    The coordinator sends PREPARE to every participant; each participant
+    votes by consulting the [vote] function supplied at group creation; on
+    unanimous yes the coordinator broadcasts COMMIT, otherwise ABORT, and
+    each participant's [learn] function fires with the decision.
+
+    The protocol is deliberately {e blocking}, as the paper notes database
+    protocols are (§2.1): if the coordinator crashes after PREPARE, the
+    prepared participants wait indefinitely — there is no termination
+    protocol. Participants that are unreachable are treated according to
+    [participant_timeout]: when set, the coordinator counts a missing vote
+    as a NO after that delay (presumed abort); when [None], the coordinator
+    blocks too. *)
+
+type decision = Commit | Abort
+
+type group
+
+val create_group :
+  Sim.Network.t ->
+  nodes:int list ->
+  ?rto:Sim.Simtime.t ->
+  ?passthrough:bool ->
+  ?participant_timeout:Sim.Simtime.t ->
+  vote:(me:int -> txn:int -> bool) ->
+  learn:(me:int -> txn:int -> decision -> unit) ->
+  unit ->
+  group
+
+(** Run one 2PC round. [on_complete] fires at the coordinator once the
+    decision is made (before all participants have necessarily learned
+    it — they learn via their [learn] callback). *)
+val start :
+  group ->
+  coordinator:int ->
+  participants:int list ->
+  txn:int ->
+  on_complete:(decision -> unit) ->
+  unit
+
+(** Number of rounds decided [Commit] / [Abort] (stats, tests). *)
+val commits : group -> int
+
+val aborts : group -> int

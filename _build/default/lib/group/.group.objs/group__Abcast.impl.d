@@ -1,0 +1,1 @@
+lib/group/abcast.ml: Abcast_ct Abcast_seq

@@ -1,0 +1,1 @@
+lib/group/abcast.mli: Fd Sim

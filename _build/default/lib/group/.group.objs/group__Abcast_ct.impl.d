@@ -1,0 +1,1 @@
+lib/group/abcast_ct.ml: Consensus Engine Fd Hashtbl Int List Msg Network Rchan Sim Simtime

@@ -1,0 +1,1 @@
+lib/group/abcast_ct.mli: Fd Sim

@@ -1,0 +1,1 @@
+lib/group/abcast_seq.ml: Engine Fd Hashtbl Int List Msg Network Rchan Set Sim Simtime

@@ -1,0 +1,1 @@
+lib/group/abcast_seq.mli: Fd Sim

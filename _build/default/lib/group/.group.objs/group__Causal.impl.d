@@ -1,0 +1,1 @@
+lib/group/causal.ml: Array Hashtbl List Msg Rbcast Sim

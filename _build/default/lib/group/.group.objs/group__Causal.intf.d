@@ -1,0 +1,1 @@
+lib/group/causal.mli: Sim

@@ -1,0 +1,1 @@
+lib/group/consensus.ml: Array Engine Fd Hashtbl Int List Msg Network Rchan Set Sim Simtime

@@ -1,0 +1,1 @@
+lib/group/consensus.mli: Fd Sim

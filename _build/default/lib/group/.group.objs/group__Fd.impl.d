@@ -1,0 +1,1 @@
+lib/group/fd.ml: Engine Hashtbl Int List Msg Network Set Sim Simtime Tracer

@@ -1,0 +1,1 @@
+lib/group/fd.mli: Sim

@@ -1,0 +1,1 @@
+lib/group/fifo.ml: Hashtbl List Msg Option Rbcast Sim

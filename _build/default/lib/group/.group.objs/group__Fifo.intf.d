@@ -1,0 +1,1 @@
+lib/group/fifo.mli: Sim

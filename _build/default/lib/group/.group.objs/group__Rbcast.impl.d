@@ -1,0 +1,1 @@
+lib/group/rbcast.ml: Hashtbl List Msg Rchan Sim

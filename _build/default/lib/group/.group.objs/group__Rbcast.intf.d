@@ -1,0 +1,1 @@
+lib/group/rbcast.mli: Sim

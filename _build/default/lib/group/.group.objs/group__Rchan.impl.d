@@ -1,0 +1,1 @@
+lib/group/rchan.ml: Engine Hashtbl List Msg Network Sim Simtime

@@ -1,0 +1,1 @@
+lib/group/rchan.mli: Sim

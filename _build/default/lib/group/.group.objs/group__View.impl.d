@@ -1,0 +1,1 @@
+lib/group/view.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/group/view.mli: Format

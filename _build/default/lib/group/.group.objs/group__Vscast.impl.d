@@ -1,0 +1,1 @@
+lib/group/vscast.ml: Consensus Engine Fd Format Hashtbl Int List Msg Network Option Rchan Set Sim Simtime Tracer View

@@ -1,0 +1,1 @@
+lib/group/vscast.mli: Fd Sim View

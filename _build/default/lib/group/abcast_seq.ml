@@ -1,0 +1,302 @@
+open Sim
+
+module Iset = Set.Make (Int)
+
+type id = int * int (* origin node, per-origin seq; origin -1 = no-op filler *)
+
+type Msg.t +=
+  | Inject of { gid : int; id : id; payload : Msg.t }
+  | Order of { gid : int; epoch : int; seq : int; id : id }
+  | Fetch of { gid : int; id : id }
+  | Fetch_reply of { gid : int; id : id; payload : Msg.t }
+  | Order_ack of { gid : int; seq : int; id : id; from : int }
+
+type t = {
+  gid : int;
+  me : int;
+  net : Network.t;
+  members : int list;
+  fd : Fd.t;
+  chan : Rchan.t;
+  mutable epoch : int;
+  mutable next_send : int; (* per-origin seq for our own broadcasts *)
+  mutable next_order : int; (* as leader: next global slot *)
+  mutable next_deliver : int;
+  known : (id, Msg.t) Hashtbl.t;
+  pending : (id, unit) Hashtbl.t; (* known, not yet ordered under cur epoch *)
+  slots : (int, id * int) Hashtbl.t; (* seq -> (id, epoch) *)
+  acks : (int * id, Iset.t ref) Hashtbl.t;
+  delivered_set : (id, unit) Hashtbl.t;
+  mutable delivered_rev : id list;
+  mutable noop_seq : int;
+  mutable deliver_cbs : (origin:int -> Msg.t -> unit) list;
+  mutable opt_deliver_cbs : (origin:int -> Msg.t -> unit) list;
+  mutable opt_delivered_rev : id list;
+}
+
+type group = {
+  g_gid : int;
+  g_members : int list;
+  chan_group : Rchan.group;
+  handles : (int, t) Hashtbl.t;
+  client_seq : (int, int ref) Hashtbl.t;
+}
+
+let next_gid = ref 0
+let nth_member t e = List.nth t.members (e mod List.length t.members)
+let leader t = nth_member t t.epoch
+let is_leader t = leader t = t.me
+let on_deliver t f = t.deliver_cbs <- f :: t.deliver_cbs
+let on_opt_deliver t f = t.opt_deliver_cbs <- f :: t.opt_deliver_cbs
+let delivered t = List.rev t.delivered_rev
+let opt_delivered t = List.rev t.opt_delivered_rev
+
+let mcast t msg = Rchan.mcast t.chan ~dsts:t.members msg
+
+let ack_set t seq id =
+  match Hashtbl.find_opt t.acks (seq, id) with
+  | Some s -> s
+  | None ->
+      let s = ref Iset.empty in
+      Hashtbl.replace t.acks (seq, id) s;
+      s
+
+let stable t seq id =
+  let ackers = !(ack_set t seq id) in
+  List.for_all
+    (fun m -> Iset.mem m ackers || Fd.suspected t.fd m)
+    t.members
+
+let rec try_deliver t =
+  match Hashtbl.find_opt t.slots t.next_deliver with
+  | None -> ()
+  | Some (((origin, _) as id), _epoch) ->
+      if stable t t.next_deliver id then begin
+        let payload_ready =
+          origin = -1 (* no-op filler: deliver nothing *)
+          || Hashtbl.mem t.delivered_set id
+          || Hashtbl.mem t.known id
+        in
+        if payload_ready then begin
+          if origin <> -1 && not (Hashtbl.mem t.delivered_set id) then begin
+            Hashtbl.replace t.delivered_set id ();
+            t.delivered_rev <- id :: t.delivered_rev;
+            let payload = Hashtbl.find t.known id in
+            List.iter (fun f -> f ~origin payload) (List.rev t.deliver_cbs)
+          end;
+          Hashtbl.remove t.pending id;
+          t.next_deliver <- t.next_deliver + 1;
+          try_deliver t
+        end
+        else
+          (* Stable slot but payload missing: ask the group. *)
+          mcast t (Fetch { gid = t.gid; id })
+      end
+
+let assign t id =
+  let seq = t.next_order in
+  t.next_order <- t.next_order + 1;
+  mcast t (Order { gid = t.gid; epoch = t.epoch; seq; id })
+
+(* As the new leader of [epoch]: re-announce everything we know, fill the
+   holes with no-ops, then order any pending messages. *)
+let takeover t =
+  let max_seq = Hashtbl.fold (fun seq _ acc -> max seq acc) t.slots (-1) in
+  for seq = 0 to max_seq do
+    match Hashtbl.find_opt t.slots seq with
+    | Some (id, _) -> mcast t (Order { gid = t.gid; epoch = t.epoch; seq; id })
+    | None ->
+        t.noop_seq <- t.noop_seq + 1;
+        mcast t
+          (Order { gid = t.gid; epoch = t.epoch; seq; id = (-1, t.noop_seq) })
+  done;
+  t.next_order <- max_seq + 1;
+  Hashtbl.iter (fun id () -> assign t id) t.pending
+
+let adopt_epoch t e =
+  if e > t.epoch then begin
+    t.epoch <- e;
+    if is_leader t then takeover t
+    else
+      (* Make sure the new leader knows about everything we still expect to
+         see ordered. *)
+      Hashtbl.iter
+        (fun id () ->
+          match Hashtbl.find_opt t.known id with
+          | Some payload ->
+              Rchan.send t.chan ~dst:(leader t)
+                (Inject { gid = t.gid; id; payload })
+          | None -> ())
+        t.pending
+  end
+
+(* Leader anti-entropy: keep re-announcing slots that some trusted member
+   has not acknowledged, together with their payloads, so members that
+   were unreachable longer than the stubborn channels' retry budget still
+   catch up after a partition heals. *)
+let anti_entropy t =
+  if is_leader t then begin
+    let resent = ref 0 in
+    let horizon = t.next_order - 1 in
+    let s = ref t.next_deliver in
+    while !resent < 20 && !s <= horizon do
+      (match Hashtbl.find_opt t.slots !s with
+      | Some (id, epoch) ->
+          let ackers = !(ack_set t !s id) in
+          let missing =
+            List.exists
+              (fun m -> (not (Iset.mem m ackers)) && not (Fd.suspected t.fd m))
+              t.members
+          in
+          if missing then begin
+            incr resent;
+            mcast t (Order { gid = t.gid; epoch; seq = !s; id });
+            match Hashtbl.find_opt t.known id with
+            | Some payload -> mcast t (Inject { gid = t.gid; id; payload })
+            | None -> ()
+          end
+      | None -> ());
+      incr s
+    done
+  end
+
+let poll t =
+  if Fd.suspected t.fd (leader t) then adopt_epoch t (t.epoch + 1);
+  anti_entropy t;
+  (* Suspicions shrink the stability quorum, which can make blocked slots
+     deliverable without any new message arriving. *)
+  try_deliver t
+
+let inject t id payload =
+  if not (Hashtbl.mem t.known id) then begin
+    Hashtbl.replace t.known id payload;
+    (* Optimistic delivery: the spontaneous receipt order, before the
+       total order is fixed (KPAS99a). *)
+    t.opt_delivered_rev <- id :: t.opt_delivered_rev;
+    List.iter
+      (fun f -> f ~origin:(fst id) payload)
+      (List.rev t.opt_deliver_cbs);
+    if not (Hashtbl.mem t.delivered_set id) then begin
+      Hashtbl.replace t.pending id ();
+      if is_leader t then begin
+        (* Order it unless some slot already holds it. *)
+        let already =
+          Hashtbl.fold
+            (fun _ (slot_id, _) acc -> acc || slot_id = id)
+            t.slots false
+        in
+        if not already then assign t id
+      end
+    end;
+    try_deliver t
+  end
+
+let broadcast t msg =
+  let id = (t.me, t.next_send) in
+  t.next_send <- t.next_send + 1;
+  Rchan.mcast t.chan ~dsts:t.members (Inject { gid = t.gid; id; payload = msg })
+
+let handle_msg t msg =
+  match msg with
+  | Inject { gid; id; payload } when gid = t.gid -> inject t id payload
+  | Order { gid; epoch; seq; id } when gid = t.gid ->
+      if epoch >= t.epoch then begin
+        adopt_epoch t epoch;
+        if seq >= t.next_deliver then begin
+          (match Hashtbl.find_opt t.slots seq with
+          | Some (old_id, old_epoch) when old_epoch < epoch && old_id <> id ->
+              (* Overridden assignment: the old message must be re-ordered. *)
+              if
+                (not (Hashtbl.mem t.delivered_set old_id)) && fst old_id <> -1
+              then Hashtbl.replace t.pending old_id ()
+          | _ -> ());
+          let accept =
+            match Hashtbl.find_opt t.slots seq with
+            | Some (_, old_epoch) -> epoch >= old_epoch
+            | None -> true
+          in
+          if accept then begin
+            Hashtbl.replace t.slots seq (id, epoch);
+            mcast t (Order_ack { gid = t.gid; seq; id; from = t.me })
+          end
+        end;
+        try_deliver t
+      end
+  | Order_ack { gid; seq; id; from } when gid = t.gid ->
+      let s = ack_set t seq id in
+      s := Iset.add from !s;
+      try_deliver t
+  | Fetch { gid; id } when gid = t.gid -> (
+      match Hashtbl.find_opt t.known id with
+      | Some payload ->
+          (* Reply point-to-point is impossible without the requester id in
+             the message; broadcast the payload instead (idempotent). *)
+          mcast t (Fetch_reply { gid = t.gid; id; payload })
+      | None -> ())
+  | Fetch_reply { gid; id; payload } when gid = t.gid ->
+      if not (Hashtbl.mem t.known id) then Hashtbl.replace t.known id payload;
+      try_deliver t
+  | _ -> ()
+
+let broadcast_from group ~src msg =
+  let seq_ref =
+    match Hashtbl.find_opt group.client_seq src with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace group.client_seq src r;
+        r
+  in
+  let id = (src, !seq_ref) in
+  incr seq_ref;
+  let chan = Rchan.handle group.chan_group ~me:src in
+  Rchan.mcast chan ~dsts:group.g_members
+    (Inject { gid = group.g_gid; id; payload = msg })
+
+let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
+  incr next_gid;
+  let gid = !next_gid in
+  let fd_group =
+    match fd with Some g -> g | None -> Fd.create_group net ~members ()
+  in
+  let chan_group =
+    Rchan.create_group net ~nodes:(members @ clients) ?rto ?passthrough ()
+  in
+  let handles = Hashtbl.create 8 in
+  List.iter
+    (fun me ->
+      let t =
+        {
+          gid;
+          me;
+          net;
+          members;
+          fd = Fd.handle fd_group ~me;
+          chan = Rchan.handle chan_group ~me;
+          epoch = 0;
+          next_send = 0;
+          next_order = 0;
+          next_deliver = 0;
+          known = Hashtbl.create 64;
+          pending = Hashtbl.create 32;
+          slots = Hashtbl.create 64;
+          acks = Hashtbl.create 64;
+          delivered_set = Hashtbl.create 64;
+          delivered_rev = [];
+          noop_seq = 0;
+          deliver_cbs = [];
+          opt_deliver_cbs = [];
+          opt_delivered_rev = [];
+        }
+      in
+      Rchan.on_deliver t.chan (fun ~src msg ->
+          ignore src;
+          handle_msg t msg);
+      ignore
+        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 25)
+           (Network.guard net me (fun () -> poll t)));
+      Hashtbl.replace handles me t)
+    members;
+  { g_gid = gid; g_members = members; chan_group; handles; client_seq = Hashtbl.create 8 }
+
+let handle group ~me = Hashtbl.find group.handles me

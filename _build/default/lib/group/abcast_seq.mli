@@ -1,0 +1,53 @@
+(** Uniform atomic broadcast with a fixed sequencer and epoch-based
+    failover (a ZooKeeper-atomic-broadcast-style design).
+
+    The current leader (the [epoch mod n]-th member) assigns a global
+    sequence number to each injected message; members acknowledge
+    assignments to everybody and deliver a sequence slot only once every
+    trusted member has acknowledged it ({e uniform} delivery). On leader
+    crash the next member re-announces, under a higher epoch, every
+    assignment it knows — because delivered slots were acknowledged by all,
+    the delivered prefix is always re-announced unchanged — plugs the holes
+    it cannot account for with no-ops, and continues numbering.
+
+    Failover is safe under {e accurate} crash detection (the synchronous
+    model of paper §2.1); with wrong suspicions the consensus-based engine
+    ({!Abcast_ct}) must be used instead. This engine exists because it is
+    the latency-optimal common case (2 message delays) and serves as the
+    ablation baseline against consensus-based ordering. *)
+
+type t
+type group
+
+val create_group :
+  Sim.Network.t ->
+  members:int list ->
+  ?clients:int list ->
+  ?fd:Fd.group ->
+  ?rto:Sim.Simtime.t ->
+  ?passthrough:bool ->
+  unit ->
+  group
+
+val handle : group -> me:int -> t
+val broadcast : t -> Sim.Msg.t -> unit
+val broadcast_from : group -> src:int -> Sim.Msg.t -> unit
+val on_deliver : t -> (origin:int -> Sim.Msg.t -> unit) -> unit
+
+(** Optimistic delivery (the optimistic atomic broadcast of [KPAS99a],
+    which the paper's introduction credits with hiding group-communication
+    overheads behind transaction execution): fires as soon as a message is
+    {e received}, in the spontaneous network order, before its place in
+    the total order is fixed. Consumers may start processing
+    optimistically and must confirm or repair when [on_deliver] later
+    fixes the definitive order. *)
+val on_opt_deliver : t -> (origin:int -> Sim.Msg.t -> unit) -> unit
+
+(** Ids (origin, per-origin seq) delivered so far, oldest first (tests). *)
+val delivered : t -> (int * int) list
+
+(** Ids optimistically delivered so far, in spontaneous order. *)
+val opt_delivered : t -> (int * int) list
+
+(** Current leader from this member's point of view (tests). *)
+val leader : t -> int

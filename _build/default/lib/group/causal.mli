@@ -1,0 +1,22 @@
+(** Causally-ordered reliable broadcast using vector clocks: if the
+    broadcast of [m] causally precedes the broadcast of [m'], no member
+    delivers [m'] before [m] (paper §2.2, "from causality ... to total
+    order"). *)
+
+type t
+type group
+
+val create_group :
+  Sim.Network.t ->
+  members:int list ->
+  ?rto:Sim.Simtime.t ->
+  ?passthrough:bool ->
+  unit ->
+  group
+
+val handle : group -> me:int -> t
+val broadcast : t -> Sim.Msg.t -> unit
+val on_deliver : t -> (origin:int -> Sim.Msg.t -> unit) -> unit
+
+(** Current vector clock, indexed like [members] (for tests). *)
+val clock : t -> int array

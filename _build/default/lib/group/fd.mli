@@ -1,0 +1,34 @@
+(** Heartbeat failure detector.
+
+    Every member multicasts heartbeats; a peer silent for [timeout] becomes
+    suspected. A message from a suspected peer removes the suspicion, so in
+    runs where suspicion was premature the detector behaves like an
+    eventually-accurate (◇S-style) detector, which is what the
+    consensus-based protocols require. *)
+
+type t
+type group
+
+val create_group :
+  Sim.Network.t ->
+  members:int list ->
+  ?heartbeat_every:Sim.Simtime.t ->
+  ?timeout:Sim.Simtime.t ->
+  unit ->
+  group
+
+(** The handle of member [me]. Raises [Not_found] for non-members. *)
+val handle : group -> me:int -> t
+
+val me : t -> int
+val members : t -> int list
+val suspected : t -> int -> bool
+
+(** Members not currently suspected (always includes [me]). *)
+val trusted : t -> int list
+
+(** [on_suspect t f] calls [f peer] whenever [peer] becomes suspected. *)
+val on_suspect : t -> (int -> unit) -> unit
+
+(** [on_trust t f] calls [f peer] when a suspicion is revoked. *)
+val on_trust : t -> (int -> unit) -> unit

@@ -1,0 +1,57 @@
+open Sim
+
+type Msg.t += Fifo_msg of { fseq : int; payload : Msg.t }
+
+type t = {
+  rb : Rbcast.t;
+  mutable next_send : int;
+  expected : (int, int) Hashtbl.t; (* origin -> next fseq to deliver *)
+  holdback : (int * int, Msg.t) Hashtbl.t; (* (origin, fseq) -> payload *)
+  mutable deliver_cbs : (origin:int -> Msg.t -> unit) list;
+}
+
+type group = { handles : (int, t) Hashtbl.t }
+
+let broadcast t msg =
+  let fseq = t.next_send in
+  t.next_send <- t.next_send + 1;
+  Rbcast.broadcast t.rb (Fifo_msg { fseq; payload = msg })
+
+let on_deliver t f = t.deliver_cbs <- f :: t.deliver_cbs
+
+let rec drain t origin =
+  let next = Option.value ~default:0 (Hashtbl.find_opt t.expected origin) in
+  match Hashtbl.find_opt t.holdback (origin, next) with
+  | None -> ()
+  | Some payload ->
+      Hashtbl.remove t.holdback (origin, next);
+      Hashtbl.replace t.expected origin (next + 1);
+      List.iter (fun f -> f ~origin payload) (List.rev t.deliver_cbs);
+      drain t origin
+
+let create_group net ~members ?rto ?passthrough () =
+  let rb_group = Rbcast.create_group net ~members ?rto ?passthrough () in
+  let handles = Hashtbl.create 8 in
+  List.iter
+    (fun me ->
+      let rb = Rbcast.handle rb_group ~me in
+      let t =
+        {
+          rb;
+          next_send = 0;
+          expected = Hashtbl.create 8;
+          holdback = Hashtbl.create 32;
+          deliver_cbs = [];
+        }
+      in
+      Rbcast.on_deliver rb (fun ~origin msg ->
+          match msg with
+          | Fifo_msg { fseq; payload } ->
+              Hashtbl.replace t.holdback (origin, fseq) payload;
+              drain t origin
+          | _ -> ());
+      Hashtbl.replace handles me t)
+    members;
+  { handles }
+
+let handle group ~me = Hashtbl.find group.handles me

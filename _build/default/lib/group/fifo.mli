@@ -1,0 +1,17 @@
+(** FIFO-ordered reliable broadcast: if a member broadcasts [m] before [m'],
+    no member delivers [m'] before [m] (paper §3.1). *)
+
+type t
+type group
+
+val create_group :
+  Sim.Network.t ->
+  members:int list ->
+  ?rto:Sim.Simtime.t ->
+  ?passthrough:bool ->
+  unit ->
+  group
+
+val handle : group -> me:int -> t
+val broadcast : t -> Sim.Msg.t -> unit
+val on_deliver : t -> (origin:int -> Sim.Msg.t -> unit) -> unit

@@ -1,0 +1,67 @@
+open Sim
+
+type Msg.t += Rb of { gid : int; origin : int; seq : int; payload : Msg.t }
+
+type t = {
+  gid : int;
+  me : int;
+  members : int list;
+  chan : Rchan.t;
+  mutable next_seq : int;
+  seen : (int * int, unit) Hashtbl.t; (* (origin, seq) already delivered *)
+  mutable deliver_cbs : (origin:int -> Msg.t -> unit) list;
+}
+
+type group = { handles : (int, t) Hashtbl.t }
+
+let next_gid = ref 0
+
+let deliver_local t ~origin ~seq payload =
+  if not (Hashtbl.mem t.seen (origin, seq)) then begin
+    Hashtbl.replace t.seen (origin, seq) ();
+    (* Relay before delivering: if this member crashes mid-protocol the
+       relayed copies preserve agreement among the survivors. *)
+    let others = List.filter (fun p -> p <> t.me) t.members in
+    Rchan.mcast t.chan ~dsts:others
+      (Rb { gid = t.gid; origin; seq; payload });
+    List.iter (fun f -> f ~origin payload) (List.rev t.deliver_cbs)
+  end
+
+let broadcast t msg =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  deliver_local t ~origin:t.me ~seq msg
+
+let on_deliver t f = t.deliver_cbs <- f :: t.deliver_cbs
+let last_seq t = t.next_seq - 1
+
+let create_group net ~members ?rto ?passthrough () =
+  incr next_gid;
+  let gid = !next_gid in
+  let chan_group = Rchan.create_group net ~nodes:members ?rto ?passthrough () in
+  let handles = Hashtbl.create 8 in
+  List.iter
+    (fun me ->
+      let chan = Rchan.handle chan_group ~me in
+      let t =
+        {
+          gid;
+          me;
+          members;
+          chan;
+          next_seq = 0;
+          seen = Hashtbl.create 64;
+          deliver_cbs = [];
+        }
+      in
+      Rchan.on_deliver chan (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Rb { gid = g; origin; seq; payload } when g = gid ->
+              deliver_local t ~origin ~seq payload
+          | _ -> ());
+      Hashtbl.replace handles me t)
+    members;
+  { handles }
+
+let handle group ~me = Hashtbl.find group.handles me

@@ -1,0 +1,27 @@
+(** Reliable broadcast.
+
+    Guarantees {e validity} (a correct sender's message is delivered),
+    {e agreement} (if any correct member delivers a message, all correct
+    members do — achieved by relaying on first delivery) and {e integrity}
+    (at-most-once delivery). No ordering guarantee. *)
+
+type t
+type group
+
+val create_group :
+  Sim.Network.t ->
+  members:int list ->
+  ?rto:Sim.Simtime.t ->
+  ?passthrough:bool ->
+  unit ->
+  group
+
+val handle : group -> me:int -> t
+
+(** Broadcast to the whole group, including the sender itself. *)
+val broadcast : t -> Sim.Msg.t -> unit
+
+val on_deliver : t -> (origin:int -> Sim.Msg.t -> unit) -> unit
+
+(** Per-origin sequence number of the last message broadcast by [me]. *)
+val last_seq : t -> int

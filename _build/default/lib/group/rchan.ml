@@ -1,0 +1,100 @@
+open Sim
+
+type Msg.t +=
+  | Data of { gid : int; src : int; seq : int; payload : Msg.t }
+  | Ack of { gid : int; seq : int }
+
+type t = {
+  net : Network.t;
+  gid : int;
+  me : int;
+  rto : Simtime.t;
+  max_retries : int;
+  passthrough : bool;
+  mutable next_seq : int;
+  (* Sender side: un-acked messages, keyed by our own seq. *)
+  unacked : (int, unit -> unit) Hashtbl.t; (* seq -> cancel retransmit *)
+  (* Receiver side: seqs already delivered, per source. *)
+  seen : (int * int, unit) Hashtbl.t;
+  mutable deliver_cbs : (src:int -> Msg.t -> unit) list;
+}
+
+type group = { handles : (int, t) Hashtbl.t }
+
+let next_gid = ref 0
+
+let deliver t ~src payload =
+  List.iter (fun f -> f ~src payload) (List.rev t.deliver_cbs)
+
+let send t ~dst msg =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let packet = Data { gid = t.gid; src = t.me; seq; payload = msg } in
+  Network.send t.net ~src:t.me ~dst packet;
+  if not t.passthrough then begin
+    let engine = Network.engine t.net in
+    let retries = ref 0 in
+    let cancelled = ref false in
+    let timer = ref None in
+    let rec retransmit () =
+      if (not !cancelled) && !retries < t.max_retries then begin
+        incr retries;
+        Network.send t.net ~src:t.me ~dst packet;
+        timer :=
+          Some (Engine.schedule engine ~after:t.rto (Network.guard t.net t.me retransmit))
+      end
+    in
+    timer :=
+      Some (Engine.schedule engine ~after:t.rto (Network.guard t.net t.me retransmit));
+    Hashtbl.replace t.unacked seq (fun () ->
+        cancelled := true;
+        match !timer with Some tm -> Engine.cancel tm | None -> ())
+  end
+
+let mcast t ~dsts msg = List.iter (fun dst -> send t ~dst msg) dsts
+let on_deliver t f = t.deliver_cbs <- f :: t.deliver_cbs
+
+let create_group net ~nodes ?(rto = Simtime.of_ms 10) ?(max_retries = 100)
+    ?(passthrough = false) () =
+  incr next_gid;
+  let gid = !next_gid in
+  let handles = Hashtbl.create 8 in
+  List.iter
+    (fun me ->
+      let t =
+        {
+          net;
+          gid;
+          me;
+          rto;
+          max_retries;
+          passthrough;
+          next_seq = 0;
+          unacked = Hashtbl.create 32;
+          seen = Hashtbl.create 64;
+          deliver_cbs = [];
+        }
+      in
+      Network.add_handler net me (fun ~src msg ->
+          match msg with
+          | Data { gid = g; src = origin; seq; payload } when g = gid ->
+              if not t.passthrough then
+                Network.send net ~src:me ~dst:src (Ack { gid; seq });
+              if not (Hashtbl.mem t.seen (origin, seq)) then begin
+                Hashtbl.replace t.seen (origin, seq) ();
+                deliver t ~src:origin payload
+              end;
+              true
+          | Ack { gid = g; seq } when g = gid ->
+              (match Hashtbl.find_opt t.unacked seq with
+              | Some cancel ->
+                  cancel ();
+                  Hashtbl.remove t.unacked seq
+              | None -> ());
+              true
+          | _ -> false);
+      Hashtbl.replace handles me t)
+    nodes;
+  { handles }
+
+let handle group ~me = Hashtbl.find group.handles me

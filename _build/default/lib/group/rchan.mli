@@ -1,0 +1,27 @@
+(** Stubborn point-to-point channels: retransmit until acknowledged,
+    deduplicate on delivery.
+
+    All higher group-communication layers send through these channels so
+    that message loss never violates their guarantees. When the run is known
+    to be loss-free, [passthrough:true] skips acks and retransmission, which
+    keeps message counts equal to the protocol-level pattern (used by the
+    benches that reproduce the paper's message diagrams). *)
+
+type t
+type group
+
+val create_group :
+  Sim.Network.t ->
+  nodes:int list ->
+  ?rto:Sim.Simtime.t ->
+  ?max_retries:int ->
+  ?passthrough:bool ->
+  unit ->
+  group
+
+val handle : group -> me:int -> t
+val send : t -> dst:int -> Sim.Msg.t -> unit
+val mcast : t -> dsts:int list -> Sim.Msg.t -> unit
+
+(** Delivery callback; each payload is delivered at most once per receiver. *)
+val on_deliver : t -> (src:int -> Sim.Msg.t -> unit) -> unit

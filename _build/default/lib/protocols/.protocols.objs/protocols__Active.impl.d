@@ -1,0 +1,1 @@
+lib/protocols/active.ml: Common Core Group List Msg Sim Store

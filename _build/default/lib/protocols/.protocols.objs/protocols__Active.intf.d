@@ -1,0 +1,1 @@
+lib/protocols/active.mli: Core Group Sim

@@ -1,0 +1,1 @@
+lib/protocols/certification_based.ml: Common Core Engine Group Hashtbl List Msg Network Sim Simtime Store

@@ -1,0 +1,1 @@
+lib/protocols/certification_based.mli: Core Group Sim

@@ -1,0 +1,1 @@
+lib/protocols/common.ml: Core Engine Hashtbl Int List Msg Network Rng Sim Store

@@ -1,0 +1,1 @@
+lib/protocols/eager_primary.ml: Common Core Group Hashtbl Int List Msg Network Option Sim Simtime Store

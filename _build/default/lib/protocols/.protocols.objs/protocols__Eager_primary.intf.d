@@ -1,0 +1,1 @@
+lib/protocols/eager_primary.mli: Core Sim

@@ -1,0 +1,1 @@
+lib/protocols/eager_ue_abcast.ml: Common Core Group Hashtbl List Msg Network Sim Simtime Store

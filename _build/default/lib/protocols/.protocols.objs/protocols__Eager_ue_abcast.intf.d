@@ -1,0 +1,1 @@
+lib/protocols/eager_ue_abcast.mli: Core Group Sim

@@ -1,0 +1,1 @@
+lib/protocols/eager_ue_locking.ml: Array Common Core Engine Group Hashtbl Int List Msg Network Option Sim Simtime Store

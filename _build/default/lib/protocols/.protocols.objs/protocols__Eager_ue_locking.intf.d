@@ -1,0 +1,1 @@
+lib/protocols/eager_ue_locking.mli: Core Sim

@@ -1,0 +1,1 @@
+lib/protocols/lazy_primary.mli: Core Sim

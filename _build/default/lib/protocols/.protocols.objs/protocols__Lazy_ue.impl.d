@@ -1,0 +1,1 @@
+lib/protocols/lazy_ue.ml: Common Core Engine Group Hashtbl List Msg Network Sim Simtime Store

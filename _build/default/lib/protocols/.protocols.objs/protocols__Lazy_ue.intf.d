@@ -1,0 +1,1 @@
+lib/protocols/lazy_ue.mli: Core Group Sim

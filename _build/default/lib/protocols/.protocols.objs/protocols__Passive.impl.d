@@ -1,0 +1,1 @@
+lib/protocols/passive.ml: Common Core Engine Group Hashtbl List Msg Network Sim Simtime Store

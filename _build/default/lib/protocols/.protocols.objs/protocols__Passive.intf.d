@@ -1,0 +1,1 @@
+lib/protocols/passive.mli: Core Sim

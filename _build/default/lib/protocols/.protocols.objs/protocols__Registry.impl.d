@@ -1,0 +1,1 @@
+lib/protocols/registry.ml: Active Certification_based Core Eager_primary Eager_ue_abcast Eager_ue_locking Lazy_primary Lazy_ue List Passive Semi_active Semi_passive Sim String

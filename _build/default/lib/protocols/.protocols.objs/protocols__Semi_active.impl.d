@@ -1,0 +1,1 @@
+lib/protocols/semi_active.ml: Common Core Engine Group Hashtbl List Msg Network Option Sim Simtime Store String

@@ -1,0 +1,1 @@
+lib/protocols/semi_active.mli: Core Group Sim

@@ -1,0 +1,1 @@
+lib/protocols/semi_passive.ml: Common Core Engine Group Hashtbl List Msg Network Sim Simtime Store

@@ -1,0 +1,1 @@
+lib/protocols/semi_passive.mli: Core Sim

@@ -1,0 +1,109 @@
+open Sim
+
+type Msg.t +=
+  | Req of {
+      cid : int;
+      client : int;
+      request : Store.Operation.request;
+      reply_from : int option; (* None: every replica answers *)
+    }
+  | Local_read of { cid : int; client : int; request : Store.Operation.request }
+
+type config = {
+  abcast_impl : Group.Abcast.impl;
+  passthrough : bool;
+  local_reads : bool;
+}
+
+let default_config =
+  { abcast_impl = Group.Abcast.Sequencer; passthrough = false; local_reads = false }
+
+let info =
+  {
+    Core.Technique.name = "Active replication";
+    community = Distributed_systems;
+    propagation = Eager;
+    ownership = Update_everywhere;
+    requires_determinism = true;
+    failure_transparent = true;
+    strong_consistency = true;
+    expected_phases =
+      [ Request; Server_coordination; Execution; Response ];
+    section = "3.2";
+  }
+
+let create net ~replicas ~clients ?(config = default_config) () =
+  let ctx = Common.make net ~replicas ~clients in
+  let ab =
+    Group.Abcast.create_group net ~members:replicas ~clients
+      ~impl:config.abcast_impl ~passthrough:config.passthrough ()
+  in
+  let chan_group =
+    Group.Rchan.create_group net ~nodes:(replicas @ clients)
+      ~passthrough:config.passthrough ()
+  in
+  List.iter
+    (fun r ->
+      let h = Group.Abcast.handle ab ~me:r in
+      Group.Abcast.on_deliver h (fun ~origin msg ->
+          ignore origin;
+          match msg with
+          | Req { cid; client; request; reply_from } when cid = ctx.Common.cid
+            ->
+              let rid = request.Store.Operation.rid in
+              Common.mark ctx ~rid ~replica:r
+                ~note:"deterministic execution in delivery order"
+                Core.Phase.Execution;
+              let choose = Common.deterministic_choice ~rid in
+              let result =
+                Store.Apply.execute ~choose (Common.store ctx r)
+                  request.Store.Operation.ops
+              in
+              Common.record_once ctx ~rid ~replica:r result;
+              let should_reply =
+                match reply_from with None -> true | Some only -> only = r
+              in
+              if should_reply then
+                Common.send_reply ctx ~replica:r ~client ~rid ~committed:true
+                  ~value:(Common.reply_value result)
+          | _ -> ());
+      let chan = Group.Rchan.handle chan_group ~me:r in
+      Group.Rchan.on_deliver chan (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Local_read { cid; client; request } when cid = ctx.Common.cid ->
+              let rid = request.Store.Operation.rid in
+              Common.mark ctx ~rid ~replica:r
+                ~note:"local read without ordering (sequentially consistent)"
+                Core.Phase.Execution;
+              let result =
+                Store.Apply.execute (Common.store ctx r)
+                  request.Store.Operation.ops
+              in
+              Common.send_reply ctx ~replica:r ~client ~rid ~committed:true
+                ~value:(Common.reply_value result)
+          | _ -> ()))
+    replicas;
+  let local_replica_of client =
+    List.nth ctx.Common.replicas (client mod List.length ctx.Common.replicas)
+  in
+  let submit ~client request cb =
+    Common.register_submit ctx ~client ~request cb;
+    if config.local_reads && not (Store.Operation.request_is_update request)
+    then
+      Group.Rchan.send
+        (Group.Rchan.handle chan_group ~me:client)
+        ~dst:(local_replica_of client)
+        (Local_read { cid = ctx.Common.cid; client; request })
+    else begin
+      Common.mark ctx ~rid:request.Store.Operation.rid
+        ~note:"atomic broadcast to the group (merged with RE)"
+        Core.Phase.Server_coordination;
+      let reply_from =
+        if config.local_reads then Some (local_replica_of client) else None
+      in
+      Group.Abcast.broadcast_from ab ~src:client
+        (Req { cid = ctx.Common.cid; client; request; reply_from })
+    end
+  in
+  Common.instance ctx ~info ~submit

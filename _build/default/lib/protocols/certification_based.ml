@@ -1,0 +1,225 @@
+open Sim
+
+type Msg.t +=
+  | Creq of { cid : int; client : int; request : Store.Operation.request }
+  | Certify of {
+      cid : int;
+      rid : int;
+      client : int;
+      delegate : int;
+      reads : (Store.Operation.key * int) list;
+      writes : (Store.Operation.key * int * int) list;
+      value : int option;
+    }
+
+type config = {
+  abcast_impl : Group.Abcast.impl;
+  client_retry : Simtime.t;
+  passthrough : bool;
+  certify_time : Simtime.t;
+      (* simulated cost of the certification test at each replica *)
+  optimistic : bool;
+      (* start certifying at optimistic delivery (KPAS99a): if the
+         tentative check is still valid when the total order arrives, the
+         transaction terminates without paying [certify_time] again *)
+}
+
+let default_config =
+  {
+    abcast_impl = Group.Abcast.Sequencer;
+    client_retry = Simtime.of_ms 500;
+    passthrough = false;
+    certify_time = Simtime.zero;
+    optimistic = false;
+  }
+
+let info =
+  {
+    Core.Technique.name = "Certification-based replication";
+    community = Databases;
+    propagation = Eager;
+    ownership = Update_everywhere;
+    requires_determinism = false;
+    failure_transparent = false;
+    strong_consistency = true;
+    expected_phases = [ Request; Execution; Agreement_coordination; Response ];
+    section = "5.4.2";
+  }
+
+let abort_registry : (Store.History.t * (unit -> int)) list ref = ref []
+
+let aborts (inst : Core.Technique.instance) =
+  match
+    List.find_opt (fun (h, _) -> h == inst.Core.Technique.history) !abort_registry
+  with
+  | Some (_, f) -> f ()
+  | None -> 0
+
+let create net ~replicas ~clients ?(config = default_config) () =
+  let ctx = Common.make net ~replicas ~clients in
+  let ab =
+    Group.Abcast.create_group net ~members:replicas ~impl:config.abcast_impl
+      ~passthrough:config.passthrough ()
+  in
+  let chan_group =
+    Group.Rchan.create_group net ~nodes:(replicas @ clients)
+      ~passthrough:config.passthrough ()
+  in
+  let certifiers = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace certifiers r
+        (Core.Certification.create (Common.store ctx r)))
+    replicas;
+  abort_registry :=
+    ( ctx.Common.history,
+      fun () ->
+        Core.Certification.aborted (Hashtbl.find certifiers (List.hd replicas)) )
+    :: !abort_registry;
+  let caches = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace caches r (Hashtbl.create 64)) replicas;
+  let engine = Network.engine net in
+  List.iter
+    (fun r ->
+      let cache : (int, bool * int option) Hashtbl.t = Hashtbl.find caches r in
+      let certifier = Hashtbl.find certifiers r in
+      let h = Group.Abcast.handle ab ~me:r in
+      (* The certifier is a serial resource: certifications run one after
+         another in delivery order, each costing [certify_time] unless a
+         still-valid optimistic pre-check already paid for it. *)
+      let busy_until = ref Simtime.zero in
+      let decision_floor = ref Simtime.zero in
+      let commit_count = ref 0 in
+      (* rid -> (completion time of the pre-check, commits seen when it
+         started). The pre-check is valid if no commit intervened. *)
+      let prechecks : (int, Simtime.t * int) Hashtbl.t = Hashtbl.create 32 in
+      if config.optimistic && Simtime.(config.certify_time > Simtime.zero) then
+        Group.Abcast.on_opt_deliver h (fun ~origin:_ msg ->
+            match msg with
+            | Certify { cid; rid; _ } when cid = ctx.Common.cid ->
+                if not (Hashtbl.mem prechecks rid) then begin
+                  let start = Simtime.max (Engine.now engine) !busy_until in
+                  let finish = Simtime.add start config.certify_time in
+                  busy_until := finish;
+                  Hashtbl.replace prechecks rid (finish, !commit_count)
+                end
+            | _ -> ());
+      Group.Abcast.on_deliver h (fun ~origin msg ->
+          ignore origin;
+          match msg with
+          | Certify { cid; rid; client; delegate; reads; writes; value }
+            when cid = ctx.Common.cid ->
+              Common.mark ctx ~rid ~replica:r
+                ~note:"deterministic certification in delivery order"
+                Core.Phase.Agreement_coordination;
+              let now = Engine.now engine in
+              let finish =
+                if Simtime.equal config.certify_time Simtime.zero then now
+                else
+                  match Hashtbl.find_opt prechecks rid with
+                  | Some (done_at, commits_at_start)
+                    when commits_at_start = !commit_count ->
+                      (* Valid optimistic pre-check: only wait for it to
+                         finish if it has not already. *)
+                      Simtime.max now done_at
+                  | _ ->
+                      let start = Simtime.max now !busy_until in
+                      let f = Simtime.add start config.certify_time in
+                      busy_until := f;
+                      f
+              in
+              (* Decisions must land in delivery order even when a fast
+                 pre-checked transaction follows a slow one — the shared
+                 certification order is what keeps the replicas' verdicts
+                 identical. *)
+              let finish = Simtime.max finish !decision_floor in
+              decision_floor := finish;
+              Hashtbl.remove prechecks rid;
+              let decide () =
+                let outcome =
+                  Core.Certification.offer certifier ~reads ~writes
+                in
+                let committed = outcome <> None in
+                if committed then incr commit_count;
+                (match outcome with
+                | Some installed ->
+                    Common.record_once ctx ~rid ~replica:r
+                      {
+                        Store.Apply.reads =
+                          List.map (fun (k, v) -> (k, 0, v)) reads;
+                        writes = installed;
+                      }
+                | None -> ());
+                Hashtbl.replace cache rid (committed, value);
+                if delegate = r then
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed
+                    ~value:(if committed then value else None)
+              in
+              if Simtime.(finish <= now) then decide ()
+              else
+                ignore
+                  (Engine.schedule_at engine ~at:finish
+                     (Network.guard net r decide))
+          | _ -> ());
+      let chan = Group.Rchan.handle chan_group ~me:r in
+      Group.Rchan.on_deliver chan (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Creq { cid; client; request } when cid = ctx.Common.cid -> (
+              let rid = request.Store.Operation.rid in
+              match Hashtbl.find_opt cache rid with
+              | Some (committed, value) ->
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed
+                    ~value
+              | None ->
+                  Common.mark ctx ~rid ~replica:r
+                    ~note:"optimistic execution on shadow copies"
+                    Core.Phase.Execution;
+                  let shadow = Store.Shadow.create (Common.store ctx r) in
+                  Store.Shadow.exec_ops
+                    ~choose:(fun k -> Common.random_choice ctx k)
+                    shadow request.Store.Operation.ops;
+                  let reads =
+                    List.map
+                      (fun (k, _, version) -> (k, version))
+                      (Store.Shadow.reads shadow)
+                  in
+                  let writes =
+                    List.map (fun (k, v) -> (k, v, 0)) (Store.Shadow.writes shadow)
+                  in
+                  Group.Abcast.broadcast h
+                    (Certify
+                       {
+                         cid = ctx.Common.cid;
+                         rid;
+                         client;
+                         delegate = r;
+                         reads;
+                         writes;
+                         value = Store.Shadow.last_read shadow;
+                       }))
+          | _ -> ()))
+    replicas;
+  let submit ~client request cb =
+    Common.register_submit ctx ~client ~request cb;
+    let rid = request.Store.Operation.rid in
+    let local_replica =
+      List.nth ctx.Common.replicas (client mod List.length ctx.Common.replicas)
+    in
+    let preferred () =
+      if Network.alive net local_replica then local_replica
+      else Common.lowest_alive ctx
+    in
+    let send ~dst =
+      Group.Rchan.send
+        (Group.Rchan.handle chan_group ~me:client)
+        ~dst
+        (Creq { cid = ctx.Common.cid; client; request })
+    in
+    send ~dst:(preferred ());
+    Common.retry_until_replied ctx ~rid ~timeout:config.client_retry
+      ~target:(fun ~attempt ->
+        Common.cycling_target ctx ~preferred:(preferred ()) ~attempt)
+      ~send
+  in
+  Common.instance ctx ~info ~submit

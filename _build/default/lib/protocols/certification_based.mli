@@ -1,0 +1,44 @@
+(** Certification-based database replication (paper §5.4.2, [KA98]).
+
+    The transaction executes optimistically on shadow copies at the
+    client's local server — no coordination before or during execution.
+    When it completes, its readset (with versions) and writeset travel in
+    one atomic broadcast; on delivery every replica runs the same
+    deterministic certification test in the same total order
+    ({!Core.Certification}), so all sites commit or abort the transaction
+    identically with no further agreement round. Aborts (certification
+    failures) are the price of optimism under contention. The delegate
+    reports the outcome to the client after certifying — the technique is
+    eager despite its optimism. Observed signature: RE EX AC END. *)
+
+type config = {
+  abcast_impl : Group.Abcast.impl;
+  client_retry : Sim.Simtime.t;
+  passthrough : bool;
+  certify_time : Sim.Simtime.t;
+      (** simulated cost of the certification test at each replica
+          (default 0: certification is instantaneous) *)
+  optimistic : bool;
+      (** process transactions at {e optimistic} delivery ([KPAS99a]): the
+          certification test runs during the ordering protocol; if the
+          spontaneous order matches the definitive one the transaction
+          terminates without paying [certify_time] after delivery. The
+          verdict is always computed against the definitive order, so
+          correctness is unaffected — only latency. *)
+}
+
+val default_config : config
+
+val create :
+  Sim.Network.t ->
+  replicas:int list ->
+  clients:int list ->
+  ?config:config ->
+  unit ->
+  Core.Technique.instance
+
+(** Certification aborts observed at replica 0's certifier (identical at
+    every replica). *)
+val aborts : Core.Technique.instance -> int
+
+val info : Core.Technique.info

@@ -1,0 +1,170 @@
+(** Shared plumbing for the protocol implementations: per-replica stores,
+    client-side reply routing, response de-duplication, phase marking and
+    once-per-transaction history recording. *)
+
+open Sim
+
+type Msg.t +=
+  | Reply of {
+      cid : int; (* common-context id, to separate instances *)
+      rid : int;
+      committed : bool;
+      value : int option;
+      replica : int;
+    }
+
+type ctx = {
+  cid : int;
+  net : Network.t;
+  replicas : int list;
+  clients : int list;
+  phases : Core.Phase_trace.t;
+  history : Store.History.t;
+  stores : (int, Store.Kv.t) Hashtbl.t;
+  reply_cbs : (int, Core.Technique.reply -> unit) Hashtbl.t;
+  recorded : (int, unit) Hashtbl.t;
+  rng : Rng.t;
+}
+
+let next_cid = ref 0
+
+let now ctx = Engine.now (Network.engine ctx.net)
+let store ctx replica = Hashtbl.find ctx.stores replica
+
+let mark ctx ~rid ?replica ?note phase =
+  Core.Phase_trace.mark ctx.phases ~rid ?replica ?note phase (now ctx)
+
+(** Create the context and install the client-side handler that resolves
+    replies: the first reply for a request wins (paper §3.2: "the client
+    typically only waits for the first answer"). *)
+let make net ~replicas ~clients =
+  incr next_cid;
+  let cid = !next_cid in
+  let ctx =
+    {
+      cid;
+      net;
+      replicas;
+      clients;
+      phases = Core.Phase_trace.create ();
+      history = Store.History.create ();
+      stores = Hashtbl.create 8;
+      reply_cbs = Hashtbl.create 64;
+      recorded = Hashtbl.create 64;
+      rng = Rng.split (Engine.rng (Network.engine net));
+    }
+  in
+  List.iter
+    (fun r -> Hashtbl.replace ctx.stores r (Store.Kv.create ()))
+    replicas;
+  List.iter
+    (fun client ->
+      Network.add_handler net client (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Reply { cid = c; rid; committed; value; replica } when c = cid -> (
+              match Hashtbl.find_opt ctx.reply_cbs rid with
+              | None -> true (* duplicate reply: already resolved *)
+              | Some cb ->
+                  Hashtbl.remove ctx.reply_cbs rid;
+                  mark ctx ~rid Core.Phase.Response;
+                  cb
+                    {
+                      Core.Technique.rid;
+                      committed;
+                      value;
+                      at = now ctx;
+                      replica;
+                    };
+                  true)
+          | _ -> false))
+    clients;
+  ctx
+
+(** Register the client's callback and mark the RE phase. *)
+let register_submit ctx ~client ~(request : Store.Operation.request) cb =
+  ignore client;
+  Hashtbl.replace ctx.reply_cbs request.rid cb;
+  mark ctx ~rid:request.rid Core.Phase.Request
+
+(** Send the response back to the client (END happens when it arrives). *)
+let send_reply ctx ~replica ~client ~rid ~committed ~value =
+  Network.send ctx.net ~src:replica ~dst:client
+    (Reply { cid = ctx.cid; rid; committed; value; replica })
+
+(** Record the transaction in the global history exactly once, whichever
+    replica calls first. *)
+let record_once ctx ~rid ~replica (result : Store.Apply.result) =
+  if not (Hashtbl.mem ctx.recorded rid) then begin
+    Hashtbl.replace ctx.recorded rid ();
+    Store.History.add_result ctx.history ~tid:rid ~replica ~at:(now ctx) result
+  end
+
+(** The lowest-numbered replica currently alive — used to pick the replica
+    that records history/replies in symmetric techniques. *)
+let lowest_alive ctx =
+  match List.filter (Network.alive ctx.net) ctx.replicas with
+  | [] -> List.hd ctx.replicas
+  | r :: _ -> r
+
+(** The value a request's reply carries: the last value read, if any
+    (protocols call this with the execution result). *)
+let reply_value (result : Store.Apply.result) =
+  match List.rev result.reads with
+  | (_, v, _) :: _ -> Some v
+  | [] -> None
+
+(** Deterministic resolution of [Write_random] for techniques that require
+    determinism: a hash of the request id and key, so every replica picks
+    the same value without coordination. *)
+let deterministic_choice ~rid key =
+  (rid * 1_000_003) + Hashtbl.hash key mod 997
+
+(** Random resolution for techniques that allow non-determinism. *)
+let random_choice ctx (_key : Store.Operation.key) = Rng.int ctx.rng 1_000_000
+
+(** Client-side resubmission: if [rid] is still unresolved after
+    [timeout], send it again towards [target ~attempt] (re-evaluated each
+    try with a growing attempt counter, so the client works through the
+    replicas instead of hammering one that is alive but unreachable), and
+    keep retrying. This is the paper's §4.1 client behaviour: "clients can
+    then be connected to another database server and re-submit the
+    transaction" — the server failure is {e not} transparent. *)
+let retry_until_replied ctx ~rid ~timeout ~target ~send =
+  let engine = Network.engine ctx.net in
+  let rec arm attempt =
+    ignore
+      (Engine.schedule engine ~after:timeout (fun () ->
+           if Hashtbl.mem ctx.reply_cbs rid then begin
+             mark ctx ~rid ~note:"resubmission after timeout"
+               Core.Phase.Request;
+             send ~dst:(target ~attempt);
+             arm (attempt + 1)
+           end))
+  in
+  arm 1
+
+(** Default retry target: the first retry goes to the (re-evaluated)
+    preferred replica — typically "the lowest replica currently believed
+    alive" — and later retries cycle through the other live replicas, so
+    an alive-but-unreachable server cannot capture the client forever. *)
+let cycling_target ctx ~preferred ~attempt =
+  let alive = List.filter (Network.alive ctx.net) ctx.replicas in
+  let pool = if alive = [] then ctx.replicas else alive in
+  let start =
+    match List.find_index (Int.equal preferred) pool with
+    | Some i -> i
+    | None -> 0
+  in
+  List.nth pool ((start + attempt - 1) mod List.length pool)
+
+(** Build the uniform {!Core.Technique.instance} handle. *)
+let instance ctx ~info ~submit =
+  {
+    Core.Technique.info;
+    submit;
+    replica_store = (fun r -> store ctx r);
+    history = ctx.history;
+    phases = ctx.phases;
+    replicas = ctx.replicas;
+  }

@@ -1,0 +1,130 @@
+open Sim
+
+type Msg.t +=
+  | Areq of { cid : int; client : int; request : Store.Operation.request }
+  | Ordered of {
+      cid : int;
+      client : int;
+      delegate : int;
+      ops : Store.Operation.op list; (* non-determinism resolved *)
+      rid : int;
+    }
+
+type config = {
+  abcast_impl : Group.Abcast.impl;
+  client_retry : Simtime.t;
+  passthrough : bool;
+}
+
+let default_config =
+  {
+    abcast_impl = Group.Abcast.Sequencer;
+    client_retry = Simtime.of_ms 500;
+    passthrough = false;
+  }
+
+let info =
+  {
+    Core.Technique.name = "Eager update everywhere (ABCAST)";
+    community = Databases;
+    propagation = Eager;
+    ownership = Update_everywhere;
+    requires_determinism = false;
+    failure_transparent = false;
+    strong_consistency = true;
+    expected_phases = [ Request; Server_coordination; Execution; Response ];
+    section = "4.4.2";
+  }
+
+let create net ~replicas ~clients ?(config = default_config) () =
+  let ctx = Common.make net ~replicas ~clients in
+  let ab =
+    Group.Abcast.create_group net ~members:replicas ~impl:config.abcast_impl
+      ~passthrough:config.passthrough ()
+  in
+  let chan_group =
+    Group.Rchan.create_group net ~nodes:(replicas @ clients)
+      ~passthrough:config.passthrough ()
+  in
+  let forwarded = Hashtbl.create 64 in
+  (* (replica, rid) -> outcome cache, for client resubmissions *)
+  let caches = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace caches r (Hashtbl.create 64)) replicas;
+  List.iter
+    (fun r ->
+      let cache : (int, bool * int option) Hashtbl.t = Hashtbl.find caches r in
+      let h = Group.Abcast.handle ab ~me:r in
+      Group.Abcast.on_deliver h (fun ~origin msg ->
+          ignore origin;
+          match msg with
+          | Ordered { cid; client; delegate; ops; rid } when cid = ctx.Common.cid
+            ->
+              if not (Hashtbl.mem cache rid) then begin
+                Common.mark ctx ~rid ~replica:r
+                  ~note:"execution in ABCAST delivery order" Core.Phase.Execution;
+                let result =
+                  Store.Apply.execute (Common.store ctx r) ops
+                in
+                Common.record_once ctx ~rid ~replica:r result;
+                let value = Common.reply_value result in
+                Hashtbl.replace cache rid (true, value);
+                if delegate = r then
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed:true
+                    ~value
+              end
+          | _ -> ());
+      let chan = Group.Rchan.handle chan_group ~me:r in
+      Group.Rchan.on_deliver chan (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Areq { cid; client; request } when cid = ctx.Common.cid -> (
+              let rid = request.Store.Operation.rid in
+              match Hashtbl.find_opt cache rid with
+              | Some (committed, value) ->
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed
+                    ~value
+              | None ->
+                  if not (Hashtbl.mem forwarded (r, rid)) then begin
+                    Hashtbl.replace forwarded (r, rid) ();
+                    Common.mark ctx ~rid ~replica:r
+                      ~note:"delegate forwards via atomic broadcast"
+                      Core.Phase.Server_coordination;
+                    (* The delegate resolves non-determinism so all sites
+                       execute identical operations. *)
+                    let ops =
+                      List.map
+                        (function
+                          | Store.Operation.Write_random k ->
+                              Store.Operation.Write
+                                (k, Common.random_choice ctx k)
+                          | op -> op)
+                        request.Store.Operation.ops
+                    in
+                    Group.Abcast.broadcast h
+                      (Ordered { cid = ctx.Common.cid; client; delegate = r; ops; rid })
+                  end)
+          | _ -> ()))
+    replicas;
+  let submit ~client request cb =
+    Common.register_submit ctx ~client ~request cb;
+    let rid = request.Store.Operation.rid in
+    let local_replica =
+      List.nth ctx.Common.replicas (client mod List.length ctx.Common.replicas)
+    in
+    let preferred () =
+      if Network.alive net local_replica then local_replica
+      else Common.lowest_alive ctx
+    in
+    let send ~dst =
+      Group.Rchan.send
+        (Group.Rchan.handle chan_group ~me:client)
+        ~dst
+        (Areq { cid = ctx.Common.cid; client; request })
+    in
+    send ~dst:(preferred ());
+    Common.retry_until_replied ctx ~rid ~timeout:config.client_retry
+      ~target:(fun ~attempt ->
+        Common.cycling_target ctx ~preferred:(preferred ()) ~attempt)
+      ~send
+  in
+  Common.instance ctx ~info ~submit

@@ -1,0 +1,588 @@
+open Sim
+
+type Msg.t +=
+  | Lreq of { cid : int; client : int; request : Store.Operation.request }
+  | Lock_req of {
+      cid : int;
+      rid : int;
+      op_index : int;
+      keys : (Store.Operation.key * Store.Lock_table.mode) list;
+      delegate : int;
+    }
+  | Lock_grant of {
+      cid : int;
+      rid : int;
+      op_index : int;
+      from : int;
+      copies : (Store.Operation.key * (int * int)) list;
+          (* current (value, version) of the locked items at [from] —
+             quorum mode reads the freshest copy among the grants *)
+    }
+  | Lock_refuse of { cid : int; rid : int; from : int }
+  | Exec of {
+      cid : int;
+      rid : int;
+      op_index : int;
+      op : Store.Operation.op;
+      delegate : int;
+    }
+  | Exec_ack of { cid : int; rid : int; op_index : int; from : int }
+  | Complete of {
+      cid : int;
+      rid : int;
+      delegate : int;
+      writes : (Store.Operation.key * int * int) list;
+          (* quorum mode ships the delegate-computed writeset; empty when
+             every site executed the operations itself *)
+    }
+  | Complete_ack of { cid : int; rid : int; from : int }
+  | Txn_abort of { cid : int; rid : int }
+
+type config = {
+  read_one_write_all : bool;
+  lock_quorum : int option;
+  lock_timeout : Simtime.t;
+  client_retry : Simtime.t;
+  passthrough : bool;
+}
+
+let default_config =
+  {
+    read_one_write_all = false;
+    lock_quorum = None;
+    lock_timeout = Simtime.of_ms 250;
+    client_retry = Simtime.of_ms 600;
+    passthrough = false;
+  }
+
+let info =
+  {
+    Core.Technique.name = "Eager update everywhere (distributed locking)";
+    community = Databases;
+    propagation = Eager;
+    ownership = Update_everywhere;
+    requires_determinism = false;
+    failure_transparent = false;
+    strong_consistency = true;
+    expected_phases =
+      [
+        Request; Server_coordination; Execution; Agreement_coordination; Response;
+      ];
+    section = "4.4.1 / 5.4.1";
+  }
+
+(* Keys and lock modes needed by one operation. *)
+let op_locks op =
+  let reads = Store.Operation.read_keys op in
+  let writes = Store.Operation.write_keys op in
+  let write_locks = List.map (fun k -> (k, Store.Lock_table.X)) writes in
+  let read_locks =
+    List.filter_map
+      (fun k ->
+        if List.mem k writes then None else Some (k, Store.Lock_table.S))
+      reads
+  in
+  write_locks @ read_locks
+
+type delegate_txn = {
+  client : int;
+  ops : Store.Operation.op list; (* non-determinism already resolved *)
+  mutable op_index : int;
+  mutable stage : [ `Locking | `Executing | `Completing | `Committing | `Done ];
+  mutable grants : int list; (* replicas that granted the current op *)
+  mutable exec_acks : int list;
+  mutable complete_acks : int list;
+  mutable lock_sites : int list; (* replicas the current op locks at *)
+  mutable exec_sites : int list; (* replicas the current op executes at *)
+  (* Quorum mode: the freshest copies seen among lock grants, the
+     transaction's own writes, and the reads performed. *)
+  q_base : (Store.Operation.key, int * int) Hashtbl.t;
+  q_overlay : (Store.Operation.key, int) Hashtbl.t;
+  mutable q_reads : (Store.Operation.key * int * int) list;
+  mutable q_last_read : int option;
+}
+
+type replica_state = {
+  me : int;
+  locks : Store.Lock_table.t;
+  shadows : (int, Store.Shadow.t) Hashtbl.t; (* rid -> overlay *)
+  executed : (int * int, unit) Hashtbl.t; (* (rid, op_index) done here *)
+  complete : (int, unit) Hashtbl.t; (* all operations processed *)
+  quorum_writes : (int, (Store.Operation.key * int * int) list) Hashtbl.t;
+  delegate_of : (int, int) Hashtbl.t; (* rid -> delegate replica *)
+  cache : (int, bool * int option) Hashtbl.t;
+  txns : (int, delegate_txn) Hashtbl.t; (* delegate side *)
+}
+
+let create net ~replicas ~clients ?(config = default_config) () =
+  let ctx = Common.make net ~replicas ~clients in
+  let fd_group = Group.Fd.create_group net ~members:replicas () in
+  let chan_group =
+    Group.Rchan.create_group net ~nodes:(replicas @ clients)
+      ~passthrough:config.passthrough ()
+  in
+  let states = Hashtbl.create 8 in
+  let state r = Hashtbl.find states r in
+  let chan r = Group.Rchan.handle chan_group ~me:r in
+  let release_txn st rid =
+    Store.Lock_table.release_all st.locks ~txn:rid;
+    Hashtbl.remove st.shadows rid;
+    Hashtbl.remove st.complete rid;
+    Hashtbl.remove st.quorum_writes rid;
+    Hashtbl.remove st.delegate_of rid
+  in
+  let tpc =
+    Core.Two_phase_commit.create_group net ~nodes:replicas
+      ~passthrough:config.passthrough
+      ~participant_timeout:(Simtime.of_ms 300)
+      ~vote:(fun ~me ~txn ->
+        let st = state me in
+        Hashtbl.mem st.complete txn)
+      ~learn:(fun ~me ~txn decision ->
+        let st = state me in
+        (match
+           (decision, Hashtbl.find_opt st.quorum_writes txn,
+            Hashtbl.find_opt st.shadows txn)
+         with
+        | Core.Two_phase_commit.Commit, Some writes, _ ->
+            (* Quorum mode: install the delegate-computed writeset with its
+               explicit versions (stale copies catch up here). *)
+            Store.Apply.apply_writes (Common.store ctx me) writes;
+            if not (Hashtbl.mem st.cache txn) then
+              Hashtbl.replace st.cache txn (true, None)
+        | Core.Two_phase_commit.Commit, None, Some shadow ->
+            let installed = Store.Shadow.install shadow in
+            Hashtbl.replace st.cache txn (true, Store.Shadow.last_read shadow);
+            Common.record_once ctx ~rid:txn ~replica:me
+              (Store.Shadow.result shadow ~installed)
+        | Core.Two_phase_commit.Commit, None, None -> ()
+        | Core.Two_phase_commit.Abort, _, _ ->
+            Hashtbl.replace st.cache txn (false, None));
+        release_txn st txn)
+      ()
+  in
+  (* Delegate side: abort the transaction everywhere. *)
+  let abort_txn r rid =
+    let st = state r in
+    match Hashtbl.find_opt st.txns rid with
+    | None -> ()
+    | Some txn when txn.stage = `Committing || txn.stage = `Done -> ()
+    | Some txn ->
+        txn.stage <- `Done;
+        List.iter
+          (fun dst ->
+            Group.Rchan.send (chan r) ~dst (Txn_abort { cid = ctx.Common.cid; rid }))
+          ctx.Common.replicas;
+        Hashtbl.replace st.cache rid (false, None);
+        Hashtbl.remove st.txns rid;
+        Common.send_reply ctx ~replica:r ~client:txn.client ~rid
+          ~committed:false ~value:None
+  in
+  (* Where the current operation's locks are requested. *)
+  let lock_sites_for r op =
+    if config.read_one_write_all && Store.Operation.write_keys op = [] then
+      [ r ] (* read-one *)
+    else
+      let alive = List.filter (Network.alive net) ctx.Common.replicas in
+      match config.lock_quorum with
+      | None -> alive
+      | Some q ->
+          (* A rotating quorum starting at the delegate: any two quorums of
+             size > n/2 intersect, which is what serialises conflicting
+             transactions. *)
+          let arr = Array.of_list ctx.Common.replicas in
+          let n = Array.length arr in
+          let start =
+            match List.find_index (Int.equal r) ctx.Common.replicas with
+            | Some i -> i
+            | None -> 0
+          in
+          List.init n (fun i -> arr.((start + i) mod n))
+          |> List.filter (Network.alive net)
+          |> List.filteri (fun i _ -> i < q)
+  (* Quorum mode: execute an operation at the delegate against the
+     freshest quorum copies (base) plus the transaction's own writes. *)
+  and exec_quorum_op txn op =
+    let read k =
+      match Hashtbl.find_opt txn.q_overlay k with
+      | Some v ->
+          txn.q_last_read <- Some v;
+          v
+      | None ->
+          let v, version =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt txn.q_base k)
+          in
+          txn.q_reads <- (k, v, version) :: txn.q_reads;
+          txn.q_last_read <- Some v;
+          v
+    in
+    let write k v = Hashtbl.replace txn.q_overlay k v in
+    match op with
+    | Store.Operation.Read k -> ignore (read k)
+    | Store.Operation.Write (k, v) -> write k v
+    | Store.Operation.Incr (k, d) -> write k (read k + d)
+    | Store.Operation.Write_random k -> write k (Common.random_choice ctx k)
+  (* Where it executes: every copy must apply updates. *)
+  and exec_sites_for r op =
+    if config.read_one_write_all && Store.Operation.write_keys op = [] then
+      [ r ]
+    else List.filter (Network.alive net) ctx.Common.replicas
+  in
+  let rec next_op r rid =
+    let st = state r in
+    match Hashtbl.find_opt st.txns rid with
+    | None -> ()
+    | Some txn ->
+        if txn.op_index >= List.length txn.ops then start_complete r rid
+        else begin
+          let op = List.nth txn.ops txn.op_index in
+          txn.stage <- `Locking;
+          txn.grants <- [];
+          txn.exec_acks <- [];
+          txn.lock_sites <- lock_sites_for r op;
+          txn.exec_sites <- exec_sites_for r op;
+          Common.mark ctx ~rid ~replica:r
+            ~note:"lock request at all replicas (2-phase locking)"
+            Core.Phase.Server_coordination;
+          List.iter
+            (fun dst ->
+              Group.Rchan.send (chan r) ~dst
+                (Lock_req
+                   {
+                     cid = ctx.Common.cid;
+                     rid;
+                     op_index = txn.op_index;
+                     keys = op_locks op;
+                     delegate = r;
+                   }))
+            txn.lock_sites
+        end
+  and start_exec r rid =
+    let st = state r in
+    match Hashtbl.find_opt st.txns rid with
+    | None -> ()
+    | Some txn ->
+        txn.stage <- `Executing;
+        let op = List.nth txn.ops txn.op_index in
+        Common.mark ctx ~rid ~replica:r ~note:"operation executes at all sites"
+          Core.Phase.Execution;
+        List.iter
+          (fun dst ->
+            Group.Rchan.send (chan r) ~dst
+              (Exec
+                 {
+                   cid = ctx.Common.cid;
+                   rid;
+                   op_index = txn.op_index;
+                   op;
+                   delegate = r;
+                 }))
+          txn.exec_sites
+  and start_complete r rid =
+    let st = state r in
+    match Hashtbl.find_opt st.txns rid with
+    | None -> ()
+    | Some txn ->
+        (* Synchronisation point: every replica confirms it has processed
+           every operation before the 2PC begins, so no PREPARE can
+           overtake an Exec in flight. *)
+        txn.stage <- `Completing;
+        txn.complete_acks <- [];
+        let writes =
+          if config.lock_quorum = None then []
+          else
+            Hashtbl.fold
+              (fun k v acc ->
+                let _, base_version =
+                  Option.value ~default:(0, 0) (Hashtbl.find_opt txn.q_base k)
+                in
+                (k, v, base_version + 1) :: acc)
+              txn.q_overlay []
+        in
+        List.iter
+          (fun dst ->
+            Group.Rchan.send (chan r) ~dst
+              (Complete { cid = ctx.Common.cid; rid; delegate = r; writes }))
+          (List.filter (Network.alive net) ctx.Common.replicas)
+  and start_commit r rid =
+    let st = state r in
+    match Hashtbl.find_opt st.txns rid with
+    | None -> ()
+    | Some txn ->
+        txn.stage <- `Committing;
+        Common.mark ctx ~rid ~replica:r ~note:"two-phase commit"
+          Core.Phase.Agreement_coordination;
+        let participants = List.filter (Network.alive net) ctx.Common.replicas in
+        Core.Two_phase_commit.start tpc ~coordinator:r ~participants ~txn:rid
+          ~on_complete:(fun decision ->
+            let st = state r in
+            (match Hashtbl.find_opt st.txns rid with
+            | Some txn -> (
+                txn.stage <- `Done;
+                Hashtbl.remove st.txns rid;
+                let committed = decision = Core.Two_phase_commit.Commit in
+                if committed && config.lock_quorum <> None then begin
+                  (* Quorum mode: the delegate knows the reads/writes. *)
+                  let writes =
+                    Hashtbl.fold
+                      (fun k v acc ->
+                        let _, base_version =
+                          Option.value ~default:(0, 0)
+                            (Hashtbl.find_opt txn.q_base k)
+                        in
+                        (k, v, base_version + 1) :: acc)
+                      txn.q_overlay []
+                  in
+                  Common.record_once ctx ~rid ~replica:r
+                    { Store.Apply.reads = List.rev txn.q_reads; writes };
+                  Hashtbl.replace st.cache rid (true, txn.q_last_read);
+                  Common.send_reply ctx ~replica:r ~client:txn.client ~rid
+                    ~committed:true ~value:txn.q_last_read
+                end
+                else
+                  (* The delegate's own learn callback has already fired
+                     (coordinator is a participant), filling the cache. *)
+                  match Hashtbl.find_opt st.cache rid with
+                  | Some (committed, value) ->
+                      Common.send_reply ctx ~replica:r ~client:txn.client ~rid
+                        ~committed ~value
+                  | None ->
+                      Common.send_reply ctx ~replica:r ~client:txn.client ~rid
+                        ~committed ~value:None)
+            | None -> ()))
+  in
+  List.iter
+    (fun r ->
+      let st =
+        {
+          me = r;
+          locks = Store.Lock_table.create ();
+          shadows = Hashtbl.create 16;
+          executed = Hashtbl.create 64;
+          complete = Hashtbl.create 16;
+          quorum_writes = Hashtbl.create 16;
+          delegate_of = Hashtbl.create 16;
+          cache = Hashtbl.create 64;
+          txns = Hashtbl.create 8;
+        }
+      in
+      Hashtbl.replace states r st;
+      let fd = Group.Fd.handle fd_group ~me:r in
+      (* Clean up transactions whose delegate crashed, so their locks do
+         not block the system forever. *)
+      ignore
+        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 100)
+           (Network.guard net r (fun () ->
+                let stale =
+                  Hashtbl.fold
+                    (fun rid delegate acc ->
+                      if delegate <> r && Group.Fd.suspected fd delegate then
+                        rid :: acc
+                      else acc)
+                    st.delegate_of []
+                in
+                List.iter (fun rid -> release_txn st rid) stale)));
+      Group.Rchan.on_deliver (chan r) (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Lreq { cid; client; request } when cid = ctx.Common.cid -> (
+              let rid = request.Store.Operation.rid in
+              match Hashtbl.find_opt st.cache rid with
+              | Some (committed, value) ->
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed
+                    ~value
+              | None ->
+                  if not (Hashtbl.mem st.txns rid) then begin
+                    (* The delegate resolves non-determinism up front so all
+                       sites execute identical operations. *)
+                    let ops =
+                      List.map
+                        (function
+                          | Store.Operation.Write_random k ->
+                              Store.Operation.Write (k, Common.random_choice ctx k)
+                          | op -> op)
+                        request.Store.Operation.ops
+                    in
+                    let txn =
+                      {
+                        client;
+                        ops;
+                        op_index = 0;
+                        stage = `Locking;
+                        grants = [];
+                        exec_acks = [];
+                        complete_acks = [];
+                        lock_sites = [];
+                        exec_sites = [];
+                        q_base = Hashtbl.create 8;
+                        q_overlay = Hashtbl.create 8;
+                        q_reads = [];
+                        q_last_read = None;
+                      }
+                    in
+                    Hashtbl.replace st.txns rid txn;
+                    (* Lock timeout resolves distributed deadlocks. *)
+                    ignore
+                      (Engine.schedule (Network.engine net)
+                         ~after:config.lock_timeout
+                         (Network.guard net r (fun () ->
+                              match Hashtbl.find_opt st.txns rid with
+                              | Some t
+                                when t.stage = `Locking || t.stage = `Executing
+                                ->
+                                  abort_txn r rid
+                              | _ -> ())));
+                    next_op r rid
+                  end)
+          | Lock_req { cid; rid; op_index; keys; delegate } when cid = ctx.Common.cid
+            ->
+              if not (Hashtbl.mem st.cache rid) then begin
+                Hashtbl.replace st.delegate_of rid delegate;
+                let total = List.length keys in
+                let send_grant () =
+                  let copies =
+                    List.map
+                      (fun (key, _) ->
+                        (key, Store.Kv.read (Common.store ctx r) key))
+                      keys
+                  in
+                  Group.Rchan.send (chan r) ~dst:delegate
+                    (Lock_grant
+                       { cid = ctx.Common.cid; rid; op_index; from = r; copies })
+                in
+                if total = 0 then send_grant ()
+                else begin
+                  let granted = ref 0 in
+                  let refused = ref false in
+                  List.iter
+                    (fun (key, mode) ->
+                      if not !refused then
+                        match
+                          Store.Lock_table.acquire st.locks ~txn:rid ~key mode
+                            ~granted:(fun () ->
+                              incr granted;
+                              if !granted = total then send_grant ())
+                        with
+                        | `Granted | `Waiting -> ()
+                        | `Deadlock ->
+                            refused := true;
+                            Group.Rchan.send (chan r) ~dst:delegate
+                              (Lock_refuse { cid = ctx.Common.cid; rid; from = r }))
+                    keys
+                end
+              end
+          | Lock_grant { cid; rid; op_index; from; copies }
+            when cid = ctx.Common.cid -> (
+              match Hashtbl.find_opt st.txns rid with
+              | Some txn when txn.stage = `Locking && txn.op_index = op_index ->
+                  if not (List.mem from txn.grants) then begin
+                    txn.grants <- from :: txn.grants;
+                    (* Keep the freshest copy of each item seen so far. *)
+                    List.iter
+                      (fun (k, (v, version)) ->
+                        match Hashtbl.find_opt txn.q_base k with
+                        | Some (_, cur) when cur >= version -> ()
+                        | _ -> Hashtbl.replace txn.q_base k (v, version))
+                      copies
+                  end;
+                  if List.for_all (fun s -> List.mem s txn.grants) txn.lock_sites
+                  then
+                    if config.lock_quorum <> None then begin
+                      (* Quorum mode: the delegate executes against the
+                         freshest quorum copies; other sites only install
+                         the writeset at commit. *)
+                      Common.mark ctx ~rid ~replica:r
+                        ~note:"operation executes on the freshest quorum copy"
+                        Core.Phase.Execution;
+                      exec_quorum_op txn (List.nth txn.ops txn.op_index);
+                      txn.op_index <- txn.op_index + 1;
+                      next_op r rid
+                    end
+                    else start_exec r rid
+              | _ -> ())
+          | Lock_refuse { cid; rid; from = _ } when cid = ctx.Common.cid ->
+              abort_txn r rid
+          | Exec { cid; rid; op_index; op; delegate } when cid = ctx.Common.cid
+            ->
+              if not (Hashtbl.mem st.cache rid) then begin
+                Hashtbl.replace st.delegate_of rid delegate;
+                let shadow =
+                  match Hashtbl.find_opt st.shadows rid with
+                  | Some s -> s
+                  | None ->
+                      let s = Store.Shadow.create (Common.store ctx r) in
+                      Hashtbl.replace st.shadows rid s;
+                      s
+                in
+                (* The delegate finishes each round before starting the
+                   next, so arrival order equals operation order; dedup
+                   guards against retransmissions. *)
+                if not (Hashtbl.mem st.executed (rid, op_index)) then begin
+                  Hashtbl.replace st.executed (rid, op_index) ();
+                  Store.Shadow.exec_op shadow op
+                end;
+                Group.Rchan.send (chan r) ~dst:delegate
+                  (Exec_ack { cid = ctx.Common.cid; rid; op_index; from = r })
+              end
+          | Exec_ack { cid; rid; op_index; from } when cid = ctx.Common.cid -> (
+              match Hashtbl.find_opt st.txns rid with
+              | Some txn when txn.stage = `Executing && txn.op_index = op_index
+                ->
+                  if not (List.mem from txn.exec_acks) then
+                    txn.exec_acks <- from :: txn.exec_acks;
+                  if
+                    List.for_all
+                      (fun s -> List.mem s txn.exec_acks)
+                      txn.exec_sites
+                  then begin
+                    txn.op_index <- txn.op_index + 1;
+                    next_op r rid
+                  end
+              | _ -> ())
+          | Complete { cid; rid; delegate; writes } when cid = ctx.Common.cid ->
+              if not (Hashtbl.mem st.cache rid) then begin
+                Hashtbl.replace st.complete rid ();
+                if writes <> [] then Hashtbl.replace st.quorum_writes rid writes;
+                Hashtbl.replace st.delegate_of rid delegate
+              end;
+              Group.Rchan.send (chan r) ~dst:delegate
+                (Complete_ack { cid = ctx.Common.cid; rid; from = r })
+          | Complete_ack { cid; rid; from } when cid = ctx.Common.cid -> (
+              match Hashtbl.find_opt st.txns rid with
+              | Some txn when txn.stage = `Completing ->
+                  if not (List.mem from txn.complete_acks) then
+                    txn.complete_acks <- from :: txn.complete_acks;
+                  let needed =
+                    List.filter (Network.alive net) ctx.Common.replicas
+                  in
+                  if
+                    List.for_all (fun s -> List.mem s txn.complete_acks) needed
+                  then start_commit r rid
+              | _ -> ())
+          | Txn_abort { cid; rid } when cid = ctx.Common.cid ->
+              release_txn st rid
+          | _ -> ()))
+    replicas;
+  let submit ~client request cb =
+    Common.register_submit ctx ~client ~request cb;
+    let rid = request.Store.Operation.rid in
+    let local_replica =
+      List.nth ctx.Common.replicas (client mod List.length ctx.Common.replicas)
+    in
+    let preferred () =
+      if Network.alive net local_replica then local_replica
+      else Common.lowest_alive ctx
+    in
+    let send ~dst =
+      Group.Rchan.send
+        (Group.Rchan.handle chan_group ~me:client)
+        ~dst
+        (Lreq { cid = ctx.Common.cid; client; request })
+    in
+    send ~dst:(preferred ());
+    Common.retry_until_replied ctx ~rid ~timeout:config.client_retry
+      ~target:(fun ~attempt ->
+        Common.cycling_target ctx ~preferred:(preferred ()) ~attempt)
+      ~send
+  in
+  Common.instance ctx ~info ~submit

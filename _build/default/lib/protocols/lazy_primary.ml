@@ -1,0 +1,145 @@
+open Sim
+
+type Msg.t +=
+  | Lpreq of { cid : int; client : int; request : Store.Operation.request }
+  | Refresh of {
+      cid : int;
+      rid : int;
+      writes : (Store.Operation.key * int * int) list;
+    }
+
+type config = {
+  client_retry : Simtime.t;
+  propagation_delay : Simtime.t;
+  passthrough : bool;
+}
+
+let default_config =
+  {
+    client_retry = Simtime.of_ms 400;
+    propagation_delay = Simtime.of_ms 5;
+    passthrough = false;
+  }
+
+let info =
+  {
+    Core.Technique.name = "Lazy primary copy";
+    community = Databases;
+    propagation = Lazy;
+    ownership = Primary;
+    requires_determinism = false;
+    failure_transparent = false;
+    strong_consistency = false;
+    expected_phases = [ Request; Execution; Response; Agreement_coordination ];
+    section = "4.5 / 5.3";
+  }
+
+let create net ~replicas ~clients ?(config = default_config) () =
+  let ctx = Common.make net ~replicas ~clients in
+  let fifo_group =
+    Group.Fifo.create_group net ~members:replicas
+      ~passthrough:config.passthrough ()
+  in
+  let chan_group =
+    Group.Rchan.create_group net ~nodes:(replicas @ clients)
+      ~passthrough:config.passthrough ()
+  in
+  let caches = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace caches r (Hashtbl.create 64)) replicas;
+  let is_primary r = Common.lowest_alive ctx = r in
+  List.iter
+    (fun r ->
+      let cache : (int, bool * int option) Hashtbl.t = Hashtbl.find caches r in
+      let fifo = Group.Fifo.handle fifo_group ~me:r in
+      Group.Fifo.on_deliver fifo (fun ~origin msg ->
+          match msg with
+          | Refresh { cid; rid; writes } when cid = ctx.Common.cid ->
+              if origin <> r then begin
+                Common.mark ctx ~rid ~replica:r
+                  ~note:"secondary applies propagated changes"
+                  Core.Phase.Agreement_coordination;
+                Store.Apply.apply_writes (Common.store ctx r) writes;
+                Hashtbl.replace cache rid (true, None)
+              end
+          | _ -> ());
+      let chan = Group.Rchan.handle chan_group ~me:r in
+      Group.Rchan.on_deliver chan (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Lpreq { cid; client; request } when cid = ctx.Common.cid -> (
+              let rid = request.Store.Operation.rid in
+              match Hashtbl.find_opt cache rid with
+              | Some (committed, value) ->
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed
+                    ~value
+              | None ->
+                  if not (Store.Operation.request_is_update request) then begin
+                    (* Local reads: response time is the whole point of
+                       lazy replication — and the data may be stale. *)
+                    Common.mark ctx ~rid ~replica:r
+                      ~note:"local read (possibly stale)" Core.Phase.Execution;
+                    let result =
+                      Store.Apply.execute (Common.store ctx r)
+                        request.Store.Operation.ops
+                    in
+                    Common.record_once ctx ~rid ~replica:r result;
+                    Common.send_reply ctx ~replica:r ~client ~rid
+                      ~committed:true ~value:(Common.reply_value result)
+                  end
+                  else if is_primary r then begin
+                    Common.mark ctx ~rid ~replica:r
+                      ~note:"primary executes and commits locally"
+                      Core.Phase.Execution;
+                    let choose k = Common.random_choice ctx k in
+                    let result =
+                      Store.Apply.execute ~choose (Common.store ctx r)
+                        request.Store.Operation.ops
+                    in
+                    let value = Common.reply_value result in
+                    Hashtbl.replace cache rid (true, value);
+                    Common.record_once ctx ~rid ~replica:r result;
+                    (* Respond first ... *)
+                    Common.send_reply ctx ~replica:r ~client ~rid
+                      ~committed:true ~value;
+                    (* ... and propagate afterwards (END before AC). *)
+                    ignore
+                      (Engine.schedule (Network.engine net)
+                         ~after:config.propagation_delay
+                         (Network.guard net r (fun () ->
+                              Common.mark ctx ~rid ~replica:r
+                                ~note:"change propagation after commit"
+                                Core.Phase.Agreement_coordination;
+                              Group.Fifo.broadcast fifo
+                                (Refresh
+                                   {
+                                     cid = ctx.Common.cid;
+                                     rid;
+                                     writes = result.Store.Apply.writes;
+                                   }))))
+                  end)
+          | _ -> ()))
+    replicas;
+  let submit ~client request cb =
+    Common.register_submit ctx ~client ~request cb;
+    let rid = request.Store.Operation.rid in
+    let local_replica =
+      List.nth ctx.Common.replicas (client mod List.length ctx.Common.replicas)
+    in
+    let read_only = not (Store.Operation.request_is_update request) in
+    let preferred () =
+      if read_only && Network.alive net local_replica then local_replica
+      else Common.lowest_alive ctx
+    in
+    let send ~dst =
+      Group.Rchan.send
+        (Group.Rchan.handle chan_group ~me:client)
+        ~dst
+        (Lpreq { cid = ctx.Common.cid; client; request })
+    in
+    send ~dst:(preferred ());
+    Common.retry_until_replied ctx ~rid ~timeout:config.client_retry
+      ~target:(fun ~attempt ->
+        Common.cycling_target ctx ~preferred:(preferred ()) ~attempt)
+      ~send
+  in
+  Common.instance ctx ~info ~submit

@@ -1,0 +1,150 @@
+open Sim
+
+type Msg.t +=
+  | Ureq of { cid : int; client : int; request : Store.Operation.request }
+  | Writeset of {
+      cid : int;
+      rid : int;
+      writes : (Store.Operation.key * int * int) list;
+    }
+
+type config = {
+  abcast_impl : Group.Abcast.impl;
+  client_retry : Simtime.t;
+  propagation_delay : Simtime.t;
+  passthrough : bool;
+}
+
+let default_config =
+  {
+    abcast_impl = Group.Abcast.Sequencer;
+    client_retry = Simtime.of_ms 400;
+    propagation_delay = Simtime.of_ms 5;
+    passthrough = false;
+  }
+
+let info =
+  {
+    Core.Technique.name = "Lazy update everywhere";
+    community = Databases;
+    propagation = Lazy;
+    ownership = Update_everywhere;
+    requires_determinism = false;
+    failure_transparent = false;
+    strong_consistency = false;
+    expected_phases = [ Request; Execution; Response; Agreement_coordination ];
+    section = "4.6";
+  }
+
+(* Conflict counters are exposed through a side table keyed by the
+   instance's history (a stable identity for the instance). *)
+let conflict_registry : (Store.History.t * (unit -> int)) list ref = ref []
+
+let conflicts (inst : Core.Technique.instance) =
+  match
+    List.find_opt (fun (h, _) -> h == inst.Core.Technique.history) !conflict_registry
+  with
+  | Some (_, f) -> f ()
+  | None -> 0
+
+let create net ~replicas ~clients ?(config = default_config) () =
+  let ctx = Common.make net ~replicas ~clients in
+  let ab =
+    Group.Abcast.create_group net ~members:replicas ~impl:config.abcast_impl
+      ~passthrough:config.passthrough ()
+  in
+  let chan_group =
+    Group.Rchan.create_group net ~nodes:(replicas @ clients)
+      ~passthrough:config.passthrough ()
+  in
+  let recons = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace recons r (Core.Reconciliation.create (Common.store ctx r)))
+    replicas;
+  conflict_registry :=
+    ( ctx.Common.history,
+      fun () ->
+        Hashtbl.fold
+          (fun _ rc acc -> acc + Core.Reconciliation.conflicts rc)
+          recons 0 )
+    :: !conflict_registry;
+  let caches = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace caches r (Hashtbl.create 64)) replicas;
+  List.iter
+    (fun r ->
+      let cache : (int, bool * int option) Hashtbl.t = Hashtbl.find caches r in
+      let recon = Hashtbl.find recons r in
+      let h = Group.Abcast.handle ab ~me:r in
+      Group.Abcast.on_deliver h (fun ~origin msg ->
+          ignore origin;
+          match msg with
+          | Writeset { cid; rid; writes } when cid = ctx.Common.cid ->
+              Common.mark ctx ~rid ~replica:r
+                ~note:"reconciliation in after-commit order"
+                Core.Phase.Agreement_coordination;
+              ignore (Core.Reconciliation.deliver recon ~tid:rid ~writes)
+          | _ -> ());
+      let chan = Group.Rchan.handle chan_group ~me:r in
+      Group.Rchan.on_deliver chan (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Ureq { cid; client; request } when cid = ctx.Common.cid -> (
+              let rid = request.Store.Operation.rid in
+              match Hashtbl.find_opt cache rid with
+              | Some (committed, value) ->
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed
+                    ~value
+              | None ->
+                  Common.mark ctx ~rid ~replica:r
+                    ~note:"local execution and commit" Core.Phase.Execution;
+                  let choose k = Common.random_choice ctx k in
+                  let result =
+                    Store.Apply.execute ~choose (Common.store ctx r)
+                      request.Store.Operation.ops
+                  in
+                  let value = Common.reply_value result in
+                  Hashtbl.replace cache rid (true, value);
+                  Common.record_once ctx ~rid ~replica:r result;
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed:true
+                    ~value;
+                  if result.Store.Apply.writes <> [] then begin
+                    Core.Reconciliation.local_commit recon ~tid:rid
+                      ~writes:result.Store.Apply.writes;
+                    ignore
+                      (Engine.schedule (Network.engine net)
+                         ~after:config.propagation_delay
+                         (Network.guard net r (fun () ->
+                              Group.Abcast.broadcast h
+                                (Writeset
+                                   {
+                                     cid = ctx.Common.cid;
+                                     rid;
+                                     writes = result.Store.Apply.writes;
+                                   }))))
+                  end)
+          | _ -> ()))
+    replicas;
+  let submit ~client request cb =
+    Common.register_submit ctx ~client ~request cb;
+    let rid = request.Store.Operation.rid in
+    let local_replica =
+      List.nth ctx.Common.replicas (client mod List.length ctx.Common.replicas)
+    in
+    let preferred () =
+      if Network.alive net local_replica then local_replica
+      else Common.lowest_alive ctx
+    in
+    let send ~dst =
+      Group.Rchan.send
+        (Group.Rchan.handle chan_group ~me:client)
+        ~dst
+        (Ureq { cid = ctx.Common.cid; client; request })
+    in
+    send ~dst:(preferred ());
+    Common.retry_until_replied ctx ~rid ~timeout:config.client_retry
+      ~target:(fun ~attempt ->
+        Common.cycling_target ctx ~preferred:(preferred ()) ~attempt)
+      ~send
+  in
+  Common.instance ctx ~info ~submit

@@ -1,0 +1,185 @@
+open Sim
+
+type Msg.t +=
+  | Preq of { cid : int; client : int; request : Store.Operation.request }
+  | Update of {
+      cid : int;
+      client : int;
+      rid : int;
+      result : Store.Apply.result;
+      value : int option;
+    }
+  | Sync of {
+      cid : int;
+      entries : (Store.Operation.key * (int * int)) list;
+      cache_entries : (int * (bool * int option)) list;
+    }
+
+type config = { client_retry : Simtime.t; passthrough : bool }
+
+let default_config =
+  { client_retry = Simtime.of_ms 400; passthrough = false }
+
+let info =
+  {
+    Core.Technique.name = "Passive replication";
+    community = Distributed_systems;
+    propagation = Eager;
+    ownership = Primary;
+    requires_determinism = false;
+    failure_transparent = false;
+    strong_consistency = true;
+    expected_phases = [ Request; Execution; Agreement_coordination; Response ];
+    section = "3.3";
+  }
+
+type replica_state = {
+  me : int;
+  vs : Group.Vscast.t;
+  (* Results of requests whose update went stable, for resubmissions. *)
+  cache : (int, bool * int option) Hashtbl.t;
+  executing : (int, unit) Hashtbl.t;
+      (* requests executed here, update not yet stable *)
+  mutable prev_members : int list; (* membership of the last view we saw *)
+  mutable last_view_id : int;
+  mutable synced : bool; (* false between a rejoin jump and state transfer *)
+}
+
+let create net ~replicas ~clients ?(config = default_config) () =
+  let ctx = Common.make net ~replicas ~clients in
+  let vs_group = Group.Vscast.create_group net ~members:replicas ~passthrough:config.passthrough () in
+  let chan_group =
+    (* Stubborn client->primary channel so requests survive message loss. *)
+    Group.Rchan.create_group net ~nodes:(replicas @ clients)
+      ~passthrough:config.passthrough ()
+  in
+  let states = Hashtbl.create 8 in
+  let is_primary st =
+    st.synced
+    &&
+    match (Group.Vscast.current_view st.vs).Group.View.members with
+    | [] -> false
+    | p :: _ -> p = st.me
+  in
+  List.iter
+    (fun r ->
+      let vs = Group.Vscast.handle vs_group ~me:r in
+      let st =
+        {
+          me = r;
+          vs;
+          cache = Hashtbl.create 32;
+          executing = Hashtbl.create 8;
+          prev_members = replicas;
+          last_view_id = 0;
+          synced = true;
+        }
+      in
+      Hashtbl.replace states r st;
+      (* Recovery: an excluded replica asks to rejoin; when a view readmits
+         it, every surviving member (locally: anyone whose previous view is
+         the new view's predecessor) sends it the database and reply cache,
+         so it becomes a valid hot standby again. A member that {e jumped}
+         views (view id advanced by more than one) is itself the stale
+         joiner: it must not volunteer state, and it defers any claim to
+         primaryship until a state transfer arrives. *)
+      Group.Vscast.on_view_change vs (fun view ->
+          let jumped = view.Group.View.id > st.last_view_id + 1 in
+          st.last_view_id <- view.Group.View.id;
+          let joiners =
+            List.filter
+              (fun m -> not (List.mem m st.prev_members))
+              view.Group.View.members
+          in
+          st.prev_members <- view.Group.View.members;
+          if jumped then st.synced <- false
+          else if joiners <> [] then begin
+            let chan = Group.Rchan.handle chan_group ~me:r in
+            let entries = Store.Kv.snapshot (Common.store ctx r) in
+            let cache_entries =
+              Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) st.cache []
+            in
+            List.iter
+              (fun dst ->
+                Group.Rchan.send chan ~dst
+                  (Sync { cid = ctx.Common.cid; entries; cache_entries }))
+              joiners
+          end);
+      ignore
+        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 150)
+           (Network.guard net r (fun () ->
+                if not (Group.Vscast.in_view vs) then
+                  Group.Vscast.request_join vs)));
+      (* Backups (and the primary itself) learn updates through VSCAST. *)
+      Group.Vscast.on_deliver vs (fun ~origin msg ->
+          match msg with
+          | Update { cid; client; rid; result; value } when cid = ctx.Common.cid
+            ->
+              Common.mark ctx ~rid ~replica:r
+                ~note:"update stable via VSCAST" Core.Phase.Agreement_coordination;
+              if origin <> r then
+                (* Backup: apply the primary's writeset. *)
+                Store.Apply.apply_writes (Common.store ctx r)
+                  result.Store.Apply.writes;
+              Hashtbl.replace st.cache rid (true, value);
+              Hashtbl.remove st.executing rid;
+              if origin = r then begin
+                (* We executed it: record and answer the client. *)
+                Common.record_once ctx ~rid ~replica:r result;
+                Common.send_reply ctx ~replica:r ~client ~rid ~committed:true
+                  ~value
+              end
+          | _ -> ());
+      let chan = Group.Rchan.handle chan_group ~me:r in
+      Group.Rchan.on_deliver chan (fun ~src msg ->
+          ignore src;
+          match msg with
+          | Sync { cid; entries; cache_entries } when cid = ctx.Common.cid ->
+              List.iter
+                (fun (k, (value, version)) ->
+                  Store.Kv.install (Common.store ctx r) k ~value ~version)
+                entries;
+              List.iter
+                (fun (rid, outcome) ->
+                  if not (Hashtbl.mem st.cache rid) then
+                    Hashtbl.replace st.cache rid outcome)
+                cache_entries;
+              st.synced <- true
+          | Preq { cid; client; request } when cid = ctx.Common.cid -> (
+              let rid = request.Store.Operation.rid in
+              match Hashtbl.find_opt st.cache rid with
+              | Some (committed, value) ->
+                  (* Resubmission of an already-stable request. *)
+                  Common.send_reply ctx ~replica:r ~client ~rid ~committed
+                    ~value
+              | None ->
+                  if is_primary st && not (Hashtbl.mem st.executing rid) then begin
+                    Hashtbl.replace st.executing rid ();
+                    Common.mark ctx ~rid ~replica:r
+                      ~note:"primary executes (non-determinism allowed)"
+                      Core.Phase.Execution;
+                    let choose _ = Common.random_choice ctx "" in
+                    let result =
+                      Store.Apply.execute ~choose (Common.store ctx r)
+                        request.Store.Operation.ops
+                    in
+                    let value = Common.reply_value result in
+                    Group.Vscast.broadcast vs
+                      (Update { cid = ctx.Common.cid; client; rid; result; value })
+                  end)
+          | _ -> ()))
+    replicas;
+  let submit ~client request cb =
+    Common.register_submit ctx ~client ~request cb;
+    let rid = request.Store.Operation.rid in
+    let chan = Group.Rchan.handle chan_group ~me:client in
+    let send ~dst =
+      Group.Rchan.send chan ~dst (Preq { cid = ctx.Common.cid; client; request })
+    in
+    let preferred = Common.lowest_alive ctx in
+    send ~dst:preferred;
+    Common.retry_until_replied ctx ~rid ~timeout:config.client_retry
+      ~target:(fun ~attempt -> Common.cycling_target ctx ~preferred ~attempt)
+      ~send
+  in
+  Common.instance ctx ~info ~submit

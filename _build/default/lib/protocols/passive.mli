@@ -1,0 +1,26 @@
+(** Passive replication — primary-backup (paper §3.3, [GS97]).
+
+    Clients send requests to the primary, which executes them (possibly
+    non-deterministically) and propagates the resulting update to the
+    backups with a View Synchronous Broadcast; it replies once the update
+    is stable. On a primary crash the group installs a new view, the next
+    member becomes primary, and clients re-send after a timeout —
+    duplicate resubmissions are absorbed by a per-request result cache, so
+    each request takes effect exactly once. Figure 16 row: RE EX AC END. *)
+
+type config = {
+  client_retry : Sim.Simtime.t;  (** resubmission timeout *)
+  passthrough : bool;
+}
+
+val default_config : config
+
+val create :
+  Sim.Network.t ->
+  replicas:int list ->
+  clients:int list ->
+  ?config:config ->
+  unit ->
+  Core.Technique.instance
+
+val info : Core.Technique.info

@@ -1,0 +1,54 @@
+(** All implemented techniques, for the benches, the CLI and the tests
+    that sweep the whole taxonomy. Order follows Figure 16. *)
+
+type factory =
+  Sim.Network.t -> replicas:int list -> clients:int list -> Core.Technique.instance
+
+(** [all] lists (key, info, factory) with default configurations. The key
+    is the CLI/bench identifier. *)
+let all : (string * Core.Technique.info * factory) list =
+  [
+    ( "active",
+      Active.info,
+      fun net ~replicas ~clients -> Active.create net ~replicas ~clients () );
+    ( "passive",
+      Passive.info,
+      fun net ~replicas ~clients -> Passive.create net ~replicas ~clients () );
+    ( "semi-active",
+      Semi_active.info,
+      fun net ~replicas ~clients -> Semi_active.create net ~replicas ~clients ()
+    );
+    ( "semi-passive",
+      Semi_passive.info,
+      fun net ~replicas ~clients ->
+        Semi_passive.create net ~replicas ~clients () );
+    ( "eager-primary",
+      Eager_primary.info,
+      fun net ~replicas ~clients ->
+        Eager_primary.create net ~replicas ~clients () );
+    ( "eager-ue-locking",
+      Eager_ue_locking.info,
+      fun net ~replicas ~clients ->
+        Eager_ue_locking.create net ~replicas ~clients () );
+    ( "eager-ue-abcast",
+      Eager_ue_abcast.info,
+      fun net ~replicas ~clients ->
+        Eager_ue_abcast.create net ~replicas ~clients () );
+    ( "lazy-primary",
+      Lazy_primary.info,
+      fun net ~replicas ~clients -> Lazy_primary.create net ~replicas ~clients ()
+    );
+    ( "lazy-ue",
+      Lazy_ue.info,
+      fun net ~replicas ~clients -> Lazy_ue.create net ~replicas ~clients () );
+    ( "certification",
+      Certification_based.info,
+      fun net ~replicas ~clients ->
+        Certification_based.create net ~replicas ~clients () );
+  ]
+
+let find key =
+  List.find_opt (fun (k, _, _) -> String.equal k key) all
+
+let keys = List.map (fun (k, _, _) -> k) all
+let infos = List.map (fun (_, i, _) -> i) all

@@ -1,0 +1,16 @@
+(** All implemented techniques, for the benches, the CLI and the tests
+    that sweep the whole taxonomy. Order follows Figure 16. *)
+
+type factory =
+  Sim.Network.t ->
+  replicas:int list ->
+  clients:int list ->
+  Core.Technique.instance
+
+(** (cli key, classification metadata, constructor with default
+    configuration), one entry per technique. *)
+val all : (string * Core.Technique.info * factory) list
+
+val find : string -> (string * Core.Technique.info * factory) option
+val keys : string list
+val infos : Core.Technique.info list

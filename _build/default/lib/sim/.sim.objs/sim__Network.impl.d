@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Engine Hashtbl List Msg Printf Rng Simtime String Tracer

@@ -1,0 +1,107 @@
+type timer = {
+  time : Simtime.t;
+  seq : int;
+  (* For ordinary timers: the pending action, [None] once cancelled or run.
+     For periodic proxies (seq = -1): the cancellation routine. *)
+  mutable action : (unit -> unit) option;
+}
+
+type t = {
+  mutable clock : Simtime.t;
+  mutable next_seq : int;
+  queue : timer Heap.t;
+  root_rng : Rng.t;
+}
+
+let compare_timer a b =
+  match Simtime.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create ?(seed = 0xC0FFEE) () =
+  {
+    clock = Simtime.zero;
+    next_seq = 0;
+    queue = Heap.create ~cmp:compare_timer;
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~at f =
+  let at = Simtime.max at t.clock in
+  let timer = { time = at; seq = t.next_seq; action = Some f } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue timer;
+  timer
+
+let schedule t ~after f = schedule_at t ~at:(Simtime.add t.clock after) f
+
+let periodic t ~every f =
+  let armed = ref None in
+  let cancelled = ref false in
+  let rec tick () =
+    if not !cancelled then begin
+      f ();
+      if not !cancelled then armed := Some (schedule t ~after:every tick)
+    end
+  in
+  armed := Some (schedule t ~after:every tick);
+  let cancel_now () =
+    cancelled := true;
+    match !armed with Some tm -> tm.action <- None | None -> ()
+  in
+  { time = t.clock; seq = -1; action = Some cancel_now }
+
+let cancel timer =
+  if timer.seq = -1 then begin
+    (match timer.action with Some cancel_now -> cancel_now () | None -> ());
+    timer.action <- None
+  end
+  else timer.action <- None
+
+let pending t =
+  let n = ref 0 in
+  Heap.iter t.queue (fun tm -> if tm.action <> None then incr n);
+  !n
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some tm -> (
+        match tm.action with
+        | None -> next ()
+        | Some f ->
+            tm.action <- None;
+            t.clock <- tm.time;
+            f ();
+            true)
+  in
+  next ()
+
+(* Discard cancelled timers sitting at the head of the queue so that
+   [peek] reflects the next event that will actually run. *)
+let rec peek_live t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some tm ->
+      if tm.action = None then begin
+        ignore (Heap.pop t.queue);
+        peek_live t
+      end
+      else Some tm
+
+let run ?(until = Simtime.infinity) ?(max_events = max_int) t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && !executed < max_events do
+    match peek_live t with
+    | None -> continue := false
+    | Some tm ->
+        if Simtime.(tm.time > until) then continue := false
+        else if step t then incr executed
+        else continue := false
+  done;
+  !executed

@@ -1,0 +1,39 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of scheduled
+    actions. Actions scheduled for the same instant run in scheduling order,
+    which (together with {!Rng}) makes whole simulations deterministic. *)
+
+type t
+
+(** Cancellable handle on a scheduled action. *)
+type timer
+
+val create : ?seed:int -> unit -> t
+
+val now : t -> Simtime.t
+
+(** The engine's root random generator (see {!Rng.split} to derive
+    independent streams for subsystems). *)
+val rng : t -> Rng.t
+
+(** [schedule t ~after f] runs [f] at [now t + after]. *)
+val schedule : t -> after:Simtime.t -> (unit -> unit) -> timer
+
+(** [schedule_at t ~at f] runs [f] at absolute time [at] (clamped to now). *)
+val schedule_at : t -> at:Simtime.t -> (unit -> unit) -> timer
+
+(** [periodic t ~every f] runs [f] every [every] until cancelled. *)
+val periodic : t -> every:Simtime.t -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+
+(** Number of scheduled (uncancelled) events. *)
+val pending : t -> int
+
+(** Execute the next event. Returns [false] when the queue is empty. *)
+val step : t -> bool
+
+(** [run t] drains the event queue, stopping early when [until] (virtual
+    time) or [max_events] is reached. Returns the number of events run. *)
+val run : ?until:Simtime.t -> ?max_events:int -> t -> int

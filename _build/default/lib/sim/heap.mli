@@ -1,0 +1,19 @@
+(** Mutable binary min-heap, ordered by a user-supplied comparison. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, or [None] when empty. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element. *)
+val pop : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+(** Iterate over elements in unspecified order. *)
+val iter : 'a t -> ('a -> unit) -> unit

@@ -1,0 +1,10 @@
+(** Extensible message payload type.
+
+    Each protocol layer extends [t] with its own constructors; a node's
+    handler stack pattern-matches on the constructors it owns and passes the
+    rest down (see {!Network.add_handler}). *)
+
+type t = ..
+
+(* Constructors used by the simulator's own tests. *)
+type t += Ping of int | Pong of int

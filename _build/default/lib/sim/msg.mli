@@ -1,0 +1,12 @@
+(** Extensible message payload type.
+
+    Each protocol layer extends [t] with its own constructors; a node's
+    handler stack pattern-matches on the constructors it owns and leaves
+    the rest to lower layers (see {!Network.add_handler}). Instances of
+    the same module are distinguished by an instance id carried inside
+    the constructor (conventionally [gid] or [cid]). *)
+
+type t = ..
+
+(** Constructors used by the simulator's own tests. *)
+type t += Ping of int | Pong of int

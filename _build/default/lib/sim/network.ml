@@ -1,0 +1,160 @@
+type latency =
+  | Constant of Simtime.t
+  | Uniform of Simtime.t * Simtime.t
+  | Exponential of { floor : Simtime.t; mean : Simtime.t }
+
+type config = {
+  latency : latency;
+  drop_probability : float;
+  trace_messages : bool;
+}
+
+let default_config =
+  {
+    latency = Uniform (Simtime.of_us 500, Simtime.of_us 1_500);
+    drop_probability = 0.0;
+    trace_messages = false;
+  }
+
+type handler = src:int -> Msg.t -> bool
+
+type t = {
+  engine : Engine.t;
+  n : int;
+  tracer : Tracer.t;
+  rng : Rng.t;
+  mutable latency : latency;
+  mutable drop_probability : float;
+  trace_messages : bool;
+  handlers : handler list array;  (** most recent first *)
+  link_latency : (int * int, latency) Hashtbl.t;  (** per-link overrides *)
+  alive : bool array;
+  group_of : int array;  (** partition group; all 0 when healed *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create engine ~n ?tracer (config : config) =
+  let tracer = match tracer with Some tr -> tr | None -> Tracer.create () in
+  {
+    engine;
+    n;
+    tracer;
+    rng = Rng.split (Engine.rng engine);
+    latency = config.latency;
+    drop_probability = config.drop_probability;
+    trace_messages = config.trace_messages;
+    handlers = Array.make n [];
+    link_latency = Hashtbl.create 8;
+    alive = Array.make n true;
+    group_of = Array.make n 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+let size t = t.n
+let tracer t = t.tracer
+let rng t = t.rng
+let add_handler t node h = t.handlers.(node) <- h :: t.handlers.(node)
+let alive t node = t.alive.(node)
+
+let guard t node f () = if t.alive.(node) then f ()
+
+let draw_from t model =
+  match model with
+  | Constant d -> d
+  | Uniform (lo, hi) ->
+      Simtime.of_us (Rng.range t.rng (Simtime.to_us lo) (Simtime.to_us hi))
+  | Exponential { floor; mean } ->
+      let extra = Rng.exponential t.rng ~mean:(Simtime.to_ms mean) in
+      Simtime.add floor (Simtime.of_sec (extra /. 1_000.))
+
+let draw_latency t ~src ~dst =
+  let model =
+    match Hashtbl.find_opt t.link_latency (min src dst, max src dst) with
+    | Some m -> m
+    | None -> t.latency
+  in
+  draw_from t model
+
+let set_link_latency t a b model =
+  Hashtbl.replace t.link_latency (min a b, max a b) model
+
+let clear_link_latencies t = Hashtbl.reset t.link_latency
+
+let reachable t src dst = t.group_of.(src) = t.group_of.(dst)
+
+let trace t label info =
+  if t.trace_messages then
+    Tracer.record t.tracer ~time:(Engine.now t.engine) ~label info
+
+let deliver t ~src ~dst msg =
+  if t.alive.(dst) && reachable t src dst then begin
+    t.delivered <- t.delivered + 1;
+    trace t "net.deliver" (Printf.sprintf "%d->%d" src dst);
+    let rec dispatch = function
+      | [] -> ()
+      | h :: rest -> if not (h ~src msg) then dispatch rest
+    in
+    dispatch t.handlers.(dst)
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    trace t "net.drop" (Printf.sprintf "%d->%d (dead or partitioned)" src dst)
+  end
+
+let send t ~src ~dst msg =
+  if t.alive.(src) then begin
+    t.sent <- t.sent + 1;
+    trace t "net.send" (Printf.sprintf "%d->%d" src dst);
+    if (not (reachable t src dst)) || Rng.float t.rng 1.0 < t.drop_probability
+    then begin
+      t.dropped <- t.dropped + 1;
+      trace t "net.drop" (Printf.sprintf "%d->%d (in flight)" src dst)
+    end
+    else begin
+      let delay = if src = dst then Simtime.zero else draw_latency t ~src ~dst in
+      ignore
+        (Engine.schedule t.engine ~after:delay (fun () ->
+             deliver t ~src ~dst msg))
+    end
+  end
+
+let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let crash t node =
+  if t.alive.(node) then begin
+    t.alive.(node) <- false;
+    Tracer.record t.tracer ~time:(Engine.now t.engine) ~node ~label:"node.crash"
+      ""
+  end
+
+let recover t node =
+  if not t.alive.(node) then begin
+    t.alive.(node) <- true;
+    Tracer.record t.tracer ~time:(Engine.now t.engine) ~node
+      ~label:"node.recover" ""
+  end
+
+let partition t group =
+  Array.fill t.group_of 0 t.n 0;
+  List.iter (fun node -> t.group_of.(node) <- 1) group;
+  Tracer.record t.tracer ~time:(Engine.now t.engine) ~label:"net.partition"
+    (String.concat "," (List.map string_of_int group))
+
+let heal t =
+  Array.fill t.group_of 0 t.n 0;
+  Tracer.record t.tracer ~time:(Engine.now t.engine) ~label:"net.heal" ""
+
+let set_drop_probability t p = t.drop_probability <- p
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0

@@ -1,0 +1,72 @@
+(** Simulated message-passing network.
+
+    Endpoints (replicas {e and} clients) are integers [0 .. n-1]. Each
+    point-to-point message is delayed by the configured latency model, may be
+    dropped, and is discarded if the destination is crashed or partitioned
+    away at delivery time. Delivery runs the destination's handler stack:
+    handlers are tried from the most recently added until one returns
+    [true]. *)
+
+type latency =
+  | Constant of Simtime.t
+  | Uniform of Simtime.t * Simtime.t  (** inclusive bounds *)
+  | Exponential of { floor : Simtime.t; mean : Simtime.t }
+      (** [floor] + Exp([mean]) — a common WAN model *)
+
+type config = {
+  latency : latency;
+  drop_probability : float;  (** per point-to-point message, in [0,1] *)
+  trace_messages : bool;  (** record each send/deliver/drop in the tracer *)
+}
+
+val default_config : config
+
+(** A handler returns [true] when it consumed the message. *)
+type handler = src:int -> Msg.t -> bool
+
+type t
+
+val create : Engine.t -> n:int -> ?tracer:Tracer.t -> config -> t
+val engine : t -> Engine.t
+val size : t -> int
+val tracer : t -> Tracer.t
+val rng : t -> Rng.t
+
+(** [add_handler t node h] pushes [h] on top of [node]'s handler stack. *)
+val add_handler : t -> int -> handler -> unit
+
+val send : t -> src:int -> dst:int -> Msg.t -> unit
+val multicast : t -> src:int -> dsts:int list -> Msg.t -> unit
+
+(** Crash-stop a node: it stops receiving messages and its guarded timers
+    stop firing. In-flight messages to it are lost. *)
+val crash : t -> int -> unit
+
+val recover : t -> int -> unit
+val alive : t -> int -> bool
+
+(** [guard t node f] wraps [f] so it only runs while [node] is alive —
+    use for protocol timers. *)
+val guard : t -> int -> (unit -> unit) -> unit -> unit
+
+(** [set_link_latency t a b model] overrides the latency model for both
+    directions of the (a, b) link — e.g. to model a WAN between sites
+    while other links stay LAN-fast. *)
+val set_link_latency : t -> int -> int -> latency -> unit
+
+(** Remove all per-link overrides. *)
+val clear_link_latencies : t -> unit
+
+(** [partition t group] drops all messages between [group] and its
+    complement until [heal]. *)
+val partition : t -> int list -> unit
+
+val heal : t -> unit
+val set_drop_probability : t -> float -> unit
+
+(** Counters since creation or the last [reset_counters]. *)
+
+val messages_sent : t -> int
+val messages_delivered : t -> int
+val messages_dropped : t -> int
+val reset_counters : t -> unit

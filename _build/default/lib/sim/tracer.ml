@@ -1,0 +1,33 @@
+type entry = {
+  time : Simtime.t;
+  node : int option;
+  label : string;
+  info : string;
+}
+
+type t = { mutable rev_entries : entry list; mutable size : int }
+
+let create () = { rev_entries = []; size = 0 }
+
+let record t ~time ?node ~label info =
+  t.rev_entries <- { time; node; label; info } :: t.rev_entries;
+  t.size <- t.size + 1
+
+let entries t = List.rev t.rev_entries
+
+let with_label t label =
+  List.rev (List.filter (fun e -> String.equal e.label label) t.rev_entries)
+
+let count t ~label =
+  List.fold_left
+    (fun acc e -> if String.equal e.label label then acc + 1 else acc)
+    0 t.rev_entries
+
+let clear t =
+  t.rev_entries <- [];
+  t.size <- 0
+
+let pp_entry ppf e =
+  let node = match e.node with None -> "-" | Some n -> string_of_int n in
+  Format.fprintf ppf "%8s  n%-3s %-24s %s" (Simtime.to_string e.time) node
+    e.label e.info

@@ -1,0 +1,28 @@
+(** Structured trace of simulation events.
+
+    Protocols record labelled entries (message sends, deliveries, phase
+    transitions, crashes); figures and tests are derived from the resulting
+    log rather than from protocol internals. *)
+
+type entry = {
+  time : Simtime.t;
+  node : int option;  (** replica id, when attributable to one *)
+  label : string;  (** machine-matchable category, e.g. "abcast.deliver" *)
+  info : string;  (** free-form detail *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:Simtime.t -> ?node:int -> label:string -> string -> unit
+
+(** Entries in recording (= chronological) order. *)
+val entries : t -> entry list
+
+(** Entries whose label equals [label]. *)
+val with_label : t -> string -> entry list
+
+val count : t -> label:string -> int
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/store/apply.ml: Kv List Operation

@@ -1,0 +1,1 @@
+lib/store/apply.mli: Kv Operation

@@ -1,0 +1,1 @@
+lib/store/history.ml: Apply Format List Operation Sim

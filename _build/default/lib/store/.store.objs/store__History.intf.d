@@ -1,0 +1,1 @@
+lib/store/history.mli: Apply Format Operation Sim

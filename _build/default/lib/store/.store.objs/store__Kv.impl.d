@@ -1,0 +1,1 @@
+lib/store/kv.ml: Format Hashtbl List Operation String

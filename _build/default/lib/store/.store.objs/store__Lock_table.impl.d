@@ -1,0 +1,1 @@
+lib/store/lock_table.ml: Hashtbl Int List Operation Option

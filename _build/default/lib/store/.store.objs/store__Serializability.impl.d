@@ -1,0 +1,1 @@
+lib/store/serializability.ml: Format Hashtbl History Int List Operation Option String

@@ -1,0 +1,1 @@
+lib/store/serializability.mli: Format History Operation

@@ -1,0 +1,1 @@
+lib/store/shadow.ml: Apply Hashtbl Kv List Operation

@@ -1,0 +1,1 @@
+lib/store/shadow.mli: Apply Kv Operation

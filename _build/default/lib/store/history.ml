@@ -1,0 +1,36 @@
+type record = {
+  tid : int;
+  reads : (Operation.key * int) list;
+  writes : (Operation.key * int) list;
+  replica : int;
+  committed_at : Sim.Simtime.t;
+}
+
+type t = { mutable rev_records : record list; mutable size : int }
+
+let create () = { rev_records = []; size = 0 }
+
+let add t r =
+  t.rev_records <- r :: t.rev_records;
+  t.size <- t.size + 1
+
+let add_result t ~tid ~replica ~at (result : Apply.result) =
+  add t
+    {
+      tid;
+      reads = List.map (fun (k, _, version) -> (k, version)) result.reads;
+      writes = List.map (fun (k, _, version) -> (k, version)) result.writes;
+      replica;
+      committed_at = at;
+    }
+
+let records t = List.rev t.rev_records
+let length t = t.size
+
+let pp_record ppf r =
+  let pp_kv ppf (k, v) = Format.fprintf ppf "%s@v%d" k v in
+  Format.fprintf ppf "T%d r[%a] w[%a] @%a (replica %d)" r.tid
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_kv)
+    r.reads
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_kv)
+    r.writes Sim.Simtime.pp r.committed_at r.replica

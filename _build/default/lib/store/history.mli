@@ -1,0 +1,28 @@
+(** Global history of committed transactions (paper §5.1).
+
+    Each record notes, for one committed transaction, the versions of the
+    logical items it read and the versions its writes installed. Protocol
+    implementations report these from the replica where the transaction
+    executed; {!Serializability.check} decides whether the resulting
+    history is 1-copy serializable. *)
+
+type record = {
+  tid : int;
+  reads : (Operation.key * int) list;  (** version read *)
+  writes : (Operation.key * int) list;  (** version installed *)
+  replica : int;  (** where the transaction executed *)
+  committed_at : Sim.Simtime.t;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> record -> unit
+
+(** Convenience: record a commit from an {!Apply.result}. *)
+val add_result :
+  t -> tid:int -> replica:int -> at:Sim.Simtime.t -> Apply.result -> unit
+
+val records : t -> record list
+val length : t -> int
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,36 @@
+type t = (Operation.key, int * int) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let read t k =
+  match Hashtbl.find_opt t k with Some vv -> vv | None -> (0, 0)
+
+let write t k v =
+  let _, version = read t k in
+  let version = version + 1 in
+  Hashtbl.replace t k (v, version);
+  version
+
+let install t k ~value ~version =
+  let _, current = read t k in
+  if version >= current then Hashtbl.replace t k (value, version)
+
+let force t k ~value ~version = Hashtbl.replace t k (value, version)
+
+let version t k = snd (read t k)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+let snapshot t =
+  Hashtbl.fold (fun k vv acc -> (k, vv) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let equal a b = snapshot a = snapshot b
+
+let copy t = Hashtbl.copy t
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  List.iter
+    (fun (k, (v, ver)) -> Format.fprintf ppf "%s=%d@v%d; " k v ver)
+    (snapshot t);
+  Format.fprintf ppf "}"

@@ -1,0 +1,24 @@
+(** 1-copy serializability checker (paper §2.2, §4.1, [BHG87]).
+
+    Builds the direct serialization graph over the committed transactions
+    of a {!History}: write–write edges follow per-item version order,
+    write–read edges connect a version's writer to its readers, and
+    read–write (anti-dependency) edges connect a reader to the writers of
+    later versions. The history is 1-copy serializable iff the graph is
+    acyclic; an acyclic graph yields an equivalent serial order as witness.
+
+    Two committed writers installing the {e same} version of the same item
+    is a replica-divergence anomaly (possible under lazy update-everywhere
+    before reconciliation) and is reported as such. *)
+
+type verdict =
+  | Serializable of int list
+      (** equivalent serial order (transaction ids) *)
+  | Cyclic of int list  (** transaction ids forming a cycle *)
+  | Ambiguous_versions of Operation.key * int
+      (** two transactions installed the same version of this item *)
+
+val check : History.t -> verdict
+
+val is_serializable : History.t -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

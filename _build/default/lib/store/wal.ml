@@ -1,0 +1,14 @@
+type entry = { tid : int; writes : (Operation.key * int * int) list }
+type t = { mutable rev_entries : entry list; mutable size : int }
+
+let create () = { rev_entries = []; size = 0 }
+
+let append t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.size <- t.size + 1
+
+let entries t = List.rev t.rev_entries
+let length t = t.size
+
+let replay t kv =
+  List.iter (fun e -> Apply.apply_writes kv e.writes) (entries t)

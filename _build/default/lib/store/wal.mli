@@ -1,0 +1,18 @@
+(** Redo log. The eager-primary protocol of the paper (§4.3) executes at
+    the primary "to generate the corresponding log records which are then
+    sent to the secondary and applied" — this is that log. *)
+
+type entry = {
+  tid : int;
+  writes : (Operation.key * int * int) list;  (** key, value, version *)
+}
+
+type t
+
+val create : unit -> t
+val append : t -> entry -> unit
+val entries : t -> entry list
+val length : t -> int
+
+(** Re-apply the whole log to a (possibly empty) store. *)
+val replay : t -> Kv.t -> unit

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: List Printf Sim Spec Store

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Format List Printf Runner Sim Stats

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Core Engine Format Fun Generator List Network Sim Simtime Spec Stats Store

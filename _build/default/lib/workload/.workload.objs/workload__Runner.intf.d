@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Core Format Sim Spec Stats

@@ -1,0 +1,27 @@
+(** Transaction generator: zipfian key choice, configurable update mix.
+    Updates are read-modify-writes ([Incr]) so that every update creates a
+    real conflict on its item — the worst case the paper's techniques are
+    designed around. *)
+
+type t = { spec : Spec.t; rng : Sim.Rng.t; sampler : Sim.Rng.Zipf.sampler }
+
+let create ?(seed = 42) spec =
+  {
+    spec;
+    rng = Sim.Rng.create ~seed;
+    sampler = Sim.Rng.Zipf.make ~n:spec.Spec.n_keys ~theta:spec.Spec.key_skew;
+  }
+
+let key t = Printf.sprintf "k%04d" (Sim.Rng.Zipf.draw t.rng t.sampler)
+
+let operation t ~update =
+  if update then Store.Operation.Incr (key t, 1) else Store.Operation.Read (key t)
+
+(** One transaction for [client]. A transaction is all-update or all-read
+    (the usual OLTP mix model). *)
+let request t ~client =
+  let update = Sim.Rng.float t.rng 1.0 < t.spec.Spec.update_ratio in
+  let ops =
+    List.init t.spec.Spec.ops_per_txn (fun _ -> operation t ~update)
+  in
+  (update, Store.Operation.request ~client ops)

@@ -1,0 +1,13 @@
+(** Transaction generator: zipfian key choice, configurable update mix.
+    Updates are read-modify-writes ([Incr]) so that every update creates
+    a real conflict on its item — the worst case the paper's techniques
+    are designed around. *)
+
+type t
+
+val create : ?seed:int -> Spec.t -> t
+
+(** One transaction for [client]; the boolean flags whether it is an
+    update transaction. A transaction is all-update or all-read (the
+    usual OLTP mix model). *)
+val request : t -> client:int -> bool * Store.Operation.request

@@ -1,0 +1,22 @@
+let csv_header =
+  "label,committed,aborted,unanswered,throughput_tps,lat_mean_ms,lat_p50_ms,\
+   lat_p90_ms,lat_p99_ms,lat_max_ms,upd_lat_mean_ms,read_lat_mean_ms,\
+   makespan_ms,messages,messages_per_txn,max_response_gap_ms,converged,\
+   serializable"
+
+let csv_row ~label (r : Runner.result) =
+  Printf.sprintf "%s,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%d,%.2f,%.2f,%b,%b"
+    label r.committed r.aborted r.unanswered r.throughput
+    r.latency_ms.Stats.mean r.latency_ms.Stats.p50 r.latency_ms.Stats.p90
+    r.latency_ms.Stats.p99 r.latency_ms.Stats.max
+    r.update_latency_ms.Stats.mean r.read_latency_ms.Stats.mean
+    (Sim.Simtime.to_ms r.makespan)
+    r.messages r.messages_per_txn
+    (Sim.Simtime.to_ms r.max_response_gap)
+    r.converged r.serializable
+
+let to_csv ppf rows =
+  Format.fprintf ppf "%s@." csv_header;
+  List.iter
+    (fun (label, result) -> Format.fprintf ppf "%s@." (csv_row ~label result))
+    rows

@@ -1,0 +1,12 @@
+(** CSV export of experiment results, for plotting the performance-study
+    figures outside the harness. *)
+
+(** Header row matching {!row}. *)
+val csv_header : string
+
+(** One result as a CSV row. [label] identifies the configuration (e.g.
+    "active,n=3,upd=0.5"). *)
+val csv_row : label:string -> Runner.result -> string
+
+(** Print header + rows to a formatter. *)
+val to_csv : Format.formatter -> (string * Runner.result) list -> unit

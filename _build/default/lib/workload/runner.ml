@@ -1,0 +1,163 @@
+open Sim
+
+type factory =
+  Network.t -> replicas:int list -> clients:int list -> Core.Technique.instance
+
+type failure = { at : Simtime.t; replica : int }
+
+type arrival = [ `Closed | `Poisson of float ]
+
+type partition = { at : Simtime.t; group : int list; heal_at : Simtime.t }
+
+type result = {
+  committed : int;
+  aborted : int;
+  unanswered : int;
+  latency_ms : Stats.summary;
+  update_latency_ms : Stats.summary;
+  read_latency_ms : Stats.summary;
+  makespan : Simtime.t;
+  throughput : float;
+  messages : int;
+  messages_per_txn : float;
+  max_response_gap : Simtime.t;
+  converged : bool;
+  serializable : bool;
+}
+
+let run ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
+    ?(net = Network.default_config) ?tune ?(arrival = `Closed)
+    ?(failures = []) ?(partitions = []) ?(deadline = Simtime.of_sec 120.)
+    ~spec factory =
+  let engine = Engine.create ~seed () in
+  let network = Network.create engine ~n:(n_replicas + n_clients) net in
+  let replicas = List.init n_replicas Fun.id in
+  let clients = List.init n_clients (fun i -> n_replicas + i) in
+  (match tune with Some f -> f network ~replicas ~clients | None -> ());
+  let inst = factory network ~replicas ~clients in
+  List.iter
+    (fun { at; replica } ->
+      ignore
+        (Engine.schedule_at engine ~at (fun () -> Network.crash network replica)))
+    failures;
+  List.iter
+    (fun { at; group; heal_at } ->
+      ignore
+        (Engine.schedule_at engine ~at (fun () -> Network.partition network group));
+      ignore
+        (Engine.schedule_at engine ~at:heal_at (fun () -> Network.heal network)))
+    partitions;
+  let committed = ref 0 and aborted = ref 0 and submitted = ref 0 in
+  let answered = ref 0 in
+  let all_lat = Stats.recorder () in
+  let upd_lat = Stats.recorder () in
+  let read_lat = Stats.recorder () in
+  let last_response = ref Simtime.zero in
+  let max_gap = ref Simtime.zero in
+  List.iter
+    (fun client ->
+      let gen = Generator.create ~seed:(seed + client) spec in
+      let arrival_rng = Sim.Rng.create ~seed:(seed + client + 7919) in
+      let submit_one () =
+        let update, request = Generator.request gen ~client in
+        incr submitted;
+        let submitted_at = Engine.now engine in
+        inst.Core.Technique.submit ~client request (fun reply ->
+            incr answered;
+            let gap = Simtime.sub reply.Core.Technique.at !last_response in
+            if Simtime.(gap > !max_gap) then max_gap := gap;
+            last_response := Simtime.max !last_response reply.Core.Technique.at;
+            let lat_ms =
+              Simtime.to_ms (Simtime.sub reply.Core.Technique.at submitted_at)
+            in
+            if reply.Core.Technique.committed then begin
+              incr committed;
+              Stats.record all_lat lat_ms;
+              Stats.record (if update then upd_lat else read_lat) lat_ms
+            end
+            else incr aborted)
+      in
+      match arrival with
+      | `Closed ->
+          let rec next i =
+            if i < spec.Spec.txns_per_client then begin
+              let update, request = Generator.request gen ~client in
+              incr submitted;
+              let submitted_at = Engine.now engine in
+              inst.Core.Technique.submit ~client request (fun reply ->
+                  incr answered;
+                  let gap = Simtime.sub reply.Core.Technique.at !last_response in
+                  if Simtime.(gap > !max_gap) then max_gap := gap;
+                  last_response :=
+                    Simtime.max !last_response reply.Core.Technique.at;
+                  let lat_ms =
+                    Simtime.to_ms
+                      (Simtime.sub reply.Core.Technique.at submitted_at)
+                  in
+                  if reply.Core.Technique.committed then begin
+                    incr committed;
+                    Stats.record all_lat lat_ms;
+                    Stats.record (if update then upd_lat else read_lat) lat_ms
+                  end
+                  else incr aborted;
+                  ignore
+                    (Engine.schedule engine ~after:spec.Spec.think_time
+                       (fun () -> next (i + 1))))
+            end
+          in
+          next 0
+      | `Poisson rate ->
+          let rec arrive i =
+            if i < spec.Spec.txns_per_client then begin
+              submit_one ();
+              let gap_s = Sim.Rng.exponential arrival_rng ~mean:(1. /. rate) in
+              ignore
+                (Engine.schedule engine ~after:(Simtime.of_sec gap_s)
+                   (fun () -> arrive (i + 1)))
+            end
+          in
+          arrive 0)
+    clients;
+  ignore (Engine.run ~until:deadline engine);
+  (* Quiescence: let lazy propagation and retransmissions drain. *)
+  ignore (Engine.run ~until:(Simtime.add (Engine.now engine) (Simtime.of_sec 10.)) engine);
+  let alive_stores =
+    List.filter_map
+      (fun r ->
+        if Network.alive network r then
+          Some (inst.Core.Technique.replica_store r)
+        else None)
+      replicas
+  in
+  let makespan = !last_response in
+  let throughput =
+    if Simtime.(makespan > Simtime.zero) then
+      float_of_int !committed /. Simtime.to_sec makespan
+    else 0.
+  in
+  let messages = Network.messages_sent network in
+  {
+    committed = !committed;
+    aborted = !aborted;
+    unanswered = !submitted - !answered;
+    latency_ms = Stats.summary all_lat;
+    update_latency_ms = Stats.summary upd_lat;
+    read_latency_ms = Stats.summary read_lat;
+    makespan;
+    throughput;
+    messages;
+    messages_per_txn =
+      (if !answered = 0 then 0. else float_of_int messages /. float_of_int !answered);
+    max_response_gap = !max_gap;
+    converged = Core.Convergence.converged alive_stores;
+    serializable =
+      (match Store.Serializability.check inst.Core.Technique.history with
+      | Store.Serializability.Serializable _ -> true
+      | _ -> false);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "committed=%d aborted=%d unanswered=%d tput=%.1f/s lat(ms)[%a] msgs/txn=%.1f converged=%b 1SR=%b"
+    r.committed r.aborted r.unanswered r.throughput Stats.pp_summary
+    r.latency_ms r.messages_per_txn r.converged r.serializable

@@ -1,0 +1,54 @@
+(** Closed-loop experiment driver: builds a simulated cluster, runs a
+    technique under a workload (optionally with a crash schedule), waits
+    for quiescence, and reports the metrics the paper's promised
+    performance study calls for. *)
+
+type factory =
+  Sim.Network.t -> replicas:int list -> clients:int list -> Core.Technique.instance
+
+type failure = { at : Sim.Simtime.t; replica : int }
+
+(** How clients issue transactions: [`Closed] waits for each reply plus
+    the spec's think time before the next submission (the default);
+    [`Poisson rate] submits with exponential inter-arrival times at
+    [rate] transactions per second per client, independent of replies —
+    an open-loop load generator for contention studies. *)
+type arrival = [ `Closed | `Poisson of float ]
+
+(** Isolate [group] from the rest of the network between [at] and
+    [heal_at]. *)
+type partition = { at : Sim.Simtime.t; group : int list; heal_at : Sim.Simtime.t }
+
+type result = {
+  committed : int;
+  aborted : int;
+  unanswered : int;  (** requests with no reply at the deadline *)
+  latency_ms : Stats.summary;  (** committed-transaction response times *)
+  update_latency_ms : Stats.summary;
+  read_latency_ms : Stats.summary;
+  makespan : Sim.Simtime.t;  (** last response time *)
+  throughput : float;  (** committed transactions per simulated second *)
+  messages : int;  (** network messages sent during the run *)
+  messages_per_txn : float;
+  max_response_gap : Sim.Simtime.t;
+      (** longest interval between consecutive responses — the
+          unavailability window when a failure schedule is active *)
+  converged : bool;  (** alive replicas identical at quiescence *)
+  serializable : bool;  (** 1-copy serializability of the global history *)
+}
+
+val run :
+  ?seed:int ->
+  ?n_replicas:int ->
+  ?n_clients:int ->
+  ?net:Sim.Network.config ->
+  ?tune:(Sim.Network.t -> replicas:int list -> clients:int list -> unit) ->
+  ?arrival:arrival ->
+  ?failures:failure list ->
+  ?partitions:partition list ->
+  ?deadline:Sim.Simtime.t ->
+  spec:Spec.t ->
+  factory ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,27 @@
+(** Workload parameters for the performance study the paper announces in
+    §6 ("taking into account different workloads and failures
+    assumptions"). *)
+
+type t = {
+  n_keys : int;  (** size of the logical database *)
+  key_skew : float;  (** zipfian skew; 0.0 = uniform access *)
+  update_ratio : float;  (** fraction of transactions that write *)
+  ops_per_txn : int;  (** operations per transaction (§5 model when > 1) *)
+  txns_per_client : int;
+  think_time : Sim.Simtime.t;  (** client pause between transactions *)
+}
+
+let default =
+  {
+    n_keys = 100;
+    key_skew = 0.6;
+    update_ratio = 0.5;
+    ops_per_txn = 1;
+    txns_per_client = 50;
+    think_time = Sim.Simtime.of_ms 1;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "keys=%d skew=%.2f updates=%.0f%% ops/txn=%d txns/client=%d" t.n_keys
+    t.key_skew (100. *. t.update_ratio) t.ops_per_txn t.txns_per_client

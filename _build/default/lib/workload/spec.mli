@@ -1,0 +1,15 @@
+(** Workload parameters for the performance study the paper announces in
+    §6 ("taking into account different workloads and failures
+    assumptions"). *)
+
+type t = {
+  n_keys : int;  (** size of the logical database *)
+  key_skew : float;  (** zipfian skew; 0.0 = uniform access *)
+  update_ratio : float;  (** fraction of transactions that write *)
+  ops_per_txn : int;  (** operations per transaction (§5 model when > 1) *)
+  txns_per_client : int;
+  think_time : Sim.Simtime.t;  (** client pause between transactions *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit

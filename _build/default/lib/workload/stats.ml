@@ -1,0 +1,49 @@
+(** Latency/throughput statistics for the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+let empty_summary =
+  { count = 0; mean = 0.; p50 = 0.; p90 = 0.; p99 = 0.; min = 0.; max = 0. }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (p *. float_of_int (n - 1)) in
+    sorted.(idx)
+
+let summarize values =
+  match values with
+  | [] -> empty_summary
+  | _ ->
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let total = Array.fold_left ( +. ) 0. sorted in
+      {
+        count = n;
+        mean = total /. float_of_int n;
+        p50 = percentile sorted 0.5;
+        p90 = percentile sorted 0.9;
+        p99 = percentile sorted 0.99;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+      }
+
+type recorder = { mutable rev_values : float list }
+
+let recorder () = { rev_values = [] }
+let record r v = r.rev_values <- v :: r.rev_values
+let summary r = summarize r.rev_values
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f"
+    s.count s.mean s.p50 s.p90 s.p99 s.max

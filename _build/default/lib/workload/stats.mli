@@ -1,0 +1,24 @@
+(** Latency/throughput statistics for the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+val empty_summary : summary
+
+(** Summarise a batch of samples (order-independent). *)
+val summarize : float list -> summary
+
+(** Incremental recorder. *)
+type recorder
+
+val recorder : unit -> recorder
+val record : recorder -> float -> unit
+val summary : recorder -> summary
+val pp_summary : Format.formatter -> summary -> unit

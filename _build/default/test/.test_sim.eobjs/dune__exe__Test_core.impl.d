@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Engine Fun Hashtbl List Network Option Printf Protocols QCheck QCheck_alcotest Sim Simtime Store

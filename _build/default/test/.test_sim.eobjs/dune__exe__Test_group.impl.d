@@ -1,0 +1,1 @@
+test/test_group.ml: Abcast Alcotest Array Causal Consensus Engine Fd Fifo Fun Group Hashtbl Int List Msg Network Printf QCheck QCheck_alcotest Rbcast Rchan Sim Simtime View Vscast

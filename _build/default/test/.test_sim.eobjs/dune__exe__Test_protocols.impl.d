@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Core Engine Fmt Format Fun Group Hashtbl List Network Option Printf Protocols QCheck QCheck_alcotest Sim Simtime Store String Workload

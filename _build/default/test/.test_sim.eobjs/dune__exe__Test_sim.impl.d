@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Hashtbl Heap Int List Msg Network Option QCheck QCheck_alcotest Rng Sim Simtime Tracer

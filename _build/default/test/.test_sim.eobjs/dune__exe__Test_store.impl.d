@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Apply Array Hashtbl History Int Kv List Lock_table Operation Option QCheck QCheck_alcotest Serializability Sim Store Wal

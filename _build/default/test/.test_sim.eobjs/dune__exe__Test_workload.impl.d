@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Buffer Format Hashtbl List Option Protocols Sim Simtime Store String Workload

@@ -1,0 +1,904 @@
+(* Tests for the group-communication substrate: failure detector, stubborn
+   channels, reliable/FIFO/causal broadcast, consensus, atomic broadcast and
+   view-synchronous broadcast. *)
+
+open Sim
+open Group
+
+let tc name f = Alcotest.test_case name `Quick f
+
+type Msg.t += Payload of int
+
+let payload_of = function Payload k -> k | _ -> Alcotest.fail "bad payload"
+
+let make ?(seed = 21) ?(n = 3) ?(drop = 0.0) () =
+  let e = Engine.create ~seed () in
+  let config =
+    { Network.default_config with Network.drop_probability = drop }
+  in
+  let net = Network.create e ~n config in
+  (e, net)
+
+let run_ms e ms = ignore (Engine.run ~until:(Simtime.of_ms ms) e)
+
+(* ------------------------------------------------------------------ *)
+(* Failure detector                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fd_suspects_crashed () =
+  let e, net = make () in
+  let members = [ 0; 1; 2 ] in
+  let group = Fd.create_group net ~members () in
+  let fd0 = Fd.handle group ~me:0 in
+  let suspected_events = ref [] in
+  Fd.on_suspect fd0 (fun p -> suspected_events := p :: !suspected_events);
+  run_ms e 200;
+  Alcotest.(check bool) "nobody suspected yet" false
+    (Fd.suspected fd0 1 || Fd.suspected fd0 2);
+  Network.crash net 2;
+  run_ms e 600;
+  Alcotest.(check bool) "crashed is suspected" true (Fd.suspected fd0 2);
+  Alcotest.(check bool) "alive is trusted" false (Fd.suspected fd0 1);
+  Alcotest.(check (list int)) "callback fired" [ 2 ] !suspected_events;
+  Alcotest.(check (list int)) "trusted" [ 0; 1 ] (Fd.trusted fd0)
+
+let test_fd_trust_restored () =
+  let e, net = make () in
+  let members = [ 0; 1 ] in
+  let group = Fd.create_group net ~members () in
+  let fd0 = Fd.handle group ~me:0 in
+  let trust_events = ref [] in
+  Fd.on_trust fd0 (fun p -> trust_events := p :: !trust_events);
+  Network.crash net 1;
+  run_ms e 400;
+  Alcotest.(check bool) "suspected while down" true (Fd.suspected fd0 1);
+  Network.recover net 1;
+  run_ms e 800;
+  Alcotest.(check bool) "trusted again" false (Fd.suspected fd0 1);
+  Alcotest.(check (list int)) "trust callback" [ 1 ] !trust_events
+
+(* ------------------------------------------------------------------ *)
+(* Stubborn channels                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rchan_lossy_delivery () =
+  let e, net = make ~drop:0.4 () in
+  let group = Rchan.create_group net ~nodes:[ 0; 1 ] ~rto:(Simtime.of_ms 5) () in
+  let c0 = Rchan.handle group ~me:0 in
+  let c1 = Rchan.handle group ~me:1 in
+  let got = ref [] in
+  Rchan.on_deliver c1 (fun ~src msg ->
+      Alcotest.(check int) "src" 0 src;
+      got := payload_of msg :: !got);
+  for k = 1 to 50 do
+    Rchan.send c0 ~dst:1 (Payload k)
+  done;
+  run_ms e 5_000;
+  let got = List.sort Int.compare !got in
+  Alcotest.(check (list int)) "all delivered exactly once"
+    (List.init 50 (fun i -> i + 1))
+    got
+
+let test_rchan_passthrough_no_overhead () =
+  let e, net = make () in
+  let group = Rchan.create_group net ~nodes:[ 0; 1 ] ~passthrough:true () in
+  let c0 = Rchan.handle group ~me:0 in
+  let c1 = Rchan.handle group ~me:1 in
+  let got = ref 0 in
+  Rchan.on_deliver c1 (fun ~src:_ _ -> incr got);
+  Rchan.send c0 ~dst:1 (Payload 1);
+  run_ms e 100;
+  Alcotest.(check int) "delivered" 1 !got;
+  (* passthrough: exactly one wire message, no acks *)
+  Alcotest.(check int) "one message" 1 (Network.messages_sent net)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable broadcast                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rbcast_all_deliver () =
+  let e, net = make () in
+  let members = [ 0; 1; 2 ] in
+  let group = Rbcast.create_group net ~members () in
+  let logs = Array.make 3 [] in
+  List.iter
+    (fun m ->
+      let h = Rbcast.handle group ~me:m in
+      Rbcast.on_deliver h (fun ~origin msg ->
+          logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+    members;
+  Rbcast.broadcast (Rbcast.handle group ~me:0) (Payload 7);
+  Rbcast.broadcast (Rbcast.handle group ~me:1) (Payload 8);
+  run_ms e 1_000;
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "member %d" i)
+        [ (0, 7); (1, 8) ]
+        (List.sort compare log))
+    logs
+
+let test_rbcast_no_duplicates_under_loss () =
+  let e, net = make ~drop:0.3 () in
+  let members = [ 0; 1; 2 ] in
+  let group = Rbcast.create_group net ~members ~rto:(Simtime.of_ms 5) () in
+  let count = Array.make 3 0 in
+  List.iter
+    (fun m ->
+      let h = Rbcast.handle group ~me:m in
+      Rbcast.on_deliver h (fun ~origin:_ _ -> count.(m) <- count.(m) + 1))
+    members;
+  for k = 1 to 20 do
+    Rbcast.broadcast (Rbcast.handle group ~me:(k mod 3)) (Payload k)
+  done;
+  run_ms e 10_000;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "member %d" i) 20 c)
+    count
+
+(* ------------------------------------------------------------------ *)
+(* FIFO broadcast                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_order () =
+  let e, net = make ~seed:3 () in
+  let members = [ 0; 1; 2 ] in
+  let group = Fifo.create_group net ~members () in
+  let logs = Array.make 3 [] in
+  List.iter
+    (fun m ->
+      let h = Fifo.handle group ~me:m in
+      Fifo.on_deliver h (fun ~origin msg ->
+          logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+    members;
+  (* Two concurrent senders, interleaved sends. *)
+  let h0 = Fifo.handle group ~me:0 and h1 = Fifo.handle group ~me:1 in
+  for k = 0 to 9 do
+    Fifo.broadcast h0 (Payload k);
+    Fifo.broadcast h1 (Payload (100 + k))
+  done;
+  run_ms e 2_000;
+  Array.iteri
+    (fun i log ->
+      let log = List.rev log in
+      let from o = List.filter_map (fun (o', k) -> if o = o' then Some k else None) log in
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d: fifo from 0" i)
+        (List.init 10 Fun.id) (from 0);
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d: fifo from 1" i)
+        (List.init 10 (fun k -> 100 + k))
+        (from 1))
+    logs
+
+(* ------------------------------------------------------------------ *)
+(* Causal broadcast                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_causal_order () =
+  let e, net = make ~seed:17 () in
+  let members = [ 0; 1; 2 ] in
+  let group = Causal.create_group net ~members () in
+  let logs = Array.make 3 [] in
+  List.iter
+    (fun m ->
+      let h = Causal.handle group ~me:m in
+      Causal.on_deliver h (fun ~origin:_ msg ->
+          logs.(m) <- payload_of msg :: logs.(m));
+      (* Member 1 replies causally to message 1. *)
+      if m = 1 then
+        Causal.on_deliver h (fun ~origin:_ msg ->
+            if payload_of msg = 1 then Causal.broadcast h (Payload 2)))
+    members;
+  Causal.broadcast (Causal.handle group ~me:0) (Payload 1);
+  run_ms e 2_000;
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d causal order" i)
+        [ 1; 2 ] (List.rev log))
+    logs
+
+let test_causal_concurrent_allowed () =
+  let e, net = make () in
+  let members = [ 0; 1 ] in
+  let group = Causal.create_group net ~members () in
+  let log = ref [] in
+  let h0 = Causal.handle group ~me:0 in
+  let h1 = Causal.handle group ~me:1 in
+  Causal.on_deliver h0 (fun ~origin:_ msg -> log := payload_of msg :: !log);
+  Causal.broadcast h0 (Payload 1);
+  Causal.broadcast h1 (Payload 2);
+  run_ms e 2_000;
+  Alcotest.(check int) "both delivered" 2 (List.length !log)
+
+(* ------------------------------------------------------------------ *)
+(* Consensus                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Cint = Consensus.Make (struct
+  type t = int
+end)
+
+let consensus_setup ?(seed = 4) ?(n = 3) () =
+  let e, net = make ~seed ~n () in
+  let members = List.init n Fun.id in
+  let fd = Fd.create_group net ~members () in
+  let group = Cint.create_group net ~members ~fd () in
+  (e, net, members, group)
+
+let test_consensus_agreement () =
+  let e, _net, members, group = consensus_setup () in
+  let decisions = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let h = Cint.handle group ~me:m in
+      Cint.on_decide h (fun ~instance v -> Hashtbl.replace decisions (m, instance) v);
+      Cint.propose h ~instance:0 (100 + m))
+    members;
+  run_ms e 3_000;
+  let vals =
+    List.map (fun m -> Hashtbl.find_opt decisions (m, 0)) members
+  in
+  (match vals with
+  | [ Some a; Some b; Some c ] ->
+      Alcotest.(check bool) "agreement" true (a = b && b = c);
+      Alcotest.(check bool) "validity" true (List.mem a [ 100; 101; 102 ])
+  | _ -> Alcotest.fail "not all members decided");
+  Alcotest.(check (option int))
+    "decision accessor" (List.nth vals 0)
+    (Cint.decision (Cint.handle group ~me:0) ~instance:0)
+
+let test_consensus_multiple_instances () =
+  let e, _net, members, group = consensus_setup () in
+  let decisions = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let h = Cint.handle group ~me:m in
+      Cint.on_decide h (fun ~instance v -> Hashtbl.replace decisions (m, instance) v))
+    members;
+  List.iter
+    (fun m ->
+      let h = Cint.handle group ~me:m in
+      for inst = 0 to 4 do
+        Cint.propose h ~instance:inst ((10 * inst) + m)
+      done)
+    members;
+  run_ms e 5_000;
+  for inst = 0 to 4 do
+    let v0 = Hashtbl.find_opt decisions (0, inst) in
+    Alcotest.(check bool)
+      (Printf.sprintf "instance %d decided" inst)
+      true (v0 <> None);
+    List.iter
+      (fun m ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "instance %d member %d" inst m)
+          v0
+          (Hashtbl.find_opt decisions (m, inst)))
+      members
+  done
+
+let test_consensus_coordinator_crash () =
+  let e, net, members, group = consensus_setup ~n:5 () in
+  let decisions = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let h = Cint.handle group ~me:m in
+      Cint.on_decide h (fun ~instance v -> Hashtbl.replace decisions (m, instance) v))
+    members;
+  (* Coordinator of round 0 is member 0: crash it before anyone proposes. *)
+  Network.crash net 0;
+  run_ms e 10;
+  List.iter
+    (fun m ->
+      if m <> 0 then Cint.propose (Cint.handle group ~me:m) ~instance:0 (200 + m))
+    members;
+  run_ms e 10_000;
+  let vals =
+    List.filter_map (fun m -> Hashtbl.find_opt decisions (m, 0))
+      (List.filter (fun m -> m <> 0) members)
+  in
+  Alcotest.(check int) "all survivors decided" 4 (List.length vals);
+  (match vals with
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check int) "agreement" v v') rest;
+      Alcotest.(check bool) "validity" true (v >= 201 && v <= 204)
+  | [] -> Alcotest.fail "no decisions")
+
+let test_consensus_under_loss () =
+  let e, _net, members, group =
+    let e, net = make ~seed:9 ~n:3 ~drop:0.2 () in
+    let members = [ 0; 1; 2 ] in
+    let fd = Fd.create_group net ~members () in
+    let group = Cint.create_group net ~members ~fd ~rto:(Simtime.of_ms 5) () in
+    (e, net, members, group)
+  in
+  let decisions = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let h = Cint.handle group ~me:m in
+      Cint.on_decide h (fun ~instance v -> Hashtbl.replace decisions (m, instance) v);
+      Cint.propose h ~instance:0 m)
+    members;
+  run_ms e 20_000;
+  let vals = List.filter_map (fun m -> Hashtbl.find_opt decisions (m, 0)) members in
+  Alcotest.(check int) "all decided despite loss" 3 (List.length vals);
+  match vals with
+  | v :: rest -> List.iter (fun v' -> Alcotest.(check int) "agreement" v v') rest
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Atomic broadcast                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let abcast_setup ~impl ?(seed = 33) ?(n = 3) ?(clients = []) () =
+  let e, net = make ~seed ~n:(n + List.length clients) () in
+  let members = List.init n Fun.id in
+  let group = Abcast.create_group net ~members ~clients ~impl () in
+  (e, net, members, group)
+
+let check_total_order ~logs members =
+  (* Every member must deliver the same sequence. *)
+  match members with
+  | [] -> ()
+  | first :: rest ->
+      let reference = List.rev logs.(first) in
+      List.iter
+        (fun m ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "member %d same sequence" m)
+            reference
+            (List.rev logs.(m)))
+        rest
+
+let test_abcast_total_order impl () =
+  let e, _net, members, group = abcast_setup ~impl () in
+  let logs = Array.make 3 [] in
+  List.iter
+    (fun m ->
+      let h = Abcast.handle group ~me:m in
+      Abcast.on_deliver h (fun ~origin msg ->
+          logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+    members;
+  List.iter
+    (fun m ->
+      let h = Abcast.handle group ~me:m in
+      for k = 0 to 9 do
+        Abcast.broadcast h (Payload ((m * 100) + k))
+      done)
+    members;
+  run_ms e 20_000;
+  Alcotest.(check int) "member 0 got all" 30 (List.length logs.(0));
+  check_total_order ~logs members
+
+let test_abcast_client_inject impl () =
+  let e, _net, members, group = abcast_setup ~impl ~clients:[ 3 ] () in
+  let logs = Array.make 3 [] in
+  List.iter
+    (fun m ->
+      let h = Abcast.handle group ~me:m in
+      Abcast.on_deliver h (fun ~origin msg ->
+          logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+    members;
+  Abcast.broadcast_from group ~src:3 (Payload 55);
+  run_ms e 10_000;
+  List.iter
+    (fun m ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "member %d" m)
+        [ (3, 55) ]
+        (List.rev logs.(m)))
+    members
+
+let test_abcast_member_crash impl () =
+  let e, net, members, group = abcast_setup ~impl ~n:5 ~seed:77 () in
+  let logs = Array.make 5 [] in
+  List.iter
+    (fun m ->
+      let h = Abcast.handle group ~me:m in
+      Abcast.on_deliver h (fun ~origin msg ->
+          logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+    members;
+  (* Everyone broadcasts; member 0 (the initial sequencer / first
+     coordinator) crashes mid-stream. *)
+  List.iter
+    (fun m ->
+      let h = Abcast.handle group ~me:m in
+      for k = 0 to 4 do
+        ignore
+          (Engine.schedule e ~after:(Simtime.of_ms (1 + k))
+             (Network.guard net m (fun () -> Abcast.broadcast h (Payload ((m * 10) + k)))))
+      done)
+    members;
+  ignore (Engine.schedule e ~after:(Simtime.of_ms 3) (fun () -> Network.crash net 0));
+  run_ms e 30_000;
+  let survivors = List.filter (fun m -> m <> 0) members in
+  check_total_order ~logs survivors;
+  (* All messages from correct members must be delivered. *)
+  let delivered1 = List.rev_map snd logs.(1) in
+  List.iter
+    (fun m ->
+      for k = 0 to 4 do
+        Alcotest.(check bool)
+          (Printf.sprintf "msg %d delivered" ((m * 10) + k))
+          true
+          (List.mem ((m * 10) + k) delivered1)
+      done)
+    survivors
+
+let prop_abcast_random_schedules impl =
+  QCheck.Test.make ~name:"abcast total order under random seeds" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let e, _net, members, group = abcast_setup ~impl ~seed () in
+      let logs = Array.make 3 [] in
+      List.iter
+        (fun m ->
+          let h = Abcast.handle group ~me:m in
+          Abcast.on_deliver h (fun ~origin msg ->
+              logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+        members;
+      List.iter
+        (fun m ->
+          let h = Abcast.handle group ~me:m in
+          for k = 0 to 4 do
+            Abcast.broadcast h (Payload ((m * 10) + k))
+          done)
+        members;
+      run_ms e 20_000;
+      List.length logs.(0) = 15
+      && List.rev logs.(0) = List.rev logs.(1)
+      && List.rev logs.(1) = List.rev logs.(2))
+
+(* ------------------------------------------------------------------ *)
+(* View-synchronous broadcast                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_vscast_basic_delivery () =
+  let e, _net, members, group =
+    let e, net = make ~seed:51 () in
+    let members = [ 0; 1; 2 ] in
+    (e, net, members, Vscast.create_group net ~members ())
+  in
+  let logs = Array.make 3 [] in
+  List.iter
+    (fun m ->
+      let h = Vscast.handle group ~me:m in
+      Vscast.on_deliver h (fun ~origin msg ->
+          logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+    members;
+  let h0 = Vscast.handle group ~me:0 in
+  for k = 0 to 4 do
+    Vscast.broadcast h0 (Payload k)
+  done;
+  run_ms e 5_000;
+  List.iter
+    (fun m ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "member %d delivers in sender order" m)
+        (List.init 5 (fun k -> (0, k)))
+        (List.rev logs.(m)))
+    members
+
+let test_vscast_view_change_on_crash () =
+  let e, net = make ~seed:52 () in
+  let members = [ 0; 1; 2 ] in
+  let group = Vscast.create_group net ~members () in
+  let views = ref [] in
+  let h0 = Vscast.handle group ~me:0 in
+  let h1 = Vscast.handle group ~me:1 in
+  Vscast.on_view_change h0 (fun v -> views := v :: !views);
+  Network.crash net 2;
+  run_ms e 5_000;
+  (match !views with
+  | [ v ] ->
+      Alcotest.(check int) "view id" 1 v.View.id;
+      Alcotest.(check (list int)) "members" [ 0; 1 ] v.View.members
+  | vs -> Alcotest.fail (Printf.sprintf "expected 1 view change, got %d" (List.length vs)));
+  Alcotest.(check int) "other member agrees" 1 (Vscast.current_view h1).View.id;
+  (* Broadcasts still work in the new view. *)
+  let got = ref [] in
+  Vscast.on_deliver h1 (fun ~origin:_ msg -> got := payload_of msg :: !got);
+  Vscast.broadcast h0 (Payload 9);
+  run_ms e 10_000;
+  Alcotest.(check (list int)) "post-view-change delivery" [ 9 ] !got
+
+let test_vscast_view_synchrony () =
+  (* Sender crashes while broadcasting: survivors must deliver the same
+     set of messages before installing the next view. *)
+  let e, net = make ~seed:53 ~n:4 () in
+  let members = [ 0; 1; 2; 3 ] in
+  let group = Vscast.create_group net ~members () in
+  let logs = Array.make 4 [] in
+  List.iter
+    (fun m ->
+      let h = Vscast.handle group ~me:m in
+      Vscast.on_deliver h (fun ~origin msg ->
+          logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+    members;
+  let h3 = Vscast.handle group ~me:3 in
+  for k = 0 to 9 do
+    ignore
+      (Engine.schedule e ~after:(Simtime.of_us (200 * k))
+         (Network.guard net 3 (fun () -> Vscast.broadcast h3 (Payload k))))
+  done;
+  (* Crash the sender mid-stream. *)
+  ignore (Engine.schedule e ~after:(Simtime.of_ms 1) (fun () -> Network.crash net 3));
+  run_ms e 10_000;
+  let survivors = [ 0; 1; 2 ] in
+  let sets =
+    List.map
+      (fun m -> List.sort compare (List.map snd logs.(m)))
+      survivors
+  in
+  (match sets with
+  | s0 :: rest ->
+      List.iter
+        (fun s -> Alcotest.(check (list int)) "same delivered set" s0 s)
+        rest
+  | [] -> ());
+  List.iter
+    (fun m ->
+      let h = Vscast.handle group ~me:m in
+      Alcotest.(check (list int)) "final view" [ 0; 1; 2 ]
+        (Vscast.current_view h).View.members)
+    survivors
+
+
+(* ------------------------------------------------------------------ *)
+(* Additional edge cases                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fd_timing_parameters () =
+  let e, net = make () in
+  let members = [ 0; 1 ] in
+  let group =
+    Fd.create_group net ~members
+      ~heartbeat_every:(Simtime.of_ms 10)
+      ~timeout:(Simtime.of_ms 50)
+      ()
+  in
+  let fd0 = Fd.handle group ~me:0 in
+  let suspected_at = ref None in
+  Fd.on_suspect fd0 (fun _ -> suspected_at := Some (Engine.now e));
+  ignore (Engine.schedule e ~after:(Simtime.of_ms 100) (fun () -> Network.crash net 1));
+  run_ms e 1_000;
+  match !suspected_at with
+  | None -> Alcotest.fail "never suspected"
+  | Some t ->
+      let delay = Simtime.to_ms (Simtime.sub t (Simtime.of_ms 100)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "suspicion within [timeout, timeout+2hb+slack] (%.1fms)" delay)
+        true
+        (delay >= 45. && delay <= 90.)
+
+let test_rchan_retries_exhaust () =
+  (* Sending to a permanently dead node must not livelock the engine. *)
+  let e, net = make () in
+  let group =
+    Rchan.create_group net ~nodes:[ 0; 1 ] ~rto:(Simtime.of_ms 5)
+      ~max_retries:10 ()
+  in
+  Network.crash net 1;
+  Rchan.send (Rchan.handle group ~me:0) ~dst:1 (Payload 1);
+  let executed = Engine.run ~until:(Simtime.of_sec 60.) e in
+  Alcotest.(check bool) "bounded retransmissions" true (executed < 100);
+  Alcotest.(check bool) "engine drained" true (Engine.pending e = 0)
+
+let test_consensus_even_membership () =
+  let e, _net, members, group = consensus_setup ~n:4 () in
+  let decisions = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let h = Cint.handle group ~me:m in
+      Cint.on_decide h (fun ~instance v -> Hashtbl.replace decisions (m, instance) v);
+      Cint.propose h ~instance:0 m)
+    members;
+  run_ms e 5_000;
+  let vals = List.filter_map (fun m -> Hashtbl.find_opt decisions (m, 0)) members in
+  Alcotest.(check int) "all four decide" 4 (List.length vals);
+  match vals with
+  | v :: rest -> List.iter (fun v2 -> Alcotest.(check int) "agreement" v v2) rest
+  | [] -> ()
+
+let test_consensus_max_crashes () =
+  (* n=5 tolerates f=2: crash two members including two consecutive
+     coordinators. *)
+  let e, net, members, group = consensus_setup ~n:5 ~seed:8 () in
+  let decisions = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let h = Cint.handle group ~me:m in
+      Cint.on_decide h (fun ~instance v -> Hashtbl.replace decisions (m, instance) v))
+    members;
+  Network.crash net 0;
+  Network.crash net 1;
+  run_ms e 10;
+  List.iter
+    (fun m ->
+      if m > 1 then Cint.propose (Cint.handle group ~me:m) ~instance:0 (300 + m))
+    members;
+  run_ms e 20_000;
+  let vals =
+    List.filter_map
+      (fun m -> if m > 1 then Hashtbl.find_opt decisions (m, 0) else None)
+      members
+  in
+  Alcotest.(check int) "three survivors decide" 3 (List.length vals);
+  match vals with
+  | v :: rest ->
+      List.iter (fun v2 -> Alcotest.(check int) "agreement" v v2) rest;
+      Alcotest.(check bool) "validity" true (v >= 302 && v <= 304)
+  | [] -> ()
+
+let test_vscast_double_crash () =
+  let e, net = make ~seed:71 ~n:5 () in
+  let members = [ 0; 1; 2; 3; 4 ] in
+  let group = Vscast.create_group net ~members () in
+  let h4 = Vscast.handle group ~me:4 in
+  Network.crash net 0;
+  run_ms e 3_000;
+  Network.crash net 1;
+  run_ms e 10_000;
+  Alcotest.(check (list int)) "view shrinks twice" [ 2; 3; 4 ]
+    (Vscast.current_view h4).View.members;
+  (* Still delivers. *)
+  let got = ref [] in
+  let h2 = Vscast.handle group ~me:2 in
+  Vscast.on_deliver h2 (fun ~origin:_ msg -> got := payload_of msg :: !got);
+  Vscast.broadcast h4 (Payload 3);
+  run_ms e 20_000;
+  Alcotest.(check (list int)) "delivery in the shrunken view" [ 3 ] !got
+
+let test_vscast_rejoin () =
+  let e, net = make ~seed:72 () in
+  let members = [ 0; 1; 2 ] in
+  let group = Vscast.create_group net ~members () in
+  let h0 = Vscast.handle group ~me:0 in
+  let h2 = Vscast.handle group ~me:2 in
+  Network.crash net 2;
+  run_ms e 3_000;
+  Alcotest.(check (list int)) "excluded" [ 0; 1 ]
+    (Vscast.current_view h0).View.members;
+  Network.recover net 2;
+  run_ms e 1_000;
+  Vscast.request_join h2;
+  run_ms e 15_000;
+  Alcotest.(check (list int)) "readmitted" [ 0; 1; 2 ]
+    (Vscast.current_view h0).View.members;
+  Alcotest.(check (list int)) "joiner agrees" [ 0; 1; 2 ]
+    (Vscast.current_view h2).View.members;
+  Alcotest.(check bool) "joiner back in view" true (Vscast.in_view h2);
+  (* Post-rejoin broadcasts reach the joiner. *)
+  let got = ref [] in
+  Vscast.on_deliver h2 (fun ~origin:_ msg -> got := payload_of msg :: !got);
+  Vscast.broadcast h0 (Payload 9);
+  run_ms e 25_000;
+  Alcotest.(check (list int)) "delivered to rejoined member" [ 9 ] !got
+
+let test_abcast_bulk_exactly_once impl () =
+  let e, _net, members, group = abcast_setup ~impl ~seed:90 () in
+  let counts = Array.make 3 0 in
+  List.iter
+    (fun m ->
+      let h = Abcast.handle group ~me:m in
+      Abcast.on_deliver h (fun ~origin:_ _ -> counts.(m) <- counts.(m) + 1))
+    members;
+  let h0 = Abcast.handle group ~me:0 in
+  for k = 0 to 99 do
+    Abcast.broadcast h0 (Payload k)
+  done;
+  run_ms e 60_000;
+  Array.iteri
+    (fun m c ->
+      Alcotest.(check int) (Printf.sprintf "member %d delivered all once" m) 100 c)
+    counts
+
+
+let test_abcast_optimistic_delivery impl () =
+  let e, _net, members, group = abcast_setup ~impl ~seed:93 () in
+  let opt_log = ref [] and final_log = ref [] in
+  let h1 = Abcast.handle group ~me:1 in
+  Abcast.on_opt_deliver h1 (fun ~origin:_ msg ->
+      opt_log := payload_of msg :: !opt_log);
+  Abcast.on_deliver h1 (fun ~origin:_ msg ->
+      (* Every final delivery must have been optimistically delivered
+         first (the payload is known before its order is fixed). *)
+      let k = payload_of msg in
+      Alcotest.(check bool)
+        (Printf.sprintf "opt before final for %d" k)
+        true
+        (List.mem k !opt_log);
+      final_log := k :: !final_log);
+  List.iter
+    (fun m ->
+      let h = Abcast.handle group ~me:m in
+      for k = 0 to 4 do
+        Abcast.broadcast h (Payload ((m * 10) + k))
+      done)
+    members;
+  run_ms e 20_000;
+  Alcotest.(check int) "all finally delivered" 15 (List.length !final_log);
+  Alcotest.(check int) "all optimistically delivered" 15 (List.length !opt_log);
+  Alcotest.(check (list int)) "same sets"
+    (List.sort Int.compare !opt_log)
+    (List.sort Int.compare !final_log)
+
+let prop_causal_never_reorders_chains =
+  (* A chain of causally-dependent messages must always deliver in chain
+     order, whatever the network timing. *)
+  QCheck.Test.make ~name:"causal chains preserved under random seeds" ~count:20
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let e, net = make ~seed ~n:3 () in
+      ignore net;
+      let members = [ 0; 1; 2 ] in
+      let group = Causal.create_group net ~members () in
+      let logs = Array.make 3 [] in
+      List.iter
+        (fun m ->
+          let h = Causal.handle group ~me:m in
+          Causal.on_deliver h (fun ~origin:_ msg ->
+              logs.(m) <- payload_of msg :: logs.(m));
+          (* Each member extends the chain when it sees the previous link. *)
+          Causal.on_deliver h (fun ~origin:_ msg ->
+              let k = payload_of msg in
+              if k < 5 && k mod 3 = m then () (* no-op: origin broadcasts *)))
+        members;
+      (* Chain: member (k mod 3) broadcasts k after delivering k-1. *)
+      List.iter
+        (fun m ->
+          let h = Causal.handle group ~me:m in
+          Causal.on_deliver h (fun ~origin:_ msg ->
+              let k = payload_of msg in
+              if k < 5 && (k + 1) mod 3 = m then Causal.broadcast h (Payload (k + 1))))
+        members;
+      Causal.broadcast (Causal.handle group ~me:0) (Payload 0);
+      run_ms e 20_000;
+      Array.for_all
+        (fun log -> List.rev log = [ 0; 1; 2; 3; 4; 5 ])
+        logs)
+
+
+let prop_vscast_random_crash =
+  (* Whatever the crash timing of one member during a broadcast stream,
+     the survivors install the same final view and deliver the same set. *)
+  QCheck.Test.make ~name:"vscast view synchrony under random crash timing"
+    ~count:10
+    QCheck.(pair (int_range 0 5_000) (int_range 0 3_000))
+    (fun (seed, crash_us) ->
+      let e, net = make ~seed ~n:4 () in
+      let members = [ 0; 1; 2; 3 ] in
+      let group = Vscast.create_group net ~members () in
+      let logs = Array.make 4 [] in
+      List.iter
+        (fun m ->
+          let h = Vscast.handle group ~me:m in
+          Vscast.on_deliver h (fun ~origin msg ->
+              logs.(m) <- (origin, payload_of msg) :: logs.(m)))
+        members;
+      let h0 = Vscast.handle group ~me:0 in
+      for k = 0 to 9 do
+        ignore
+          (Engine.schedule e ~after:(Simtime.of_us (150 * k))
+             (Network.guard net 0 (fun () -> Vscast.broadcast h0 (Payload k))))
+      done;
+      ignore
+        (Engine.schedule e ~after:(Simtime.of_us crash_us) (fun () ->
+             Network.crash net 3));
+      run_ms e 30_000;
+      let survivors = [ 0; 1; 2 ] in
+      let views =
+        List.map
+          (fun m -> (Vscast.current_view (Vscast.handle group ~me:m)).View.members)
+          survivors
+      in
+      let sets =
+        List.map (fun m -> List.sort compare logs.(m)) survivors
+      in
+      List.for_all (fun v -> v = [ 0; 1; 2 ]) views
+      && List.for_all (fun s -> s = List.hd sets) sets)
+
+let prop_consensus_random_coordinator_crash =
+  QCheck.Test.make
+    ~name:"consensus agreement under random coordinator crash timing"
+    ~count:10
+    QCheck.(pair (int_range 0 5_000) (int_range 0 4_000))
+    (fun (seed, crash_us) ->
+      let e, net = make ~seed ~n:5 () in
+      let members = [ 0; 1; 2; 3; 4 ] in
+      let fd = Fd.create_group net ~members () in
+      let group = Cint.create_group net ~members ~fd () in
+      let decisions = Hashtbl.create 8 in
+      List.iter
+        (fun m ->
+          let h = Cint.handle group ~me:m in
+          Cint.on_decide h (fun ~instance v ->
+              Hashtbl.replace decisions (m, instance) v);
+          Cint.propose h ~instance:0 (100 + m))
+        members;
+      ignore
+        (Engine.schedule e ~after:(Simtime.of_us crash_us) (fun () ->
+             Network.crash net 0));
+      run_ms e 30_000;
+      let vals =
+        List.filter_map
+          (fun m -> if m <> 0 then Hashtbl.find_opt decisions (m, 0) else None)
+          members
+      in
+      List.length vals = 4
+      && List.for_all (fun v -> v = List.hd vals) vals
+      && List.hd vals >= 100
+      && List.hd vals <= 104)
+
+let () =
+  Alcotest.run "group"
+    [
+      ( "fd",
+        [
+          tc "suspects crashed" test_fd_suspects_crashed;
+          tc "trust restored" test_fd_trust_restored;
+        ] );
+      ( "rchan",
+        [
+          tc "lossy delivery" test_rchan_lossy_delivery;
+          tc "passthrough" test_rchan_passthrough_no_overhead;
+        ] );
+      ( "rbcast",
+        [
+          tc "all deliver" test_rbcast_all_deliver;
+          tc "no duplicates under loss" test_rbcast_no_duplicates_under_loss;
+        ] );
+      ("fifo", [ tc "per-sender order" test_fifo_order ]);
+      ( "causal",
+        [
+          tc "causal order" test_causal_order;
+          tc "concurrent allowed" test_causal_concurrent_allowed;
+        ] );
+      ( "consensus",
+        [
+          tc "agreement+validity" test_consensus_agreement;
+          tc "multiple instances" test_consensus_multiple_instances;
+          tc "coordinator crash" test_consensus_coordinator_crash;
+          tc "under message loss" test_consensus_under_loss;
+        ] );
+      ( "abcast-sequencer",
+        [
+          tc "total order" (test_abcast_total_order Abcast.Sequencer);
+          tc "client inject" (test_abcast_client_inject Abcast.Sequencer);
+          tc "member crash" (test_abcast_member_crash Abcast.Sequencer);
+          QCheck_alcotest.to_alcotest
+            (prop_abcast_random_schedules Abcast.Sequencer);
+        ] );
+      ( "abcast-consensus",
+        [
+          tc "total order" (test_abcast_total_order Abcast.Consensus_based);
+          tc "client inject" (test_abcast_client_inject Abcast.Consensus_based);
+          tc "member crash" (test_abcast_member_crash Abcast.Consensus_based);
+          QCheck_alcotest.to_alcotest
+            (prop_abcast_random_schedules Abcast.Consensus_based);
+        ] );
+      ( "vscast",
+        [
+          tc "basic delivery" test_vscast_basic_delivery;
+          tc "view change on crash" test_vscast_view_change_on_crash;
+          tc "view synchrony" test_vscast_view_synchrony;
+          tc "double crash" test_vscast_double_crash;
+          tc "rejoin" test_vscast_rejoin;
+        ] );
+      ( "edge-cases",
+        [
+          tc "fd timing" test_fd_timing_parameters;
+          tc "rchan retries exhaust" test_rchan_retries_exhaust;
+          tc "consensus even membership" test_consensus_even_membership;
+          tc "consensus max crashes" test_consensus_max_crashes;
+          tc "abcast bulk (sequencer)" (test_abcast_bulk_exactly_once Abcast.Sequencer);
+          tc "abcast bulk (consensus)" (test_abcast_bulk_exactly_once Abcast.Consensus_based);
+          tc "optimistic delivery (sequencer)" (test_abcast_optimistic_delivery Abcast.Sequencer);
+          tc "optimistic delivery (consensus)" (test_abcast_optimistic_delivery Abcast.Consensus_based);
+          QCheck_alcotest.to_alcotest prop_causal_never_reorders_chains;
+          QCheck_alcotest.to_alcotest prop_vscast_random_crash;
+          QCheck_alcotest.to_alcotest prop_consensus_random_coordinator_crash;
+        ] );
+    ]

@@ -1,0 +1,481 @@
+(* Unit and property tests for the discrete-event simulation substrate. *)
+
+open Sim
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Simtime                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_simtime_units () =
+  Alcotest.(check int) "ms" 5_000 (Simtime.to_us (Simtime.of_ms 5));
+  Alcotest.(check int) "sec" 1_500_000 (Simtime.to_us (Simtime.of_sec 1.5));
+  Alcotest.(check (float 1e-9)) "to_ms" 2.5 (Simtime.to_ms (Simtime.of_us 2_500))
+
+let test_simtime_arith () =
+  let a = Simtime.of_ms 3 and b = Simtime.of_ms 5 in
+  Alcotest.(check int) "add" 8_000 (Simtime.to_us (Simtime.add a b));
+  Alcotest.(check int) "sub saturates" 0 (Simtime.to_us (Simtime.sub a b));
+  Alcotest.(check int) "sub" 2_000 (Simtime.to_us (Simtime.sub b a));
+  Alcotest.(check bool) "lt" true Simtime.(a < b);
+  Alcotest.(check int) "add inf" (Simtime.to_us Simtime.infinity)
+    (Simtime.to_us (Simtime.add Simtime.infinity a))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  let drained = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] drained;
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let xs = List.init 100 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys;
+  let c = Rng.create ~seed:43 in
+  let zs = List.init 100 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "int in bounds" true (x >= 0 && x < 10);
+    let y = Rng.range r 5 9 in
+    Alcotest.(check bool) "range in bounds" true (y >= 5 && y <= 9);
+    let f = Rng.float r 2.0 in
+    Alcotest.(check bool) "float in bounds" true (f >= 0.0 && f < 2.0);
+    let e = Rng.exponential r ~mean:3.0 in
+    Alcotest.(check bool) "exponential nonnegative" true (e >= 0.0)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:1 in
+  let s = Rng.split r in
+  let xs = List.init 50 (fun _ -> Rng.int r 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int s 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_zipf () =
+  let r = Rng.create ~seed:5 in
+  let sampler = Rng.Zipf.make ~n:100 ~theta:0.99 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let k = Rng.Zipf.draw r sampler in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Skewed: the hottest key must dominate the coldest. *)
+  Alcotest.(check bool) "skew" true (counts.(0) > 10 * (counts.(99) + 1))
+
+let test_zipf_uniform_theta0 () =
+  let r = Rng.create ~seed:5 in
+  let sampler = Rng.Zipf.make ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = Rng.Zipf.draw r sampler in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let at ms tag =
+    ignore
+      (Engine.schedule e ~after:(Simtime.of_ms ms) (fun () ->
+           log := tag :: !log))
+  in
+  at 30 "c";
+  at 10 "a";
+  at 20 "b";
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock" 30_000 (Simtime.to_us (Engine.now e))
+
+let test_engine_fifo_same_instant () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule e ~after:(Simtime.of_ms 1) (fun () -> log := i :: !log))
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "schedule order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let tm = Engine.schedule e ~after:(Simtime.of_ms 1) (fun () -> fired := true) in
+  Engine.cancel tm;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~after:(Simtime.of_ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule e ~after:(Simtime.of_ms 1) (fun () ->
+                log := "inner" :: !log))));
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "clock advanced twice" 2_000 (Simtime.to_us (Engine.now e))
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  let tm = Engine.periodic e ~every:(Simtime.of_ms 10) (fun () -> incr ticks) in
+  ignore (Engine.run ~until:(Simtime.of_ms 55) e);
+  Alcotest.(check int) "five ticks" 5 !ticks;
+  Engine.cancel tm;
+  ignore (Engine.run ~until:(Simtime.of_ms 200) e);
+  Alcotest.(check int) "no ticks after cancel" 5 !ticks
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~after:(Simtime.of_ms (10 * i)) (fun () -> incr count))
+  done;
+  let n = Engine.run ~until:(Simtime.of_ms 45) e in
+  Alcotest.(check int) "events executed" 4 n;
+  Alcotest.(check int) "counter" 4 !count;
+  Alcotest.(check int) "rest pending" 6 (Engine.pending e)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec reschedule () =
+    incr count;
+    ignore (Engine.schedule e ~after:(Simtime.of_ms 1) reschedule)
+  in
+  ignore (Engine.schedule e ~after:(Simtime.of_ms 1) reschedule);
+  let n = Engine.run ~max_events:50 e in
+  Alcotest.(check int) "bounded" 50 n;
+  Alcotest.(check int) "count" 50 !count
+
+
+let test_engine_cancelled_head_respects_until () =
+  (* Regression: a cancelled timer at the head of the queue must not let
+     [run ~until] execute a live event beyond the horizon. *)
+  let e = Engine.create () in
+  let tm = Engine.schedule e ~after:(Simtime.of_ms 10) (fun () -> ()) in
+  Engine.cancel tm;
+  let fired = ref false in
+  ignore (Engine.schedule e ~after:(Simtime.of_ms 500) (fun () -> fired := true));
+  ignore (Engine.run ~until:(Simtime.of_ms 100) e);
+  Alcotest.(check bool) "beyond-horizon event did not run" false !fired;
+  Alcotest.(check bool) "clock within horizon" true
+    Simtime.(Engine.now e <= Simtime.of_ms 100);
+  ignore (Engine.run ~until:(Simtime.of_ms 600) e);
+  Alcotest.(check bool) "it runs once the horizon allows" true !fired
+
+let test_engine_schedule_at_past_clamps () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:(Simtime.of_ms 50) (fun () -> ()));
+  ignore (Engine.run e);
+  (* Scheduling at an absolute time in the past clamps to now. *)
+  let ran_at = ref Simtime.zero in
+  ignore
+    (Engine.schedule_at e ~at:(Simtime.of_ms 10) (fun () -> ran_at := Engine.now e));
+  ignore (Engine.run e);
+  Alcotest.(check int) "clamped to now" 50_000 (Simtime.to_us !ran_at)
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_net ?(n = 3) ?(config = Network.default_config) () =
+  let e = Engine.create ~seed:11 () in
+  let net = Network.create e ~n config in
+  (e, net)
+
+let collect_pings net node log =
+  Network.add_handler net node (fun ~src msg ->
+      match msg with
+      | Msg.Ping k ->
+          log := (src, k) :: !log;
+          true
+      | _ -> false)
+
+let test_network_delivery () =
+  let e, net = make_net () in
+  let log = ref [] in
+  collect_pings net 1 log;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 7);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int))) "delivered" [ (0, 7) ] !log;
+  Alcotest.(check int) "sent" 1 (Network.messages_sent net);
+  Alcotest.(check int) "delivered count" 1 (Network.messages_delivered net)
+
+let test_network_latency_bounds () =
+  let config =
+    {
+      Network.latency = Network.Uniform (Simtime.of_ms 1, Simtime.of_ms 2);
+      drop_probability = 0.0;
+      trace_messages = false;
+    }
+  in
+  let e, net = make_net ~config () in
+  let arrival = ref Simtime.zero in
+  Network.add_handler net 1 (fun ~src:_ _ ->
+      arrival := Engine.now e;
+      true);
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 0);
+  ignore (Engine.run e);
+  let us = Simtime.to_us !arrival in
+  Alcotest.(check bool) "within bounds" true (us >= 1_000 && us <= 2_000)
+
+let test_network_crash_drops () =
+  let e, net = make_net () in
+  let log = ref [] in
+  collect_pings net 1 log;
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 1);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int))) "not delivered" [] !log;
+  Alcotest.(check int) "dropped" 1 (Network.messages_dropped net);
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 2);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int))) "delivered after recovery" [ (0, 2) ] !log
+
+let test_network_crashed_source_cannot_send () =
+  let e, net = make_net () in
+  let log = ref [] in
+  collect_pings net 1 log;
+  Network.crash net 0;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 1);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int))) "nothing" [] !log
+
+let test_network_partition () =
+  let e, net = make_net () in
+  let log = ref [] in
+  collect_pings net 1 log;
+  Network.partition net [ 0 ];
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 1);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int))) "blocked" [] !log;
+  Network.heal net;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 2);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int))) "healed" [ (0, 2) ] !log
+
+let test_network_partition_within_group () =
+  let e, net = make_net () in
+  let log = ref [] in
+  collect_pings net 2 log;
+  (* 1 and 2 on the same side still communicate. *)
+  Network.partition net [ 1; 2 ];
+  Network.send net ~src:1 ~dst:2 (Msg.Ping 9);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int))) "same side ok" [ (1, 9) ] !log
+
+let test_network_drop_probability () =
+  let config =
+    { Network.default_config with Network.drop_probability = 0.5 }
+  in
+  let e, net = make_net ~config () in
+  let count = ref 0 in
+  Network.add_handler net 1 (fun ~src:_ _ ->
+      incr count;
+      true);
+  for _ = 1 to 1000 do
+    Network.send net ~src:0 ~dst:1 (Msg.Ping 0)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "roughly half lost" true (!count > 350 && !count < 650)
+
+let test_network_handler_stack () =
+  let e, net = make_net () in
+  let pings = ref 0 and pongs = ref 0 in
+  Network.add_handler net 1 (fun ~src:_ msg ->
+      match msg with
+      | Msg.Ping _ ->
+          incr pings;
+          true
+      | _ -> false);
+  Network.add_handler net 1 (fun ~src:_ msg ->
+      match msg with
+      | Msg.Pong _ ->
+          incr pongs;
+          true
+      | _ -> false);
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 0);
+  Network.send net ~src:0 ~dst:1 (Msg.Pong 0);
+  ignore (Engine.run e);
+  Alcotest.(check (pair int int)) "both layers got theirs" (1, 1) (!pings, !pongs)
+
+let test_network_guard () =
+  let e, net = make_net () in
+  let fired = ref 0 in
+  ignore
+    (Engine.periodic e ~every:(Simtime.of_ms 10)
+       (Network.guard net 0 (fun () -> incr fired)));
+  ignore (Engine.run ~until:(Simtime.of_ms 35) e);
+  Network.crash net 0;
+  ignore (Engine.run ~until:(Simtime.of_ms 100) e);
+  Alcotest.(check int) "guard stops timers at crash" 3 !fired
+
+
+let test_network_per_link_latency () =
+  let config =
+    { Network.default_config with Network.latency = Network.Constant (Simtime.of_ms 1) }
+  in
+  let e, net = make_net ~config ~n:3 () in
+  Network.set_link_latency net 0 2 (Network.Constant (Simtime.of_ms 40));
+  let arrivals = Hashtbl.create 4 in
+  List.iter
+    (fun node ->
+      Network.add_handler net node (fun ~src:_ _ ->
+          Hashtbl.replace arrivals node (Engine.now e);
+          true))
+    [ 1; 2 ];
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 0);
+  Network.send net ~src:0 ~dst:2 (Msg.Ping 0);
+  ignore (Engine.run e);
+  Alcotest.(check int) "default link" 1_000
+    (Simtime.to_us (Hashtbl.find arrivals 1));
+  Alcotest.(check int) "overridden link" 40_000
+    (Simtime.to_us (Hashtbl.find arrivals 2));
+  (* Symmetric and clearable. *)
+  Network.send net ~src:2 ~dst:0 (Msg.Ping 0);
+  let t0 = Engine.now e in
+  Network.add_handler net 0 (fun ~src:_ _ ->
+      Hashtbl.replace arrivals 0 (Engine.now e);
+      true);
+  ignore (Engine.run e);
+  Alcotest.(check int) "reverse direction also 40ms" 40_000
+    (Simtime.to_us (Simtime.sub (Hashtbl.find arrivals 0) t0));
+  Network.clear_link_latencies net;
+  Network.send net ~src:0 ~dst:2 (Msg.Ping 0);
+  let t1 = Engine.now e in
+  ignore (Engine.run e);
+  Alcotest.(check int) "cleared override" 1_000
+    (Simtime.to_us (Simtime.sub (Hashtbl.find arrivals 2) t1))
+
+(* Determinism: identical seeds produce identical message traces. *)
+let run_workload seed =
+  let e = Engine.create ~seed () in
+  let config =
+    { Network.default_config with Network.trace_messages = true }
+  in
+  let net = Network.create e ~n:4 config in
+  let log = ref [] in
+  for node = 0 to 3 do
+    Network.add_handler net node (fun ~src msg ->
+        match msg with
+        | Msg.Ping k ->
+            log := (Simtime.to_us (Engine.now e), src, node, k) :: !log;
+            if k > 0 then
+              Network.send net ~src:node ~dst:((node + 1) mod 4) (Msg.Ping (k - 1));
+            true
+        | _ -> false)
+  done;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 20);
+  ignore (Engine.run e);
+  List.rev !log
+
+let test_determinism () =
+  let a = run_workload 99 and b = run_workload 99 in
+  Alcotest.(check bool) "same seed, same trace" true (a = b);
+  let c = run_workload 100 in
+  Alcotest.(check bool) "different seed, different timings" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracer () =
+  let tr = Tracer.create () in
+  Tracer.record tr ~time:(Simtime.of_ms 1) ~node:0 ~label:"a" "x";
+  Tracer.record tr ~time:(Simtime.of_ms 2) ~label:"b" "y";
+  Tracer.record tr ~time:(Simtime.of_ms 3) ~node:1 ~label:"a" "z";
+  Alcotest.(check int) "count" 2 (Tracer.count tr ~label:"a");
+  Alcotest.(check int) "entries" 3 (List.length (Tracer.entries tr));
+  let a_entries = Tracer.with_label tr "a" in
+  Alcotest.(check (list string)) "filtered info" [ "x"; "z" ]
+    (List.map (fun e -> e.Tracer.info) a_entries);
+  Tracer.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Tracer.entries tr))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "simtime",
+        [ tc "units" test_simtime_units; tc "arith" test_simtime_arith ] );
+      ( "heap",
+        [
+          tc "basic" test_heap_basic;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "rng",
+        [
+          tc "deterministic" test_rng_deterministic;
+          tc "bounds" test_rng_bounds;
+          tc "split" test_rng_split_independent;
+          tc "zipf skew" test_zipf;
+          tc "zipf uniform" test_zipf_uniform_theta0;
+        ] );
+      ( "engine",
+        [
+          tc "time order" test_engine_time_order;
+          tc "fifo same instant" test_engine_fifo_same_instant;
+          tc "cancel" test_engine_cancel;
+          tc "nested" test_engine_nested_schedule;
+          tc "periodic" test_engine_periodic;
+          tc "run until" test_engine_run_until;
+          tc "max events" test_engine_max_events;
+          tc "cancelled head vs until" test_engine_cancelled_head_respects_until;
+          tc "schedule_at past clamps" test_engine_schedule_at_past_clamps;
+        ] );
+      ( "network",
+        [
+          tc "delivery" test_network_delivery;
+          tc "latency bounds" test_network_latency_bounds;
+          tc "crash drops" test_network_crash_drops;
+          tc "crashed source" test_network_crashed_source_cannot_send;
+          tc "partition" test_network_partition;
+          tc "partition same side" test_network_partition_within_group;
+          tc "drop probability" test_network_drop_probability;
+          tc "handler stack" test_network_handler_stack;
+          tc "guard" test_network_guard;
+          tc "per-link latency" test_network_per_link_latency;
+          tc "determinism" test_determinism;
+        ] );
+      ("tracer", [ tc "basics" test_tracer ]);
+    ]

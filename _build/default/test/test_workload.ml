@@ -1,0 +1,230 @@
+(* Tests for the workload library: spec, generator, statistics, and the
+   closed-loop runner (incl. determinism and failure schedules). *)
+
+open Sim
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_respects_spec () =
+  let spec =
+    {
+      Workload.Spec.default with
+      n_keys = 10;
+      ops_per_txn = 3;
+      update_ratio = 1.0;
+    }
+  in
+  let gen = Workload.Generator.create ~seed:1 spec in
+  for _ = 1 to 50 do
+    let update, req = Workload.Generator.request gen ~client:7 in
+    Alcotest.(check bool) "all updates at ratio 1.0" true update;
+    Alcotest.(check int) "ops per txn" 3 (List.length req.Store.Operation.ops);
+    Alcotest.(check int) "client" 7 req.Store.Operation.client;
+    List.iter
+      (fun op ->
+        match op with
+        | Store.Operation.Incr (k, 1) ->
+            let idx = int_of_string (String.sub k 1 (String.length k - 1)) in
+            Alcotest.(check bool) "key in range" true (idx >= 0 && idx < 10)
+        | _ -> Alcotest.fail "update mix must produce Incr operations")
+      req.Store.Operation.ops
+  done
+
+let test_generator_read_only_mix () =
+  let spec = { Workload.Spec.default with update_ratio = 0.0 } in
+  let gen = Workload.Generator.create ~seed:2 spec in
+  for _ = 1 to 50 do
+    let update, req = Workload.Generator.request gen ~client:1 in
+    Alcotest.(check bool) "no updates" false update;
+    Alcotest.(check bool) "request is read-only" false
+      (Store.Operation.request_is_update req)
+  done
+
+let test_generator_ratio_statistics () =
+  let spec = { Workload.Spec.default with update_ratio = 0.3 } in
+  let gen = Workload.Generator.create ~seed:3 spec in
+  let updates = ref 0 in
+  for _ = 1 to 1000 do
+    let update, _ = Workload.Generator.request gen ~client:1 in
+    if update then incr updates
+  done;
+  Alcotest.(check bool) "≈30% updates" true (!updates > 230 && !updates < 370)
+
+let test_generator_skew () =
+  let spec = { Workload.Spec.default with key_skew = 0.99; n_keys = 100 } in
+  let gen = Workload.Generator.create ~seed:4 spec in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to 2000 do
+    let _, req = Workload.Generator.request gen ~client:1 in
+    List.iter
+      (fun op ->
+        List.iter
+          (fun k ->
+            Hashtbl.replace counts k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+          (Store.Operation.read_keys op @ Store.Operation.write_keys op))
+      req.Store.Operation.ops
+  done;
+  let hottest = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  Alcotest.(check bool) "hot key dominates" true (hottest > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  let s = Workload.Stats.summarize [] in
+  Alcotest.(check int) "count" 0 s.Workload.Stats.count
+
+let test_stats_known_values () =
+  let values = List.init 100 (fun i -> float_of_int (i + 1)) in
+  let s = Workload.Stats.summarize values in
+  Alcotest.(check int) "count" 100 s.Workload.Stats.count;
+  Alcotest.(check (float 0.001)) "mean" 50.5 s.Workload.Stats.mean;
+  Alcotest.(check (float 1.5)) "p50" 50.0 s.Workload.Stats.p50;
+  Alcotest.(check (float 1.5)) "p90" 90.0 s.Workload.Stats.p90;
+  Alcotest.(check (float 1.5)) "p99" 99.0 s.Workload.Stats.p99;
+  Alcotest.(check (float 0.001)) "min" 1.0 s.Workload.Stats.min;
+  Alcotest.(check (float 0.001)) "max" 100.0 s.Workload.Stats.max
+
+let test_stats_order_independent () =
+  let a = Workload.Stats.summarize [ 3.; 1.; 2. ] in
+  let b = Workload.Stats.summarize [ 1.; 2.; 3. ] in
+  Alcotest.(check (float 0.001)) "same p50" a.Workload.Stats.p50 b.Workload.Stats.p50
+
+let test_stats_recorder () =
+  let r = Workload.Stats.recorder () in
+  Workload.Stats.record r 5.0;
+  Workload.Stats.record r 15.0;
+  let s = Workload.Stats.summary r in
+  Alcotest.(check int) "count" 2 s.Workload.Stats.count;
+  Alcotest.(check (float 0.001)) "mean" 10.0 s.Workload.Stats.mean
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let active_factory net ~replicas ~clients =
+  Protocols.Active.create net ~replicas ~clients ()
+
+let small_spec = { Workload.Spec.default with txns_per_client = 10 }
+
+let test_runner_completes () =
+  let result =
+    Workload.Runner.run ~n_clients:2 ~spec:small_spec active_factory
+  in
+  Alcotest.(check int) "all committed" 20 result.Workload.Runner.committed;
+  Alcotest.(check int) "no aborts" 0 result.Workload.Runner.aborted;
+  Alcotest.(check int) "all answered" 0 result.Workload.Runner.unanswered;
+  Alcotest.(check bool) "converged" true result.Workload.Runner.converged;
+  Alcotest.(check bool) "serializable" true result.Workload.Runner.serializable;
+  Alcotest.(check bool) "throughput positive" true
+    (result.Workload.Runner.throughput > 0.);
+  Alcotest.(check int) "latency count = committed" 20
+    result.Workload.Runner.latency_ms.Workload.Stats.count
+
+let test_runner_deterministic () =
+  let run () = Workload.Runner.run ~seed:77 ~spec:small_spec active_factory in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical results for identical seeds" true (a = b);
+  let c = Workload.Runner.run ~seed:78 ~spec:small_spec active_factory in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Workload.Runner.latency_ms <> c.Workload.Runner.latency_ms)
+
+let test_runner_failure_schedule () =
+  let fail_early = [ { Workload.Runner.at = Simtime.of_ms 10; replica = 2 } ] in
+  let smooth = Workload.Runner.run ~seed:5 ~spec:small_spec active_factory in
+  let crashed =
+    Workload.Runner.run ~seed:5 ~spec:small_spec ~failures:fail_early
+      active_factory
+  in
+  Alcotest.(check int) "still all committed" 40 crashed.Workload.Runner.committed;
+  Alcotest.(check bool) "crash visible as a response gap" true
+    Simtime.(
+      crashed.Workload.Runner.max_response_gap
+      > smooth.Workload.Runner.max_response_gap);
+  Alcotest.(check bool) "survivors converged" true
+    crashed.Workload.Runner.converged
+
+let test_runner_latency_split () =
+  let spec = { small_spec with update_ratio = 0.5 } in
+  let result = Workload.Runner.run ~n_clients:2 ~spec active_factory in
+  let r = result.Workload.Runner.read_latency_ms.Workload.Stats.count in
+  let u = result.Workload.Runner.update_latency_ms.Workload.Stats.count in
+  Alcotest.(check int) "read+update = committed" result.Workload.Runner.committed
+    (r + u);
+  Alcotest.(check bool) "both kinds present" true (r > 0 && u > 0)
+
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_csv () =
+  let result = Workload.Runner.run ~n_clients:1 ~spec:small_spec active_factory in
+  let header_cols = String.split_on_char ',' Workload.Report.csv_header in
+  let row = Workload.Report.csv_row ~label:"test" result in
+  let row_cols = String.split_on_char ',' row in
+  Alcotest.(check int) "row matches header arity" (List.length header_cols)
+    (List.length row_cols);
+  Alcotest.(check string) "label first" "test" (List.hd row_cols);
+  Alcotest.(check string) "committed column" "10" (List.nth row_cols 1);
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Workload.Report.to_csv ppf [ ("a", result); ("b", result) ];
+  Format.pp_print_flush ppf ();
+  Alcotest.(check int) "header + two rows" 3
+    (List.length
+       (List.filter
+          (fun l -> String.length l > 0)
+          (String.split_on_char '\n' (Buffer.contents buf))))
+
+
+let test_runner_poisson_arrivals () =
+  (* Open-loop submission: all transactions go out regardless of replies,
+     and all are eventually answered. *)
+  let result =
+    Workload.Runner.run ~n_clients:2 ~spec:small_spec
+      ~arrival:(`Poisson 200.) active_factory
+  in
+  Alcotest.(check int) "all committed" 20 result.Workload.Runner.committed;
+  Alcotest.(check int) "none unanswered" 0 result.Workload.Runner.unanswered;
+  Alcotest.(check bool) "converged" true result.Workload.Runner.converged;
+  (* Same seed, same arrival process: deterministic too. *)
+  let again =
+    Workload.Runner.run ~n_clients:2 ~spec:small_spec
+      ~arrival:(`Poisson 200.) active_factory
+  in
+  Alcotest.(check bool) "deterministic" true (result = again)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generator",
+        [
+          tc "respects spec" test_generator_respects_spec;
+          tc "read-only mix" test_generator_read_only_mix;
+          tc "ratio statistics" test_generator_ratio_statistics;
+          tc "zipf skew" test_generator_skew;
+        ] );
+      ( "stats",
+        [
+          tc "empty" test_stats_empty;
+          tc "known values" test_stats_known_values;
+          tc "order independent" test_stats_order_independent;
+          tc "recorder" test_stats_recorder;
+        ] );
+      ( "runner",
+        [
+          tc "completes" test_runner_completes;
+          tc "deterministic" test_runner_deterministic;
+          tc "failure schedule" test_runner_failure_schedule;
+          tc "latency split" test_runner_latency_split;
+          tc "poisson arrivals" test_runner_poisson_arrivals;
+        ] );
+      ("report", [ tc "csv" test_report_csv ]);
+    ]
