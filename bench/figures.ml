@@ -79,7 +79,7 @@ let render_lanes marks =
 
 let show_timeline ~(info : Core.Technique.info) inst rid =
   let marks = Core.Phase_trace.marks inst.Core.Technique.phases ~rid in
-  let signature = Core.Phase_trace.signature inst.Core.Technique.phases ~rid in
+  let signature = Core.Phase_span.signature inst.Core.Technique.spans ~rid in
   let sequence = Core.Phase_trace.sequence inst.Core.Technique.phases ~rid in
   Fmt.pr "technique : %s (paper §%s)@." info.name info.section;
   Fmt.pr "sequence  : %a@." Core.Phase.pp_sequence sequence;
@@ -344,7 +344,8 @@ let observed_signatures () =
         else [ Store.Operation.Incr ("x", 1) ]
       in
       let inst, rid, _ = run_single ~factory ~ops () in
-      (info, Core.Phase_trace.signature inst.Core.Technique.phases ~rid))
+      (* Signatures read off the span recorder, not the raw mark log. *)
+      (info, Core.Phase_span.signature inst.Core.Technique.spans ~rid))
     Protocols.Registry.all
 
 let fig15 () =

@@ -399,10 +399,10 @@ let wan () =
 
 let phase_breakdown () =
   section
-    "perf7 — Phase-by-phase latency decomposition (ms, mean over a 100%\
-     -update run)";
-  Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." "technique" "RE>SC" "SC>EX"
-    "EX>AC" "AC>END" "total" "END>AC";
+    "perf7 — Phase-by-phase latency decomposition (ms, mean span duration \
+     over a 100%-update run)";
+  Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." "technique" "RE" "SC" "EX"
+    "AC" "total" "tail";
   List.iter
     (fun (name, factory) ->
       let engine = Engine.create ~seed:77 () in
@@ -421,7 +421,10 @@ let phase_breakdown () =
           go 0)
         clients;
       ignore (Engine.run ~until:(Simtime.of_sec 60.) engine);
-      (* For each request, the first mark time of each phase. *)
+      (* Span durations, not reverse-engineered mark gaps: each phase
+         span's length is exactly the time until the next phase opened. *)
+      let spans = inst.Core.Technique.spans in
+      Core.Phase_span.finalize spans ~at:(Engine.now engine);
       let sums = Hashtbl.create 8 in
       let counts = Hashtbl.create 8 in
       let add key v =
@@ -430,49 +433,53 @@ let phase_breakdown () =
       in
       List.iter
         (fun rid ->
-          let marks = Core.Phase_trace.marks inst.Core.Technique.phases ~rid in
-          let first phase =
-            List.find_opt
-              (fun (m : Core.Phase_trace.mark) -> Core.Phase.equal m.phase phase)
-              marks
-            |> Option.map (fun (m : Core.Phase_trace.mark) -> Simtime.to_ms m.time)
-          in
-          let re = first Core.Phase.Request in
-          let sc = first Core.Phase.Server_coordination in
-          let ex = first Core.Phase.Execution in
-          let ac = first Core.Phase.Agreement_coordination in
-          let fin = first Core.Phase.Response in
-          let gap a b key =
-            match (a, b) with Some x, Some y when y >= x -> add key (y -. x) | _ -> ()
-          in
-          (* Chain through whichever phases the technique has. *)
-          let chain = [ ("RE>SC", re, sc); ("SC>EX", (if sc = None then re else sc), ex) ] in
-          List.iter (fun (k, a, b) -> gap a b k) chain;
-          (match (ex, ac, fin) with
-          | Some x, Some a, Some f when a >= x && f >= a ->
-              add "EX>AC" (a -. x);
-              add "AC>END" (f -. a)
-          | Some x, Some a, Some f when f >= x && a >= f ->
-              (* Lazy: AC after END — the propagation tail the client
-                 never waits for. *)
-              add "END>AC" (a -. f)
-          | Some x, _, Some f when f >= x -> add "EX>END" (f -. x)
-          | _ -> ());
-          gap re fin "total")
-        (Core.Phase_trace.rids inst.Core.Technique.phases);
+          if Core.Phase_span.responded spans ~rid then begin
+            let ps = Core.Phase_span.phase_spans spans ~rid in
+            let start_of p =
+              List.find_opt (fun (q, _) -> Core.Phase.equal p q) ps
+              |> Option.map (fun (_, s) -> s.Sim.Span.start)
+            in
+            let re = start_of Core.Phase.Request in
+            let fin = start_of Core.Phase.Response in
+            (match (re, fin) with
+            | Some a, Some b when Simtime.(b >= a) ->
+                add "total" (Simtime.to_ms (Simtime.sub b a))
+            | _ -> ());
+            List.iter
+              (fun (p, s) ->
+                match p with
+                | Core.Phase.Response -> ()
+                | _ -> (
+                    let post_end =
+                      match fin with
+                      | Some e -> Simtime.(s.Sim.Span.start >= e)
+                      | None -> false
+                    in
+                    match (post_end, s.Sim.Span.stop, fin) with
+                    | true, Some stop, Some e ->
+                        (* Activity after END: lazy propagation, or slow
+                           replicas finishing — the client never waits. *)
+                        add "tail" (Simtime.to_ms (Simtime.sub stop e))
+                    | false, _, _ ->
+                        add (Core.Phase.code p)
+                          (Option.value ~default:0. (Sim.Span.duration_ms s))
+                    | _ -> ()))
+              ps
+          end)
+        (Core.Phase_span.rids spans);
       let mean key =
         match (Hashtbl.find_opt sums key, Hashtbl.find_opt counts key) with
         | Some s, Some c when c > 0 -> Printf.sprintf "%.2f" (s /. float_of_int c)
         | _ -> "-"
       in
-      Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." name (mean "RE>SC")
-        (mean "SC>EX") (mean "EX>AC") (mean "AC>END") (mean "total")
-        (mean "END>AC"))
+      Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." name (mean "RE")
+        (mean "SC") (mean "EX") (mean "AC") (mean "total") (mean "tail"))
     techniques;
   Fmt.pr
-    "@.Reading: the functional model's phases as a latency budget. Lazy@.\
-     techniques put AC after END; their END>AC column is the propagation@.\
-     tail the client never waits for.@."
+    "@.Reading: the functional model's phases as a latency budget, read@.\
+     off each transaction's span tree. The tail column is span activity@.\
+     after END — lazy propagation (AC after END) or slow replicas the@.\
+     client never waits for.@."
 
 
 (* --- perf8: contention under open-loop load ---------------------------- *)

@@ -32,19 +32,27 @@ let technique_arg =
              (String.concat ", " Protocols.Registry.keys)))
 
 let crash_conv =
+  (* Accepts 0@100ms, 0@100 (ms) and 0@1s / 0@1.5s. *)
   let parse s =
     match String.split_on_char '@' s with
     | [ replica; at ] -> (
-        let ms =
+        let time =
           if Filename.check_suffix at "ms" then
-            int_of_string_opt (Filename.chop_suffix at "ms")
-          else int_of_string_opt at
+            Option.map Sim.Simtime.of_ms
+              (int_of_string_opt (Filename.chop_suffix at "ms"))
+          else if Filename.check_suffix at "s" then
+            Option.map Sim.Simtime.of_sec
+              (float_of_string_opt (Filename.chop_suffix at "s"))
+          else Option.map Sim.Simtime.of_ms (int_of_string_opt at)
         in
-        match (int_of_string_opt replica, ms) with
-        | Some r, Some ms ->
-            Ok { Workload.Runner.at = Sim.Simtime.of_ms ms; replica = r }
-        | _ -> Error (`Msg "expected REPLICA@MILLIS, e.g. 0@100ms"))
-    | _ -> Error (`Msg "expected REPLICA@MILLIS, e.g. 0@100ms")
+        match (int_of_string_opt replica, time) with
+        | Some r, _ when r < 0 ->
+            Error
+              (`Msg
+                (Printf.sprintf "replica id must be non-negative, got %d" r))
+        | Some r, Some at -> Ok { Workload.Runner.at; replica = r }
+        | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s"))
+    | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s")
   in
   let print ppf { Workload.Runner.at; replica } =
     Format.fprintf ppf "%d@%a" replica Sim.Simtime.pp at
@@ -102,8 +110,10 @@ let run_cmd =
   let crashes =
     Arg.(
       value & opt_all crash_conv []
-      & info [ "crash" ] ~docv:"R@MS"
-          ~doc:"Crash replica R at time MS (repeatable), e.g. --crash 0@100ms.")
+      & info [ "crash" ] ~docv:"R@TIME"
+          ~doc:
+            "Crash replica R at TIME (repeatable), e.g. --crash 0@100ms or \
+             --crash 0@1s.")
   in
   let csv =
     Arg.(
@@ -140,7 +150,12 @@ let run_cmd =
     Fmt.pr "            read[%a]@." Workload.Stats.pp_summary
       result.Workload.Runner.read_latency_ms;
     Fmt.pr "failover  : max response gap %a@." Sim.Simtime.pp
-      result.Workload.Runner.max_response_gap
+      result.Workload.Runner.max_response_gap;
+    List.iter
+      (fun (phase, s) ->
+        Fmt.pr "phase %-3s : [%a]@." (Core.Phase.code phase)
+          Workload.Stats.pp_summary s)
+      result.Workload.Runner.phase_ms
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
@@ -152,7 +167,7 @@ let run_cmd =
 let trace_cmd =
   let doc =
     "Run a single transaction and print its phase trace (the paper's \
-     timeline figures)."
+     timeline figures), optionally as JSONL or Chrome trace_event JSON."
   in
   let nondet =
     Arg.(
@@ -160,7 +175,17 @@ let trace_cmd =
       & info [ "nondet" ]
           ~doc:"Use a non-deterministic write (exercises semi-active's AC).")
   in
-  let run (_, (info : Core.Technique.info), factory) nondet =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("pretty", `Pretty); ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Pretty
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,pretty) (human-readable marks), $(b,jsonl) \
+             (one JSON object per span) or $(b,chrome) (trace_event JSON for \
+             Perfetto / chrome://tracing).")
+  in
+  let run (_, (info : Core.Technique.info), factory) nondet format =
     let engine = Sim.Engine.create ~seed:3 () in
     let net = Sim.Network.create engine ~n:4 Sim.Network.default_config in
     let inst = factory net ~replicas:[ 0; 1; 2 ] ~clients:[ 3 ] in
@@ -172,14 +197,89 @@ let trace_cmd =
     inst.Core.Technique.submit ~client:3 request (fun _ -> ());
     ignore (Sim.Engine.run ~until:(Sim.Simtime.of_sec 10.) engine);
     let rid = request.Store.Operation.rid in
-    Fmt.pr "technique : %s (paper §%s)@." info.name info.section;
-    Fmt.pr "signature : %a   [paper row: %a]@." Core.Phase.pp_sequence
-      (Core.Phase_trace.signature inst.Core.Technique.phases ~rid)
-      Core.Phase.pp_sequence info.expected_phases;
-    Core.Phase_trace.pp_marks Fmt.stdout
-      (Core.Phase_trace.marks inst.Core.Technique.phases ~rid)
+    let spans = inst.Core.Technique.spans in
+    Core.Phase_span.finalize spans ~at:(Sim.Engine.now engine);
+    match format with
+    | `Jsonl ->
+        print_endline (Sim.Trace_export.to_jsonl (Core.Phase_span.collector spans))
+    | `Chrome ->
+        print_endline (Sim.Trace_export.to_chrome (Core.Phase_span.collector spans))
+    | `Pretty ->
+        Fmt.pr "technique : %s (paper §%s)@." info.name info.section;
+        Fmt.pr "signature : %a   [paper row: %a]@." Core.Phase.pp_sequence
+          (Core.Phase_span.signature spans ~rid)
+          Core.Phase.pp_sequence info.expected_phases;
+        Core.Phase_trace.pp_marks Fmt.stdout
+          (Core.Phase_trace.marks inst.Core.Technique.phases ~rid);
+        Fmt.pr "spans     :@.";
+        List.iter
+          (fun (_, span) ->
+            Fmt.pr "  %a (%.3f ms)@." Sim.Span.pp_span span
+              (Option.value ~default:0. (Sim.Span.duration_ms span)))
+          (Core.Phase_span.phase_spans spans ~rid)
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ technique_arg $ nondet)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ technique_arg $ nondet $ format)
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let metrics_cmd =
+  let doc =
+    "Run a workload against a technique and print its metrics registry \
+     (counters, gauges, per-phase latency histograms)."
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"M" ~doc:"Client count.")
+  in
+  let updates =
+    Arg.(
+      value & opt float 0.5
+      & info [ "updates" ] ~docv:"RATIO" ~doc:"Fraction of update transactions.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 50
+      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the metrics snapshot as a JSON array.")
+  in
+  let run (key, _, factory) n m updates txns seed json =
+    let spec =
+      {
+        Workload.Spec.n_keys = 100;
+        key_skew = 0.6;
+        update_ratio = updates;
+        ops_per_txn = 1;
+        txns_per_client = txns;
+        think_time = Sim.Simtime.of_ms 1;
+      }
+    in
+    let result =
+      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m ~spec
+        (fun net ~replicas ~clients -> factory net ~replicas ~clients)
+    in
+    if json then
+      print_endline (Sim.Metrics.snapshot_to_json result.Workload.Runner.metrics)
+    else begin
+      Fmt.pr "technique : %s@." key;
+      Fmt.pr "result    : %a@.@." Workload.Runner.pp_result result;
+      Workload.Report.phases_to_csv Fmt.stdout [ (key, result) ];
+      Fmt.pr "@.";
+      Sim.Metrics.pp_snapshot Fmt.stdout result.Workload.Runner.metrics
+    end
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const run $ technique_arg $ replicas $ clients $ updates $ txns $ seed
+      $ json)
 
 let () =
   let doc =
@@ -188,4 +288,4 @@ let () =
      a discrete-event simulator."
   in
   let info = Cmd.info "replisim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; metrics_cmd ]))

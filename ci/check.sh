@@ -1,0 +1,23 @@
+#!/bin/sh
+# Minimal CI entry point: formatting (when the formatter is available),
+# build, and the full test suite.
+#
+#   sh ci/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== fmt check =="
+  dune build @fmt
+else
+  echo "== fmt check skipped (ocamlformat not installed) =="
+fi
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== ci: OK =="

@@ -1,0 +1,123 @@
+type txn = {
+  root : Sim.Span.id;
+  mutable current : (Phase.t * Sim.Span.id) option;
+  mutable closed : bool;  (** the Response span has been recorded *)
+}
+
+type t = {
+  spans : Sim.Span.t;
+  txns : (int, txn) Hashtbl.t;
+  on_phase_close : (phase:Phase.t -> replica:int option -> float -> unit) option;
+}
+
+let create ?on_phase_close () =
+  { spans = Sim.Span.create (); txns = Hashtbl.create 64; on_phase_close }
+
+let collector t = t.spans
+
+let span_duration_ms t sid =
+  match Sim.Span.find t.spans sid with
+  | None -> 0.
+  | Some s -> Option.value ~default:0. (Sim.Span.duration_ms s)
+
+let close_phase t txn phase sid time =
+  Sim.Span.finish t.spans sid time;
+  (* Post-response spans (the lazy-propagation tail) stretch the
+     transaction root so the trace stays well nested. *)
+  if txn.closed then Sim.Span.finish t.spans txn.root time;
+  match t.on_phase_close with
+  | None -> ()
+  | Some f -> (
+      match Sim.Span.find t.spans sid with
+      | None -> ()
+      | Some s -> f ~phase ~replica:s.Sim.Span.track (span_duration_ms t sid))
+
+let mark t ~rid ?replica ?(note = "") phase time =
+  let txn =
+    match Hashtbl.find_opt t.txns rid with
+    | Some txn -> txn
+    | None ->
+        let root =
+          Sim.Span.start_span t.spans ~trace:rid ~name:"txn" time
+        in
+        let txn = { root; current = None; closed = false } in
+        Hashtbl.replace t.txns rid txn;
+        txn
+  in
+  match txn.current with
+  | Some (p, sid) when Phase.equal p phase ->
+      (* Same phase marked again (e.g. EX on each replica, or a request
+         resubmission): fold into the open span as a point event. *)
+      Sim.Span.add_event t.spans sid ~at:time ?track:replica note
+  | current -> (
+      (match current with
+      | Some (p, sid) -> close_phase t txn p sid time
+      | None -> ());
+      let sid =
+        Sim.Span.start_span t.spans ~trace:rid ~parent:txn.root ?track:replica
+          ~name:(Phase.code phase) time
+      in
+      if note <> "" then Sim.Span.add_event t.spans sid ~at:time ?track:replica note;
+      match phase with
+      | Phase.Response ->
+          (* END is an instant: the client observed the outcome. *)
+          txn.current <- None;
+          txn.closed <- true;
+          close_phase t txn phase sid time;
+          Sim.Span.finish t.spans txn.root time
+      | _ -> txn.current <- Some (phase, sid))
+
+(* A span still open at flush time closes at the last mark it absorbed,
+   not at the flush instant — otherwise a lazy-propagation tail that
+   nothing else closes would appear to last until quiescence. *)
+let natural_stop t sid =
+  match Sim.Span.find t.spans sid with
+  | None -> None
+  | Some s ->
+      Some
+        (List.fold_left
+           (fun acc (e : Sim.Span.event) -> Sim.Simtime.max acc e.Sim.Span.at)
+           s.Sim.Span.start
+           (Sim.Span.events s))
+
+let finalize t ~at =
+  Hashtbl.iter
+    (fun _rid txn ->
+      (match txn.current with
+      | Some (p, sid) ->
+          let stop = Option.value ~default:at (natural_stop t sid) in
+          close_phase t txn p sid stop;
+          txn.current <- None;
+          Sim.Span.finish t.spans txn.root stop
+      | None -> ());
+      if not txn.closed then begin
+        Sim.Span.finish t.spans txn.root at;
+        txn.closed <- true
+      end)
+    t.txns
+
+let rids t = Sim.Span.traces t.spans
+
+let responded t ~rid =
+  match Hashtbl.find_opt t.txns rid with Some txn -> txn.closed | None -> false
+
+let phase_spans t ~rid =
+  Sim.Span.trace_spans t.spans ~trace:rid
+  |> List.filter_map (fun (s : Sim.Span.span) ->
+         match Phase.of_code s.Sim.Span.name with
+         | Some p -> Some (p, s)
+         | None -> None)
+
+let signature t ~rid =
+  phase_spans t ~rid
+  |> List.fold_left
+       (fun acc (p, _) -> if List.exists (Phase.equal p) acc then acc else p :: acc)
+       []
+  |> List.rev
+
+let durations t ~rid =
+  phase_spans t ~rid
+  |> List.filter_map (fun (p, s) ->
+         Option.map (fun d -> (p, d)) (Sim.Span.duration_ms s))
+
+let well_nested t ~rid = Sim.Span.well_nested t.spans ~trace:rid

@@ -1,0 +1,49 @@
+(** Structured phase spans per transaction.
+
+    This is the span-shaped counterpart of {!Phase_trace}: protocols feed
+    the same phase marks to both, and this recorder turns them into a
+    well-nested {!Sim.Span} tree — one root span ("txn") per request with
+    one child span per {!Phase} occurrence. Consecutive marks of the same
+    phase (e.g. EX on every replica) fold into the open span as point
+    events; a mark of a different phase closes the open span and opens the
+    next one; a {!Phase.Response} mark records the instant END span and
+    closes the root. Marks arriving after Response (the lazy-propagation
+    tail) open further children and stretch the root, so traces remain
+    well nested. *)
+
+type t
+
+(** [create ?on_phase_close ()] — the callback fires whenever a phase span
+    closes, with its replica attribution and duration in milliseconds
+    (used to feed per-phase latency histograms in {!Sim.Metrics}). *)
+val create :
+  ?on_phase_close:(phase:Phase.t -> replica:int option -> float -> unit) ->
+  unit ->
+  t
+
+(** The underlying span collection, for exporters ({!Sim.Trace_export}). *)
+val collector : t -> Sim.Span.t
+
+val mark :
+  t -> rid:int -> ?replica:int -> ?note:string -> Phase.t -> Sim.Simtime.t -> unit
+
+(** Close every span still open (flush at end of run / quiescence). *)
+val finalize : t -> at:Sim.Simtime.t -> unit
+
+(** Transaction ids in first-seen order. *)
+val rids : t -> int list
+
+(** The Response span has been recorded for [rid]. *)
+val responded : t -> rid:int -> bool
+
+(** Phase spans of [rid] in start order. *)
+val phase_spans : t -> rid:int -> (Phase.t * Sim.Span.span) list
+
+(** First-occurrence phase order — the transaction's Figure-16 row, equal
+    to {!Phase_trace.signature} over the same marks. *)
+val signature : t -> rid:int -> Phase.t list
+
+(** [(phase, duration_ms)] per closed phase span, in start order. *)
+val durations : t -> rid:int -> (Phase.t * float) list
+
+val well_nested : t -> rid:int -> bool

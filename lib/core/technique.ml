@@ -47,6 +47,8 @@ type instance = {
   replica_store : int -> Store.Kv.t;
   history : Store.History.t;
   phases : Phase_trace.t;
+  spans : Phase_span.t;  (** structured per-transaction phase spans *)
+  metrics : Sim.Metrics.t;  (** the instance's metrics registry *)
   replicas : int list;
 }
 

@@ -51,7 +51,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           | Req { cid; client; request; reply_from } when cid = ctx.Common.cid
             ->
               let rid = request.Store.Operation.rid in
-              Common.mark ctx ~rid ~replica:r
+              Common.phase_begin ctx ~rid ~replica:r
                 ~note:"deterministic execution in delivery order"
                 Core.Phase.Execution;
               let choose = Common.deterministic_choice ~rid in
@@ -73,7 +73,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
           match msg with
           | Local_read { cid; client; request } when cid = ctx.Common.cid ->
               let rid = request.Store.Operation.rid in
-              Common.mark ctx ~rid ~replica:r
+              Common.count ctx
+                ~labels:[ ("replica", string_of_int r) ]
+                "local_reads_total";
+              Common.phase_begin ctx ~rid ~replica:r
                 ~note:"local read without ordering (sequentially consistent)"
                 Core.Phase.Execution;
               let result =
@@ -96,7 +99,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
         ~dst:(local_replica_of client)
         (Local_read { cid = ctx.Common.cid; client; request })
     else begin
-      Common.mark ctx ~rid:request.Store.Operation.rid
+      Common.phase_begin ctx ~rid:request.Store.Operation.rid
         ~note:"atomic broadcast to the group (merged with RE)"
         Core.Phase.Server_coordination;
       let reply_from =

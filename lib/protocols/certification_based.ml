@@ -109,7 +109,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           match msg with
           | Certify { cid; rid; client; delegate; reads; writes; value }
             when cid = ctx.Common.cid ->
-              Common.mark ctx ~rid ~replica:r
+              Common.phase_begin ctx ~rid ~replica:r
                 ~note:"deterministic certification in delivery order"
                 Core.Phase.Agreement_coordination;
               let now = Engine.now engine in
@@ -140,6 +140,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
                   Core.Certification.offer certifier ~reads ~writes
                 in
                 let committed = outcome <> None in
+                Common.count ctx
+                  ~labels:[ ("replica", string_of_int r) ]
+                  (if committed then "certification_commits_total"
+                   else "certification_aborts_total");
                 if committed then incr commit_count;
                 (match outcome with
                 | Some installed ->
@@ -172,7 +176,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                   Common.send_reply ctx ~replica:r ~client ~rid ~committed
                     ~value
               | None ->
-                  Common.mark ctx ~rid ~replica:r
+                  Common.phase_begin ctx ~rid ~replica:r
                     ~note:"optimistic execution on shadow copies"
                     Core.Phase.Execution;
                   let shadow = Store.Shadow.create (Common.store ctx r) in

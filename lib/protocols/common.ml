@@ -19,10 +19,13 @@ type ctx = {
   replicas : int list;
   clients : int list;
   phases : Core.Phase_trace.t;
+  spans : Core.Phase_span.t;
+  metrics : Metrics.t;
   history : Store.History.t;
   stores : (int, Store.Kv.t) Hashtbl.t;
   reply_cbs : (int, Core.Technique.reply -> unit) Hashtbl.t;
   recorded : (int, unit) Hashtbl.t;
+  submit_times : (int, Simtime.t) Hashtbl.t;
   rng : Rng.t;
 }
 
@@ -31,8 +34,20 @@ let next_cid = ref 0
 let now ctx = Engine.now (Network.engine ctx.net)
 let store ctx replica = Hashtbl.find ctx.stores replica
 
-let mark ctx ~rid ?replica ?note phase =
-  Core.Phase_trace.mark ctx.phases ~rid ?replica ?note phase (now ctx)
+(** Mark the start of a functional-model phase: feeds both the flat mark
+    log ({!Core.Phase_trace}) and the structured span recorder
+    ({!Core.Phase_span}). Every phase transition in a protocol is a span
+    boundary. *)
+let phase_begin ctx ~rid ?replica ?note phase =
+  let at = now ctx in
+  Core.Phase_trace.mark ctx.phases ~rid ?replica ?note phase at;
+  Core.Phase_span.mark ctx.spans ~rid ?replica ?note phase at
+
+(** Bump a counter in the instance's metrics registry. *)
+let count ctx ?labels ?by name = Metrics.incr ctx.metrics ?labels ?by name
+
+(** Record a millisecond value into a histogram. *)
+let observe_ms ctx ?labels name v = Metrics.observe ctx.metrics ?labels name v
 
 (** Create the context and install the client-side handler that resolves
     replies: the first reply for a request wins (paper §3.2: "the client
@@ -40,6 +55,15 @@ let mark ctx ~rid ?replica ?note phase =
 let make net ~replicas ~clients =
   incr next_cid;
   let cid = !next_cid in
+  let metrics = Metrics.create () in
+  let spans =
+    Core.Phase_span.create
+      ~on_phase_close:(fun ~phase ~replica:_ dur_ms ->
+        let labels = [ ("phase", Core.Phase.code phase) ] in
+        Metrics.observe metrics ~labels "phase_ms" dur_ms;
+        Metrics.incr metrics ~labels "phase_spans_total")
+      ()
+  in
   let ctx =
     {
       cid;
@@ -47,10 +71,13 @@ let make net ~replicas ~clients =
       replicas;
       clients;
       phases = Core.Phase_trace.create ();
+      spans;
+      metrics;
       history = Store.History.create ();
       stores = Hashtbl.create 8;
       reply_cbs = Hashtbl.create 64;
       recorded = Hashtbl.create 64;
+      submit_times = Hashtbl.create 64;
       rng = Rng.split (Engine.rng (Network.engine net));
     }
   in
@@ -67,7 +94,16 @@ let make net ~replicas ~clients =
               | None -> true (* duplicate reply: already resolved *)
               | Some cb ->
                   Hashtbl.remove ctx.reply_cbs rid;
-                  mark ctx ~rid Core.Phase.Response;
+                  phase_begin ctx ~rid Core.Phase.Response;
+                  count ctx
+                    ~labels:[ ("replica", string_of_int replica) ]
+                    (if committed then "txn_committed_total"
+                     else "txn_aborted_total");
+                  (match Hashtbl.find_opt ctx.submit_times rid with
+                  | Some t0 ->
+                      observe_ms ctx "txn_ms"
+                        (Simtime.to_ms (Simtime.sub (now ctx) t0))
+                  | None -> ());
                   cb
                     {
                       Core.Technique.rid;
@@ -85,7 +121,9 @@ let make net ~replicas ~clients =
 let register_submit ctx ~client ~(request : Store.Operation.request) cb =
   ignore client;
   Hashtbl.replace ctx.reply_cbs request.rid cb;
-  mark ctx ~rid:request.rid Core.Phase.Request
+  Hashtbl.replace ctx.submit_times request.rid (now ctx);
+  count ctx "txn_submitted_total";
+  phase_begin ctx ~rid:request.rid Core.Phase.Request
 
 (** Send the response back to the client (END happens when it arrives). *)
 let send_reply ctx ~replica ~client ~rid ~committed ~value =
@@ -136,7 +174,8 @@ let retry_until_replied ctx ~rid ~timeout ~target ~send =
     ignore
       (Engine.schedule engine ~after:timeout (fun () ->
            if Hashtbl.mem ctx.reply_cbs rid then begin
-             mark ctx ~rid ~note:"resubmission after timeout"
+             count ctx "resubmissions_total";
+             phase_begin ctx ~rid ~note:"resubmission after timeout"
                Core.Phase.Request;
              send ~dst:(target ~attempt);
              arm (attempt + 1)
@@ -166,5 +205,7 @@ let instance ctx ~info ~submit =
     replica_store = (fun r -> store ctx r);
     history = ctx.history;
     phases = ctx.phases;
+    spans = ctx.spans;
+    metrics = ctx.metrics;
     replicas = ctx.replicas;
   }

@@ -98,9 +98,15 @@ let create net ~replicas ~clients ?(config = default_config) () =
     let rid = rid_of_round txn in
     let st = state me in
     Hashtbl.mem st.buffered rid
-    && not
-         (site_votes_no ~probability:config.abort_probability ~rid
-            ~replica:me)
+    &&
+    let no =
+      site_votes_no ~probability:config.abort_probability ~rid ~replica:me
+    in
+    if no then
+      Common.count ctx
+        ~labels:[ ("replica", string_of_int me) ]
+        "site_no_votes_total";
+    not no
   in
   let learn_commit ~me ~txn committed =
     let rid = rid_of_round txn in
@@ -159,7 +165,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
         if txn.next_op < List.length ops then begin
           let op = List.nth ops txn.next_op in
           txn.next_op <- txn.next_op + 1;
-          Common.mark ctx ~rid ~replica:r
+          Common.phase_begin ctx ~rid ~replica:r
             ~note:
               (if config.interactive then "primary executes one operation"
                else "primary executes the stored procedure")
@@ -188,7 +194,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
         in
         txn.propagated <- all_writes;
         let final = final || txn.next_op >= List.length txn.request.ops in
-        Common.mark ctx ~rid ~replica:r
+        Common.phase_begin ctx ~rid ~replica:r
           ~note:(if final then "change propagation + 2PC" else "change propagation")
           Core.Phase.Agreement_coordination;
         txn.acks <- [ r ];
@@ -284,7 +290,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           match msg with
           | Propagate { cid; rid; writes; final } when cid = ctx.Common.cid ->
               if origin <> r then begin
-                Common.mark ctx ~rid ~replica:r ~note:"secondary applies log records"
+                Common.phase_begin ctx ~rid ~replica:r ~note:"secondary applies log records"
                   Core.Phase.Agreement_coordination;
                 let buf =
                   match Hashtbl.find_opt st.buffered rid with
@@ -314,7 +320,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
               | None ->
                   if not (Store.Operation.request_is_update request) then begin
                     (* Read-only transactions run on any site (§4.3). *)
-                    Common.mark ctx ~rid ~replica:r ~note:"local read"
+                    Common.count ctx
+                      ~labels:[ ("replica", string_of_int r) ]
+                      "local_reads_total";
+                    Common.phase_begin ctx ~rid ~replica:r ~note:"local read"
                       Core.Phase.Execution;
                     let result =
                       Store.Apply.execute (Common.store ctx r)

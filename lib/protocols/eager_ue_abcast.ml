@@ -60,7 +60,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           | Ordered { cid; client; delegate; ops; rid } when cid = ctx.Common.cid
             ->
               if not (Hashtbl.mem cache rid) then begin
-                Common.mark ctx ~rid ~replica:r
+                Common.phase_begin ctx ~rid ~replica:r
                   ~note:"execution in ABCAST delivery order" Core.Phase.Execution;
                 let result =
                   Store.Apply.execute (Common.store ctx r) ops
@@ -86,7 +86,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
               | None ->
                   if not (Hashtbl.mem forwarded (r, rid)) then begin
                     Hashtbl.replace forwarded (r, rid) ();
-                    Common.mark ctx ~rid ~replica:r
+                    Common.count ctx
+                      ~labels:[ ("replica", string_of_int r) ]
+                      "abcast_forwards_total";
+                    Common.phase_begin ctx ~rid ~replica:r
                       ~note:"delegate forwards via atomic broadcast"
                       Core.Phase.Server_coordination;
                     (* The delegate resolves non-determinism so all sites

@@ -169,6 +169,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
     | Some txn when txn.stage = `Committing || txn.stage = `Done -> ()
     | Some txn ->
         txn.stage <- `Done;
+        Common.count ctx "lock_aborts_total";
         List.iter
           (fun dst ->
             Group.Rchan.send (chan r) ~dst (Txn_abort { cid = ctx.Common.cid; rid }))
@@ -241,7 +242,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           txn.exec_acks <- [];
           txn.lock_sites <- lock_sites_for r op;
           txn.exec_sites <- exec_sites_for r op;
-          Common.mark ctx ~rid ~replica:r
+          Common.phase_begin ctx ~rid ~replica:r
             ~note:"lock request at all replicas (2-phase locking)"
             Core.Phase.Server_coordination;
           List.iter
@@ -264,7 +265,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
     | Some txn ->
         txn.stage <- `Executing;
         let op = List.nth txn.ops txn.op_index in
-        Common.mark ctx ~rid ~replica:r ~note:"operation executes at all sites"
+        Common.phase_begin ctx ~rid ~replica:r ~note:"operation executes at all sites"
           Core.Phase.Execution;
         List.iter
           (fun dst ->
@@ -310,7 +311,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
     | None -> ()
     | Some txn ->
         txn.stage <- `Committing;
-        Common.mark ctx ~rid ~replica:r ~note:"two-phase commit"
+        Common.phase_begin ctx ~rid ~replica:r ~note:"two-phase commit"
           Core.Phase.Agreement_coordination;
         let participants = List.filter (Network.alive net) ctx.Common.replicas in
         Core.Two_phase_commit.start tpc ~coordinator:r ~participants ~txn:rid
@@ -463,8 +464,15 @@ let create net ~replicas ~clients ?(config = default_config) () =
                               incr granted;
                               if !granted = total then send_grant ())
                         with
-                        | `Granted | `Waiting -> ()
+                        | `Granted -> ()
+                        | `Waiting ->
+                            Common.count ctx
+                              ~labels:[ ("replica", string_of_int r) ]
+                              "lock_waits_total"
                         | `Deadlock ->
+                            Common.count ctx
+                              ~labels:[ ("replica", string_of_int r) ]
+                              "deadlock_refusals_total";
                             refused := true;
                             Group.Rchan.send (chan r) ~dst:delegate
                               (Lock_refuse { cid = ctx.Common.cid; rid; from = r }))
@@ -491,7 +499,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                       (* Quorum mode: the delegate executes against the
                          freshest quorum copies; other sites only install
                          the writeset at commit. *)
-                      Common.mark ctx ~rid ~replica:r
+                      Common.phase_begin ctx ~rid ~replica:r
                         ~note:"operation executes on the freshest quorum copy"
                         Core.Phase.Execution;
                       exec_quorum_op txn (List.nth txn.ops txn.op_index);

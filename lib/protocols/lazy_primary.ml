@@ -55,7 +55,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           match msg with
           | Refresh { cid; rid; writes } when cid = ctx.Common.cid ->
               if origin <> r then begin
-                Common.mark ctx ~rid ~replica:r
+                Common.phase_begin ctx ~rid ~replica:r
                   ~note:"secondary applies propagated changes"
                   Core.Phase.Agreement_coordination;
                 Store.Apply.apply_writes (Common.store ctx r) writes;
@@ -76,7 +76,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
                   if not (Store.Operation.request_is_update request) then begin
                     (* Local reads: response time is the whole point of
                        lazy replication — and the data may be stale. *)
-                    Common.mark ctx ~rid ~replica:r
+                    Common.count ctx
+                      ~labels:[ ("replica", string_of_int r) ]
+                      "local_reads_total";
+                    Common.phase_begin ctx ~rid ~replica:r
                       ~note:"local read (possibly stale)" Core.Phase.Execution;
                     let result =
                       Store.Apply.execute (Common.store ctx r)
@@ -87,7 +90,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                       ~committed:true ~value:(Common.reply_value result)
                   end
                   else if is_primary r then begin
-                    Common.mark ctx ~rid ~replica:r
+                    Common.phase_begin ctx ~rid ~replica:r
                       ~note:"primary executes and commits locally"
                       Core.Phase.Execution;
                     let choose k = Common.random_choice ctx k in
@@ -106,7 +109,8 @@ let create net ~replicas ~clients ?(config = default_config) () =
                       (Engine.schedule (Network.engine net)
                          ~after:config.propagation_delay
                          (Network.guard net r (fun () ->
-                              Common.mark ctx ~rid ~replica:r
+                              Common.count ctx "propagations_total";
+                              Common.phase_begin ctx ~rid ~replica:r
                                 ~note:"change propagation after commit"
                                 Core.Phase.Agreement_coordination;
                               Group.Fifo.broadcast fifo

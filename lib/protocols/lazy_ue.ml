@@ -80,10 +80,16 @@ let create net ~replicas ~clients ?(config = default_config) () =
           ignore origin;
           match msg with
           | Writeset { cid; rid; writes } when cid = ctx.Common.cid ->
-              Common.mark ctx ~rid ~replica:r
+              Common.phase_begin ctx ~rid ~replica:r
                 ~note:"reconciliation in after-commit order"
                 Core.Phase.Agreement_coordination;
-              ignore (Core.Reconciliation.deliver recon ~tid:rid ~writes)
+              let before = Core.Reconciliation.conflicts recon in
+              ignore (Core.Reconciliation.deliver recon ~tid:rid ~writes);
+              let after = Core.Reconciliation.conflicts recon in
+              if after > before then
+                Common.count ctx ~by:(after - before)
+                  ~labels:[ ("replica", string_of_int r) ]
+                  "reconciliation_conflicts_total"
           | _ -> ());
       let chan = Group.Rchan.handle chan_group ~me:r in
       Group.Rchan.on_deliver chan (fun ~src msg ->
@@ -96,7 +102,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                   Common.send_reply ctx ~replica:r ~client ~rid ~committed
                     ~value
               | None ->
-                  Common.mark ctx ~rid ~replica:r
+                  Common.phase_begin ctx ~rid ~replica:r
                     ~note:"local execution and commit" Core.Phase.Execution;
                   let choose k = Common.random_choice ctx k in
                   let result =

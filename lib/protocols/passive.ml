@@ -84,6 +84,9 @@ let create net ~replicas ~clients ?(config = default_config) () =
          joiner: it must not volunteer state, and it defers any claim to
          primaryship until a state transfer arrives. *)
       Group.Vscast.on_view_change vs (fun view ->
+          Common.count ctx
+            ~labels:[ ("replica", string_of_int r) ]
+            "view_changes_total";
           let jumped = view.Group.View.id > st.last_view_id + 1 in
           st.last_view_id <- view.Group.View.id;
           let joiners =
@@ -101,6 +104,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
             in
             List.iter
               (fun dst ->
+                Common.count ctx "state_transfers_total";
                 Group.Rchan.send chan ~dst
                   (Sync { cid = ctx.Common.cid; entries; cache_entries }))
               joiners
@@ -115,7 +119,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           match msg with
           | Update { cid; client; rid; result; value } when cid = ctx.Common.cid
             ->
-              Common.mark ctx ~rid ~replica:r
+              Common.phase_begin ctx ~rid ~replica:r
                 ~note:"update stable via VSCAST" Core.Phase.Agreement_coordination;
               if origin <> r then
                 (* Backup: apply the primary's writeset. *)
@@ -155,7 +159,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
               | None ->
                   if is_primary st && not (Hashtbl.mem st.executing rid) then begin
                     Hashtbl.replace st.executing rid ();
-                    Common.mark ctx ~rid ~replica:r
+                    Common.phase_begin ctx ~rid ~replica:r
                       ~note:"primary executes (non-determinism allowed)"
                       Core.Phase.Execution;
                     let choose _ = Common.random_choice ctx "" in

@@ -62,7 +62,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
         let ready_choices = Hashtbl.find_opt st.choices rid in
         if not (Hashtbl.mem st.ex_marked rid) then begin
           Hashtbl.replace st.ex_marked rid ();
-          Common.mark ctx ~rid ~replica:r ~note:"execution in delivery order"
+          Common.phase_begin ctx ~rid ~replica:r ~note:"execution in delivery order"
             Core.Phase.Execution
         end;
         if nondet && ready_choices = None && r = leader then begin
@@ -78,7 +78,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
                   | _ -> None)
                 request.ops
             in
-            Common.mark ctx ~rid ~replica:r
+            Common.count ctx
+              ~labels:[ ("replica", string_of_int r) ]
+              "nondet_choices_total";
+            Common.phase_begin ctx ~rid ~replica:r
               ~note:"leader resolves non-deterministic choice via VSCAST"
               Core.Phase.Agreement_coordination;
             let vs = Group.Vscast.handle vs_group ~me:r in
@@ -145,7 +148,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
     replicas;
   let submit ~client request cb =
     Common.register_submit ctx ~client ~request cb;
-    Common.mark ctx ~rid:request.Store.Operation.rid
+    Common.phase_begin ctx ~rid:request.Store.Operation.rid
       ~note:"atomic broadcast to the group (merged with RE)"
       Core.Phase.Server_coordination;
     Group.Abcast.broadcast_from ab ~src:client

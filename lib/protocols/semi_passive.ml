@@ -83,7 +83,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
         | None -> ()
         | Some (rid, (client, request)) ->
             st.proposed_for <- st.next_instance;
-            Common.mark ctx ~rid ~replica:r
+            Common.phase_begin ctx ~rid ~replica:r
               ~note:"coordinator executes (deferred initial value)"
               Core.Phase.Execution;
             let choose k = Common.random_choice ctx k in
@@ -141,7 +141,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
         | None -> ()
         | Some { Decision_value.rid; client; result; value } ->
             Hashtbl.remove st.decisions st.next_instance;
-            Common.mark ctx ~rid ~replica:r
+            Common.count ctx
+              ~labels:[ ("replica", string_of_int r) ]
+              "consensus_decisions_total";
+            Common.phase_begin ctx ~rid ~replica:r
               ~note:"consensus decides the update (SC/AC merged)"
               Core.Phase.Agreement_coordination;
             if not (Hashtbl.mem st.done_rids rid) then begin

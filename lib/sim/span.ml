@@ -1,0 +1,97 @@
+type id = int
+
+type event = { at : Simtime.t; track : int option; note : string }
+
+type span = {
+  id : id;
+  trace : int;
+  name : string;
+  parent : id option;
+  track : int option;
+  start : Simtime.t;
+  mutable stop : Simtime.t option;
+  mutable rev_events : event list;
+}
+
+type t = {
+  by_id : (id, span) Hashtbl.t;
+  mutable rev_spans : span list;
+  mutable next_id : id;
+}
+
+let create () = { by_id = Hashtbl.create 256; rev_spans = []; next_id = 0 }
+
+let start_span t ~trace ?parent ?track ~name start =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let span = { id; trace; name; parent; track; start; stop = None; rev_events = [] } in
+  Hashtbl.replace t.by_id id span;
+  t.rev_spans <- span :: t.rev_spans;
+  id
+
+let find t id = Hashtbl.find_opt t.by_id id
+
+let add_event t id ~at ?track note =
+  match find t id with
+  | None -> ()
+  | Some span -> span.rev_events <- { at; track; note } :: span.rev_events
+
+let finish t id stop =
+  match find t id with
+  | None -> ()
+  | Some span -> (
+      match span.stop with
+      | None -> span.stop <- Some stop
+      | Some prev -> if Simtime.(stop > prev) then span.stop <- Some stop)
+
+let spans t = List.rev t.rev_spans
+let events span = List.rev span.rev_events
+
+let trace_spans t ~trace =
+  List.filter (fun s -> s.trace = trace) (spans t)
+
+let open_spans t = List.filter (fun s -> s.stop = None) (spans t)
+
+let finish_all t stop =
+  List.iter (fun s -> if s.stop = None then s.stop <- Some stop) t.rev_spans
+
+let traces t =
+  List.fold_left
+    (fun acc s -> if List.mem s.trace acc then acc else s.trace :: acc)
+    [] t.rev_spans
+  |> List.rev
+
+let duration_ms span =
+  match span.stop with
+  | None -> None
+  | Some stop -> Some (Simtime.to_ms (Simtime.sub stop span.start))
+
+(* A trace is well nested when every span's parent exists in the same
+   trace and every closed child interval lies within its parent's
+   interval (open spans trivially violate nesting: callers are expected
+   to [finish_all] first). *)
+let well_nested t ~trace =
+  let ss = trace_spans t ~trace in
+  List.for_all
+    (fun s ->
+      match s.parent with
+      | None -> s.stop <> None
+      | Some pid -> (
+          match find t pid with
+          | None -> false
+          | Some p -> (
+              p.trace = trace
+              && Simtime.(s.start >= p.start)
+              &&
+              match (s.stop, p.stop) with
+              | Some cs, Some ps -> Simtime.(cs <= ps)
+              | _ -> false)))
+    ss
+
+let pp_span ppf s =
+  let track = match s.track with None -> "client" | Some r -> "r" ^ string_of_int r in
+  let stop =
+    match s.stop with None -> "open" | Some st -> Simtime.to_string st
+  in
+  Format.fprintf ppf "[%d] trace=%d %-4s %-6s %s..%s" s.id s.trace s.name track
+    (Simtime.to_string s.start) stop

@@ -1,0 +1,112 @@
+let json_escape = Metrics.json_escape
+
+(* Track numbering shared by both exporters: the client lane is 0,
+   replica [r] is lane [r + 1]. *)
+let tid_of_track = function None -> 0 | Some r -> r + 1
+
+let track_name = function
+  | 0 -> "client"
+  | tid -> Printf.sprintf "replica %d" (tid - 1)
+
+let span_to_jsonl (s : Span.span) =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"type\":\"span\",\"id\":%d,\"trace\":%d,\"name\":\"%s\""
+       s.Span.id s.Span.trace (json_escape s.Span.name));
+  (match s.Span.parent with
+  | None -> ()
+  | Some p -> Buffer.add_string buf (Printf.sprintf ",\"parent\":%d" p));
+  (match s.Span.track with
+  | None -> Buffer.add_string buf ",\"track\":\"client\""
+  | Some r -> Buffer.add_string buf (Printf.sprintf ",\"track\":%d" r));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"start_us\":%d" (Simtime.to_us s.Span.start));
+  (match s.Span.stop with
+  | None -> ()
+  | Some st ->
+      Buffer.add_string buf (Printf.sprintf ",\"stop_us\":%d" (Simtime.to_us st)));
+  let events = Span.events s in
+  if events <> [] then begin
+    Buffer.add_string buf ",\"events\":[";
+    List.iteri
+      (fun i (e : Span.event) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "{\"at_us\":%d" (Simtime.to_us e.Span.at));
+        (match e.Span.track with
+        | None -> ()
+        | Some r -> Buffer.add_string buf (Printf.sprintf ",\"track\":%d" r));
+        Buffer.add_string buf
+          (Printf.sprintf ",\"note\":\"%s\"}" (json_escape e.Span.note)))
+      events;
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* One JSON object per line, one line per span, in start order. *)
+let to_jsonl t =
+  Span.spans t |> List.map span_to_jsonl |> String.concat "\n"
+
+(* Chrome trace_event format (chrome://tracing, Perfetto). Every trace
+   (transaction) becomes a pid; the client lane and each replica lane
+   become tids within it. Spans are "X" complete events with ts/dur in
+   microseconds; zero-duration spans are emitted with dur=1 so they stay
+   visible in the viewer. *)
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  (* Metadata: name each process after its transaction and each thread
+     after its lane, so the viewer shows meaningful labels. *)
+  let seen_tids = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Span.span) ->
+      let pid = s.Span.trace in
+      let tid = tid_of_track s.Span.track in
+      if not (Hashtbl.mem seen_tids (pid, -1)) then begin
+        Hashtbl.replace seen_tids (pid, -1) ();
+        emit
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"txn %d\"}}"
+             pid pid)
+      end;
+      if not (Hashtbl.mem seen_tids (pid, tid)) then begin
+        Hashtbl.replace seen_tids (pid, tid) ();
+        emit
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             pid tid (track_name tid))
+      end)
+    (Span.spans t);
+  List.iter
+    (fun (s : Span.span) ->
+      let pid = s.Span.trace in
+      let tid = tid_of_track s.Span.track in
+      let ts = Simtime.to_us s.Span.start in
+      let stop = match s.Span.stop with Some st -> Simtime.to_us st | None -> ts in
+      let dur = Stdlib.max 1 (stop - ts) in
+      let notes =
+        Span.events s
+        |> List.filter_map (fun (e : Span.event) ->
+               if e.Span.note = "" then None
+               else
+                 Some
+                   (Printf.sprintf "\"%s\"" (json_escape e.Span.note)))
+      in
+      let args =
+        Printf.sprintf "{\"trace\":%d%s}" s.Span.trace
+          (if notes = [] then ""
+           else Printf.sprintf ",\"notes\":[%s]" (String.concat "," notes))
+      in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":%s}"
+           (json_escape s.Span.name) ts dur pid tid args))
+    (Span.spans t);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf

@@ -1,3 +1,20 @@
+(* RFC 4180-style quoting: labels like "active,n=3,upd=0.5" must not
+   break the column count, so any field containing a comma, quote or
+   newline is wrapped in double quotes with inner quotes doubled. *)
+let csv_escape field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
 let csv_header =
   "label,committed,aborted,unanswered,throughput_tps,lat_mean_ms,lat_p50_ms,\
    lat_p90_ms,lat_p99_ms,lat_max_ms,upd_lat_mean_ms,read_lat_mean_ms,\
@@ -6,7 +23,7 @@ let csv_header =
 
 let csv_row ~label (r : Runner.result) =
   Printf.sprintf "%s,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%d,%.2f,%.2f,%b,%b"
-    label r.committed r.aborted r.unanswered r.throughput
+    (csv_escape label) r.committed r.aborted r.unanswered r.throughput
     r.latency_ms.Stats.mean r.latency_ms.Stats.p50 r.latency_ms.Stats.p90
     r.latency_ms.Stats.p99 r.latency_ms.Stats.max
     r.update_latency_ms.Stats.mean r.read_latency_ms.Stats.mean
@@ -19,4 +36,23 @@ let to_csv ppf rows =
   Format.fprintf ppf "%s@." csv_header;
   List.iter
     (fun (label, result) -> Format.fprintf ppf "%s@." (csv_row ~label result))
+    rows
+
+let phase_csv_header = "label,phase,count,mean_ms,p50_ms,p90_ms,p99_ms,max_ms"
+
+let phase_csv_rows ~label (r : Runner.result) =
+  List.map
+    (fun (phase, (s : Stats.summary)) ->
+      Printf.sprintf "%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f" (csv_escape label)
+        (Core.Phase.code phase) s.Stats.count s.Stats.mean s.Stats.p50
+        s.Stats.p90 s.Stats.p99 s.Stats.max)
+    r.phase_ms
+
+let phases_to_csv ppf rows =
+  Format.fprintf ppf "%s@." phase_csv_header;
+  List.iter
+    (fun (label, result) ->
+      List.iter
+        (fun row -> Format.fprintf ppf "%s@." row)
+        (phase_csv_rows ~label result))
     rows

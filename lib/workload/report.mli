@@ -1,12 +1,25 @@
 (** CSV export of experiment results, for plotting the performance-study
     figures outside the harness. *)
 
-(** Header row matching {!row}. *)
+(** Quote a field RFC 4180-style when it contains a comma, double quote
+    or newline (inner quotes doubled). *)
+val csv_escape : string -> string
+
+(** Header row matching {!csv_row}. *)
 val csv_header : string
 
 (** One result as a CSV row. [label] identifies the configuration (e.g.
-    "active,n=3,upd=0.5"). *)
+    "active,n=3,upd=0.5") and is quoted as needed. *)
 val csv_row : label:string -> Runner.result -> string
 
 (** Print header + rows to a formatter. *)
 val to_csv : Format.formatter -> (string * Runner.result) list -> unit
+
+(** {2 Per-phase latency table}
+
+    One row per paper phase the technique entered, derived from the
+    span recorder ({!Runner.result.phase_ms}). *)
+
+val phase_csv_header : string
+val phase_csv_rows : label:string -> Runner.result -> string list
+val phases_to_csv : Format.formatter -> (string * Runner.result) list -> unit

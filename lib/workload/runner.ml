@@ -23,6 +23,8 @@ type result = {
   max_response_gap : Simtime.t;
   converged : bool;
   serializable : bool;
+  phase_ms : (Core.Phase.t * Stats.summary) list;
+  metrics : Metrics.snapshot;
 }
 
 let run ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
@@ -136,6 +138,33 @@ let run ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
     else 0.
   in
   let messages = Network.messages_sent network in
+  (* Flush the span recorder so every phase interval is closed, then
+     summarise per-phase durations across all transactions. *)
+  let spans = inst.Core.Technique.spans in
+  Core.Phase_span.finalize spans ~at:(Engine.now engine);
+  let phase_ms =
+    let samples = Hashtbl.create 8 in
+    List.iter
+      (fun rid ->
+        List.iter
+          (fun (p, d) ->
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt samples p)
+            in
+            Hashtbl.replace samples p (d :: prev))
+          (Core.Phase_span.durations spans ~rid))
+      (Core.Phase_span.rids spans);
+    List.filter_map
+      (fun p ->
+        Option.map (fun ds -> (p, Stats.summarize ds)) (Hashtbl.find_opt samples p))
+      Core.Phase.all
+  in
+  let metrics =
+    let m = inst.Core.Technique.metrics in
+    Metrics.set_gauge m "network_messages" (float_of_int messages);
+    Metrics.set_gauge m "makespan_ms" (Simtime.to_ms makespan);
+    Metrics.snapshot m
+  in
   {
     committed = !committed;
     aborted = !aborted;
@@ -154,6 +183,8 @@ let run ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       (match Store.Serializability.check inst.Core.Technique.history with
       | Store.Serializability.Serializable _ -> true
       | _ -> false);
+    phase_ms;
+    metrics;
   }
 
 let pp_result ppf r =

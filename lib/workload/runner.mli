@@ -35,6 +35,11 @@ type result = {
           unavailability window when a failure schedule is active *)
   converged : bool;  (** alive replicas identical at quiescence *)
   serializable : bool;  (** 1-copy serializability of the global history *)
+  phase_ms : (Core.Phase.t * Stats.summary) list;
+      (** per-phase span durations across all transactions, in canonical
+          phase order (phases the technique never entered are absent) *)
+  metrics : Sim.Metrics.snapshot;
+      (** the instance's metrics registry at quiescence *)
 }
 
 val run :

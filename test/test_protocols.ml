@@ -1245,6 +1245,266 @@ let test_lazy_ue_split_brain_reconciles () =
   check_converged h "split brain reconciled"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: span conformance and exporters                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every committed transaction must yield a complete, well-nested span
+   sequence matching the technique's Figure 16 row. *)
+let test_span_conformance (_, (info : Core.Technique.info), factory) () =
+  let h = setup factory in
+  let client = List.hd h.clients in
+  (* Semi-active only shows its AC phase on a non-deterministic choice. *)
+  let ops =
+    if String.length info.name >= 4 && String.sub info.name 0 4 = "Semi" then
+      [ Store.Operation.Write_random "x" ]
+    else [ Store.Operation.Incr ("x", 1) ]
+  in
+  let committed_rids = ref [] in
+  client_loop h ~client ~count:4
+    ~make_request:(fun _ -> Store.Operation.request ~client ops)
+    ~on_reply:(fun reply ->
+      if reply.Core.Technique.committed then
+        committed_rids := reply.Core.Technique.rid :: !committed_rids);
+  run_for h 30_000;
+  let spans = h.inst.Core.Technique.spans in
+  Core.Phase_span.finalize spans ~at:(Engine.now h.engine);
+  Alcotest.(check bool) "some transactions committed" true
+    (!committed_rids <> []);
+  List.iter
+    (fun rid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rid %d responded" info.name rid)
+        true
+        (Core.Phase_span.responded spans ~rid);
+      Alcotest.(check (list phase))
+        (Printf.sprintf "%s rid %d span signature" info.name rid)
+        info.expected_phases
+        (Core.Phase_span.signature spans ~rid);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rid %d well nested" info.name rid)
+        true
+        (Core.Phase_span.well_nested spans ~rid))
+    !committed_rids
+
+(* Minimal JSON validity checker — parses the full grammar and accepts
+   iff the whole string is exactly one JSON value (no yojson in the
+   environment, and the exporters hand-build their output). *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let exception Bad in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with Some d when d = c -> advance () | _ -> raise Bad
+  in
+  let digits () =
+    let saw = ref false in
+    let rec go () =
+      match peek () with
+      | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if not !saw then raise Bad
+  in
+  let str () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> raise Bad
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> raise Bad
+              done
+          | _ -> raise Bad);
+          go ()
+      | Some c when Char.code c < 0x20 -> raise Bad
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> raise Bad
+  and literal lit = String.iter expect lit
+  and number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    match peek () with
+    | Some '}' -> advance ()
+    | _ ->
+        let rec members () =
+          skip_ws ();
+          str ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              members ()
+          | Some '}' -> advance ()
+          | _ -> raise Bad
+        in
+        members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    match peek () with
+    | Some ']' -> advance ()
+    | _ ->
+        let rec elems () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              elems ()
+          | Some ']' -> advance ()
+          | _ -> raise Bad
+        in
+        elems ()
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Bad -> false
+
+let contains ~sub s =
+  let sn = String.length sub and n = String.length s in
+  let rec go i = i + sn <= n && (String.sub s i sn = sub || go (i + 1)) in
+  go 0
+
+let replace_all ~sub ~by s =
+  let sl = String.length sub in
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i < String.length s do
+    if !i + sl <= String.length s && String.sub s !i sl = sub then begin
+      Buffer.add_string buf by;
+      i := !i + sl
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let export_one_txn key =
+  let _, _, factory = Option.get (Protocols.Registry.find key) in
+  let h = setup factory in
+  let client = List.hd h.clients in
+  let slot =
+    submit h ~client
+      (Store.Operation.request ~client [ Store.Operation.Incr ("x", 1) ])
+  in
+  run_for h 10_000;
+  Alcotest.(check bool) (key ^ " answered") true (!slot <> None);
+  let spans = h.inst.Core.Technique.spans in
+  Core.Phase_span.finalize spans ~at:(Engine.now h.engine);
+  Core.Phase_span.collector spans
+
+let test_chrome_export_valid key () =
+  let json = Sim.Trace_export.to_chrome (export_one_txn key) in
+  Alcotest.(check bool) (key ^ " chrome JSON parses") true (json_valid json);
+  Alcotest.(check bool) (key ^ " wraps traceEvents") true
+    (String.length json >= 16 && String.sub json 0 16 = "{\"traceEvents\":[");
+  Alcotest.(check bool) (key ^ " has complete events") true
+    (contains ~sub:"\"ph\":\"X\"" json);
+  Alcotest.(check bool) (key ^ " has metadata events") true
+    (contains ~sub:"\"ph\":\"M\"" json)
+
+let test_jsonl_export_valid key () =
+  let jsonl = Sim.Trace_export.to_jsonl (export_one_txn key) in
+  let lines = String.split_on_char '\n' jsonl in
+  Alcotest.(check bool) (key ^ " has span lines") true (List.length lines >= 3);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (key ^ " line parses: " ^ line) true
+        (json_valid line))
+    lines
+
+(* Golden JSONL for one active-replication transaction under a fixed
+   seed: the simulator is deterministic, so the whole trace — timings
+   included — is reproducible bit for bit. Request ids are global,
+   so the one varying field is normalised to R. *)
+let test_golden_jsonl_active () =
+  let engine = Engine.create ~seed:3 () in
+  let net = Network.create engine ~n:4 Network.default_config in
+  let inst = Protocols.Active.create net ~replicas:[ 0; 1; 2 ] ~clients:[ 3 ] () in
+  let request =
+    Store.Operation.request ~client:3 [ Store.Operation.Incr ("x", 1) ]
+  in
+  inst.Core.Technique.submit ~client:3 request (fun _ -> ());
+  ignore (Engine.run ~until:(Simtime.of_sec 10.) engine);
+  Core.Phase_span.finalize inst.Core.Technique.spans ~at:(Engine.now engine);
+  let out =
+    Sim.Trace_export.to_jsonl (Core.Phase_span.collector inst.Core.Technique.spans)
+  in
+  let normalized =
+    replace_all
+      ~sub:(Printf.sprintf "\"trace\":%d" request.Store.Operation.rid)
+      ~by:"\"trace\":R" out
+  in
+  let golden =
+    String.concat "\n"
+      [
+        {|{"type":"span","id":0,"trace":R,"name":"txn","track":"client","start_us":0,"stop_us":3176}|};
+        {|{"type":"span","id":1,"trace":R,"name":"RE","parent":0,"track":"client","start_us":0,"stop_us":0}|};
+        {|{"type":"span","id":2,"trace":R,"name":"SC","parent":0,"track":"client","start_us":0,"stop_us":2176,"events":[{"at_us":0,"note":"atomic broadcast to the group (merged with RE)"}]}|};
+        {|{"type":"span","id":3,"trace":R,"name":"EX","parent":0,"track":1,"start_us":2176,"stop_us":3176,"events":[{"at_us":2176,"track":1,"note":"deterministic execution in delivery order"},{"at_us":2557,"track":2,"note":"deterministic execution in delivery order"},{"at_us":2838,"track":0,"note":"deterministic execution in delivery order"}]}|};
+        {|{"type":"span","id":4,"trace":R,"name":"END","parent":0,"track":"client","start_us":3176,"stop_us":3176}|};
+      ]
+  in
+  Alcotest.(check string) "golden active JSONL" golden normalized
+
+(* ------------------------------------------------------------------ *)
 (* Suite assembly                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1257,8 +1517,19 @@ let generic_suite =
         tc (key ^ ": sequential counter") (test_sequential_counter entry);
         tc (key ^ ": concurrent updates") (test_concurrent_updates entry);
         tc (key ^ ": multi-op transactions") (test_multi_op_transactions entry);
+        tc (key ^ ": span conformance") (test_span_conformance entry);
       ])
     Protocols.Registry.all
+
+let observability_suite =
+  [
+    tc "chrome export: active" (test_chrome_export_valid "active");
+    tc "chrome export: eager-ue-locking"
+      (test_chrome_export_valid "eager-ue-locking");
+    tc "jsonl export: active" (test_jsonl_export_valid "active");
+    tc "jsonl export: lazy-primary" (test_jsonl_export_valid "lazy-primary");
+    tc "golden jsonl: active, fixed seed" test_golden_jsonl_active;
+  ]
 
 let property_suite =
   List.map
@@ -1269,6 +1540,7 @@ let () =
   Alcotest.run "protocols"
     [
       ("generic", generic_suite);
+      ("observability", observability_suite);
       ("properties", property_suite);
       ("crash-fuzz", crash_fuzz_suite);
       ( "failures",

@@ -433,6 +433,123 @@ let test_tracer () =
   Tracer.clear tr;
   Alcotest.(check int) "cleared" 0 (List.length (Tracer.entries tr))
 
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ms = Simtime.of_ms
+
+let test_span_nesting () =
+  let t = Span.create () in
+  let root = Span.start_span t ~trace:7 ~name:"txn" (ms 0) in
+  let a = Span.start_span t ~trace:7 ~parent:root ~track:1 ~name:"EX" (ms 1) in
+  Span.add_event t a ~at:(ms 2) ~track:2 "replica 2 executes";
+  Span.finish t a (ms 3);
+  let b = Span.start_span t ~trace:7 ~parent:root ~name:"AC" (ms 3) in
+  Span.finish t b (ms 5);
+  Span.finish t root (ms 5);
+  Alcotest.(check int) "span count" 3 (List.length (Span.spans t));
+  Alcotest.(check bool) "well nested" true (Span.well_nested t ~trace:7);
+  let a_span = Option.get (Span.find t a) in
+  Alcotest.(check (option (float 1e-9))) "duration" (Some 2.)
+    (Span.duration_ms a_span);
+  Alcotest.(check int) "events" 1 (List.length (Span.events a_span));
+  Alcotest.(check (list int)) "traces" [ 7 ] (Span.traces t)
+
+let test_span_orphans () =
+  let t = Span.create () in
+  let root = Span.start_span t ~trace:1 ~name:"txn" (ms 0) in
+  let a = Span.start_span t ~trace:1 ~parent:root ~name:"EX" (ms 1) in
+  Alcotest.(check int) "two open" 2 (List.length (Span.open_spans t));
+  Span.finish t a (ms 2);
+  Alcotest.(check int) "one orphan" 1 (List.length (Span.open_spans t));
+  (* The open root makes the trace ill-nested until flushed. *)
+  Alcotest.(check bool) "not nested while open" false
+    (Span.well_nested t ~trace:1);
+  Span.finish_all t (ms 9);
+  Alcotest.(check int) "flushed" 0 (List.length (Span.open_spans t));
+  Alcotest.(check bool) "nested after flush" true (Span.well_nested t ~trace:1)
+
+let test_span_finish_extends () =
+  let t = Span.create () in
+  let root = Span.start_span t ~trace:1 ~name:"txn" (ms 0) in
+  Span.finish t root (ms 4);
+  (* Re-finishing later extends (lazy tail), earlier is ignored. *)
+  Span.finish t root (ms 9);
+  Span.finish t root (ms 2);
+  let s = Option.get (Span.find t root) in
+  Alcotest.(check (option (float 1e-9))) "extended" (Some 9.)
+    (Span.duration_ms s)
+
+let test_span_ill_nested_detected () =
+  let t = Span.create () in
+  let root = Span.start_span t ~trace:1 ~name:"txn" (ms 0) in
+  let a = Span.start_span t ~trace:1 ~parent:root ~name:"EX" (ms 1) in
+  Span.finish t a (ms 8);
+  Span.finish t root (ms 5) (* child outlives parent *);
+  Alcotest.(check bool) "detects escape" false (Span.well_nested t ~trace:1)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "commits";
+  Metrics.incr m ~by:2 "commits";
+  Metrics.incr m ~labels:[ ("replica", "1") ] "commits";
+  Metrics.set_gauge m "depth" 4.5;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check (option int)) "plain" (Some 3)
+    (Metrics.counter_value snap "commits");
+  Alcotest.(check (option int)) "labelled" (Some 1)
+    (Metrics.counter_value snap ~labels:[ ("replica", "1") ] "commits");
+  Alcotest.(check (option int)) "missing" None
+    (Metrics.counter_value snap "aborts");
+  Alcotest.(check (option (float 1e-9))) "gauge" (Some 4.5)
+    (Metrics.gauge_value snap "depth")
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "lat_ms") [ 1.0; 2.0; 3.0; 4.0; 100.0 ];
+  let snap = Metrics.snapshot m in
+  let h = Option.get (Metrics.histogram_value snap "lat_ms") in
+  Alcotest.(check int) "count" 5 h.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 110.0 h.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 h.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 100.0 h.Metrics.max;
+  Alcotest.(check (float 1e-9)) "mean" 22.0 (Metrics.mean h);
+  (* Bucketed quantiles are upper-bound estimates within bucket width. *)
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "p50 near median" true (p50 >= 2.0 && p50 <= 4.6);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 100.0
+    (Metrics.quantile h 1.0)
+
+let test_metrics_diff () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.observe m "h" 1.0;
+  let before = Metrics.snapshot m in
+  Metrics.incr m ~by:4 "a";
+  Metrics.incr m "b";
+  Metrics.observe m "h" 2.0;
+  Metrics.observe m "h" 3.0;
+  let after = Metrics.snapshot m in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check (option int)) "counter delta" (Some 4)
+    (Metrics.counter_value d "a");
+  Alcotest.(check (option int)) "new counter" (Some 1)
+    (Metrics.counter_value d "b");
+  let h = Option.get (Metrics.histogram_value d "h") in
+  Alcotest.(check int) "histogram delta count" 2 h.Metrics.count;
+  Alcotest.(check (float 1e-9)) "histogram delta sum" 5.0 h.Metrics.sum;
+  (* Unchanged instruments drop out of the diff. *)
+  Metrics.incr m "c";
+  let s1 = Metrics.snapshot m in
+  let s2 = Metrics.snapshot m in
+  Alcotest.(check int) "no-change diff is empty" 0
+    (List.length (Metrics.diff ~before:s1 ~after:s2))
+
 let () =
   Alcotest.run "sim"
     [
@@ -478,4 +595,17 @@ let () =
           tc "determinism" test_determinism;
         ] );
       ("tracer", [ tc "basics" test_tracer ]);
+      ( "span",
+        [
+          tc "nesting" test_span_nesting;
+          tc "orphans" test_span_orphans;
+          tc "finish extends" test_span_finish_extends;
+          tc "ill-nested detected" test_span_ill_nested_detected;
+        ] );
+      ( "metrics",
+        [
+          tc "counters+gauges" test_metrics_counters;
+          tc "histogram" test_metrics_histogram;
+          tc "snapshot diff" test_metrics_diff;
+        ] );
     ]
