@@ -31,9 +31,11 @@ let technique_arg =
           (Printf.sprintf "Replication technique to run. One of: %s."
              (String.concat ", " Protocols.Registry.keys)))
 
-let crash_conv =
-  (* Accepts 0@100ms, 0@100 (ms) and 0@1s / 0@1.5s. *)
-  let parse s =
+(* REPLICA@TIME events: accepts 0@100ms, 0@100 (ms) and 0@1s / 0@1.5s,
+   plus comma-separated lists (0@1s,2@3s) — used by --crash and
+   --recover. *)
+let event_conv =
+  let parse_one s =
     match String.split_on_char '@' s with
     | [ replica; at ] -> (
         let time =
@@ -50,14 +52,65 @@ let crash_conv =
             Error
               (`Msg
                 (Printf.sprintf "replica id must be non-negative, got %d" r))
-        | Some r, Some at -> Ok { Workload.Runner.at; replica = r }
+        | Some r, Some at -> Ok (r, at)
         | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s"))
     | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s")
   in
-  let print ppf { Workload.Runner.at; replica } =
-    Format.fprintf ppf "%d@%a" replica Sim.Simtime.pp at
+  let parse s =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+          match parse_one item with
+          | Ok ev -> go (ev :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)
+  in
+  let print ppf events =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+      (fun ppf (replica, at) ->
+        Format.fprintf ppf "%d@%a" replica Sim.Simtime.pp at)
+      ppf events
   in
   Arg.conv (parse, print)
+
+(* Pair each --recover entry with the crash of the same replica; a
+   recovery without a matching earlier crash is a schedule error. *)
+let merge_failures ~crashes ~recoveries =
+  let failures =
+    List.map (fun (replica, at) -> Workload.Runner.crash_at ~at replica) crashes
+  in
+  List.fold_left
+    (fun acc (replica, recover_at) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok failures -> (
+          let paired = ref false in
+          let failures =
+            List.map
+              (fun (f : Workload.Runner.failure) ->
+                if
+                  (not !paired) && f.replica = replica
+                  && f.recover_at = None
+                  && Sim.Simtime.(f.at < recover_at)
+                then begin
+                  paired := true;
+                  { f with recover_at = Some recover_at }
+                end
+                else f)
+              failures
+          in
+          match !paired with
+          | true -> Ok failures
+          | false ->
+              Error
+                (Printf.sprintf
+                   "--recover %d@%s has no earlier --crash of replica %d"
+                   replica
+                   (Sim.Simtime.to_string recover_at)
+                   replica)))
+    (Ok failures) recoveries
 
 (* ---- list ----------------------------------------------------------- *)
 
@@ -109,18 +162,39 @@ let run_cmd =
   in
   let crashes =
     Arg.(
-      value & opt_all crash_conv []
+      value & opt_all event_conv []
       & info [ "crash" ] ~docv:"R@TIME"
           ~doc:
-            "Crash replica R at TIME (repeatable), e.g. --crash 0@100ms or \
-             --crash 0@1s.")
+            "Crash replica R at TIME (repeatable; comma lists accepted), \
+             e.g. --crash 0@100ms or --crash 0@1s,2@3s.")
+  in
+  let recoveries =
+    Arg.(
+      value & opt_all event_conv []
+      & info [ "recover" ] ~docv:"R@TIME"
+          ~doc:
+            "Recover replica R at TIME (same syntax as $(b,--crash): \
+             repeatable, comma lists accepted, e.g. --recover 0@1s,2@3s). \
+             Each entry must pair with an earlier --crash of the same \
+             replica.")
   in
   let csv =
     Arg.(
       value & flag
       & info [ "csv" ] ~doc:"Emit the result as a CSV row (with header).")
   in
-  let run (key, _, factory) n m updates txns ops keys skew seed crashes csv =
+  let run (key, _, factory) n m updates txns ops keys skew seed crashes
+      recoveries csv =
+    let failures =
+      match
+        merge_failures ~crashes:(List.concat crashes)
+          ~recoveries:(List.concat recoveries)
+      with
+      | Ok failures -> failures
+      | Error msg ->
+          Fmt.epr "replisim: %s@." msg;
+          exit 2
+    in
     let spec =
       {
         Workload.Spec.n_keys = keys;
@@ -132,8 +206,7 @@ let run_cmd =
       }
     in
     let result =
-      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m ~failures:crashes
-        ~spec
+      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m ~failures ~spec
         (fun net ~replicas ~clients -> factory net ~replicas ~clients)
     in
     if csv then begin
@@ -160,7 +233,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ technique_arg $ replicas $ clients $ updates $ txns $ ops
-      $ keys $ skew $ seed $ crashes $ csv)
+      $ keys $ skew $ seed $ crashes $ recoveries $ csv)
 
 (* ---- trace ---------------------------------------------------------- *)
 
@@ -219,6 +292,137 @@ let trace_cmd =
           (Core.Phase_span.phase_spans spans ~rid)
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ technique_arg $ nondet $ format)
+
+(* ---- campaign ------------------------------------------------------- *)
+
+let campaign_cmd =
+  let doc =
+    "Run the fault-injection campaign: sweep techniques over failure \
+     scenarios and check every run against the per-technique invariant \
+     oracles (1-copy serializability, convergence after heal/recover, \
+     Figure-16 signature conformance, liveness). Exits non-zero if any \
+     oracle verdict misses its expectation."
+  in
+  let scenario_names =
+    String.concat ", "
+      (List.map (fun s -> s.Workload.Scenario.name) Workload.Scenario.builtins)
+  in
+  let scenarios_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Scenario to run: one of %s, a comma-separated list, or \
+                $(b,all)."
+               scenario_names))
+  in
+  let techniques_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "techniques" ] ~docv:"KEYS"
+          ~doc:
+            (Printf.sprintf
+               "Techniques to sweep: comma-separated registry keys (%s) or \
+                $(b,all)."
+               (String.concat ", " Protocols.Registry.keys)))
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt (list int) [ 11 ]
+      & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Random seeds to sweep.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 25
+      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Emit one CSV row per run instead of the table.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Also write one JSON object per run (counters + oracle \
+             verdicts) to FILE ($(b,-) for stdout).")
+  in
+  let run scenario_sel technique_sel seeds txns csv jsonl =
+    let scenarios =
+      match scenario_sel with
+      | "all" -> Workload.Scenario.builtins
+      | names ->
+          List.map
+            (fun name ->
+              match Workload.Scenario.find name with
+              | Some s -> s
+              | None ->
+                  Fmt.epr "unknown scenario %S (known: %s)@." name
+                    scenario_names;
+                  exit 2)
+            (String.split_on_char ',' names)
+    in
+    let techniques =
+      match technique_sel with
+      | "all" -> Protocols.Registry.all
+      | keys ->
+          List.map
+            (fun key ->
+              match Protocols.Registry.find key with
+              | Some entry -> entry
+              | None ->
+                  Fmt.epr "unknown technique %S (try: %s)@." key
+                    (String.concat " " Protocols.Registry.keys);
+                  exit 2)
+            (String.split_on_char ',' keys)
+    in
+    let spec = { Workload.Scenario.default_spec with txns_per_client = txns } in
+    let outcomes =
+      Workload.Scenario.run_campaign ~seeds ~spec
+        ~techniques:
+          (List.map
+             (fun (key, info, factory) ->
+               ( key,
+                 info,
+                 fun net ~replicas ~clients -> factory net ~replicas ~clients ))
+             techniques)
+        ~scenarios ()
+    in
+    (match jsonl with
+    | None -> ()
+    | Some "-" ->
+        List.iter
+          (fun o -> print_endline (Workload.Scenario.jsonl_row o))
+          outcomes
+    | Some file ->
+        let oc = open_out file in
+        List.iter
+          (fun o ->
+            output_string oc (Workload.Scenario.jsonl_row o);
+            output_char oc '\n')
+          outcomes;
+        close_out oc);
+    if csv then Workload.Scenario.to_csv Fmt.stdout outcomes
+    else
+      List.iter
+        (fun o -> Fmt.pr "%a@." Workload.Scenario.pp_outcome o)
+        outcomes;
+    let failed =
+      List.filter (fun o -> not o.Workload.Scenario.ok) outcomes
+    in
+    if not csv then
+      Fmt.pr "@.campaign: %d runs, %d failed oracle expectations@."
+        (List.length outcomes) (List.length failed);
+    if failed <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ scenarios_arg $ techniques_arg $ seeds_arg $ txns $ csv
+      $ jsonl)
 
 (* ---- metrics -------------------------------------------------------- *)
 
@@ -288,4 +492,6 @@ let () =
      a discrete-event simulator."
   in
   let info = Cmd.info "replisim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; metrics_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; metrics_cmd; campaign_cmd ]))

@@ -20,4 +20,10 @@ dune build
 echo "== tests =="
 dune runtest
 
+# One fast fault-injection sweep: every technique through the
+# crash-recover scenario; exits non-zero on any oracle violation.
+echo "== campaign smoke =="
+dune exec bin/replisim.exe -- campaign --scenario crash-recover \
+  --techniques all --seeds 11
+
 echo "== ci: OK =="

@@ -6,6 +6,7 @@ type Msg.t +=
   | Prepare of { gid : int; txn : int; coordinator : int }
   | Vote of { gid : int; txn : int; from : int; yes : bool }
   | Decision of { gid : int; txn : int; decision : decision }
+  | Decision_req of { gid : int; txn : int; from : int }
 
 type round = {
   participants : int list;
@@ -23,6 +24,9 @@ type t = {
   learn : me:int -> txn:int -> decision -> unit;
   rounds : (int, round) Hashtbl.t; (* coordinator-side, by txn *)
   learned : (int, decision) Hashtbl.t; (* participant-side dedup *)
+  prepared : (int, int) Hashtbl.t;
+      (* in-doubt participant-side: txn -> coordinator. Voted YES, no
+         decision learned yet — drives the termination protocol. *)
 }
 
 type group = {
@@ -54,6 +58,7 @@ let decide group t ~txn round decision =
        decision's effects already applied locally. *)
     if not (Hashtbl.mem t.learned txn) then begin
       Hashtbl.replace t.learned txn decision;
+      Hashtbl.remove t.prepared txn;
       t.learn ~me:t.me ~txn decision
     end;
     round.on_complete decision
@@ -63,6 +68,8 @@ let handle_msg group t msg =
   match msg with
   | Prepare { gid; txn; coordinator } when gid = t.gid ->
       let yes = t.vote ~me:t.me ~txn in
+      if yes && not (Hashtbl.mem t.learned txn) then
+        Hashtbl.replace t.prepared txn coordinator;
       Group.Rchan.send t.chan ~dst:coordinator
         (Vote { gid = t.gid; txn; from = t.me; yes })
   | Vote { gid; txn; from; yes } when gid = t.gid -> (
@@ -80,8 +87,15 @@ let handle_msg group t msg =
   | Decision { gid; txn; decision } when gid = t.gid ->
       if not (Hashtbl.mem t.learned txn) then begin
         Hashtbl.replace t.learned txn decision;
+        Hashtbl.remove t.prepared txn;
         t.learn ~me:t.me ~txn decision
       end
+  | Decision_req { gid; txn; from } when gid = t.gid -> (
+      match Hashtbl.find_opt t.learned txn with
+      | Some decision ->
+          Group.Rchan.send t.chan ~dst:from
+            (Decision { gid = t.gid; txn; decision })
+      | None -> () (* still undecided here; the participant keeps asking *))
   | _ -> ()
 
 let create_group net ~nodes ?rto ?passthrough ?participant_timeout ~vote ~learn
@@ -111,11 +125,29 @@ let create_group net ~nodes ?rto ?passthrough ?participant_timeout ~vote ~learn
           learn;
           rounds = Hashtbl.create 16;
           learned = Hashtbl.create 16;
+          prepared = Hashtbl.create 16;
         }
       in
       Group.Rchan.on_deliver t.chan (fun ~src msg ->
           ignore src;
           handle_msg group t msg);
+      (* Termination protocol: an in-doubt participant (voted YES, heard
+         no decision — e.g. the decision was in flight when a partition
+         or crash cut it off) periodically asks the coordinator again.
+         Without this, a participant that misses the stubborn channel's
+         retry window holds its prepared state forever even after the
+         coordinator becomes reachable. *)
+      Option.iter
+        (fun delay ->
+          ignore
+            (Engine.periodic (Network.engine net) ~every:delay
+               (Network.guard net me (fun () ->
+                    Hashtbl.iter
+                      (fun txn coordinator ->
+                        Group.Rchan.send t.chan ~dst:coordinator
+                          (Decision_req { gid; txn; from = me }))
+                      t.prepared))))
+        participant_timeout;
       Hashtbl.replace group.handles me t)
     nodes;
   group
@@ -145,3 +177,8 @@ let start group ~coordinator ~participants ~txn ~on_complete =
 
 let commits group = group.n_commits
 let aborts group = group.n_aborts
+
+let in_doubt group ~me =
+  match Hashtbl.find_opt group.handles me with
+  | Some t -> Hashtbl.length t.prepared
+  | None -> 0

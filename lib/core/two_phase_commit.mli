@@ -6,12 +6,20 @@
     each participant's [learn] function fires with the decision.
 
     The protocol is deliberately {e blocking}, as the paper notes database
-    protocols are (§2.1): if the coordinator crashes after PREPARE, the
-    prepared participants wait indefinitely — there is no termination
-    protocol. Participants that are unreachable are treated according to
-    [participant_timeout]: when set, the coordinator counts a missing vote
-    as a NO after that delay (presumed abort); when [None], the coordinator
-    blocks too. *)
+    protocols are (§2.1): if the coordinator crashes after PREPARE and
+    never comes back, the prepared participants wait indefinitely — no
+    third party can decide for them. A cooperative {e termination
+    protocol} covers the recoverable cases: an in-doubt participant (voted
+    YES, decision never arrived — dropped by a partition, or lost past the
+    stubborn channel's retry budget) periodically re-requests the decision
+    from the coordinator, which answers from its durable outcome log. This
+    resolves the in-doubt window whenever the coordinator is reachable
+    again; it does not (and cannot) unblock participants of a permanently
+    dead coordinator. Participants that are unreachable are treated
+    according to [participant_timeout]: when set, the coordinator counts a
+    missing vote as a NO after that delay (presumed abort) and the same
+    period paces the participants' decision re-requests; when [None], the
+    coordinator blocks too and participants never re-ask. *)
 
 type decision = Commit | Abort
 
@@ -43,3 +51,9 @@ val start :
 val commits : group -> int
 
 val aborts : group -> int
+
+(** Number of transactions [me] has voted YES for without yet learning the
+    decision. A node with in-doubt transactions holds an incomplete view
+    of the committed state — state-transfer donors use this to defer
+    snapshots until the doubt resolves. *)
+val in_doubt : group -> me:int -> int

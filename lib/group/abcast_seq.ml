@@ -22,6 +22,7 @@ type t = {
   mutable next_send : int; (* per-origin seq for our own broadcasts *)
   mutable next_order : int; (* as leader: next global slot *)
   mutable next_deliver : int;
+  mutable ack_floor : int; (* slots below this are acked by every member *)
   known : (id, Msg.t) Hashtbl.t;
   pending : (id, unit) Hashtbl.t; (* known, not yet ordered under cur epoch *)
   slots : (int, id * int) Hashtbl.t; (* seq -> (id, epoch) *)
@@ -61,11 +62,20 @@ let ack_set t seq id =
       Hashtbl.replace t.acks (seq, id) s;
       s
 
+(* A member that suspects a majority of the group is far more likely to be
+   the partitioned minority (or freshly recovered with a stale detector)
+   than the survivor; such a member must neither shrink the stability
+   quorum, order messages, nor start an epoch change — any of those lets
+   it deliver in an order the majority never agreed on. *)
+let quorate t = 2 * List.length (Fd.trusted t.fd) > List.length t.members
+
 let stable t seq id =
   let ackers = !(ack_set t seq id) in
-  List.for_all
-    (fun m -> Iset.mem m ackers || Fd.suspected t.fd m)
-    t.members
+  if quorate t then
+    List.for_all
+      (fun m -> Iset.mem m ackers || Fd.suspected t.fd m)
+      t.members
+  else List.for_all (fun m -> Iset.mem m ackers) t.members
 
 let rec try_deliver t =
   match Hashtbl.find_opt t.slots t.next_deliver with
@@ -133,12 +143,26 @@ let adopt_epoch t e =
 (* Leader anti-entropy: keep re-announcing slots that some trusted member
    has not acknowledged, together with their payloads, so members that
    were unreachable longer than the stubborn channels' retry budget still
-   catch up after a partition heals. *)
+   catch up after a partition heals or a crashed member recovers. The
+   scan starts at [ack_floor] — not at the leader's own delivery cursor,
+   which races ahead of an absent member the moment the detector suspects
+   it and shrinks the stability quorum. *)
 let anti_entropy t =
   if is_leader t then begin
+    (* Advance the floor past slots every member has acknowledged. *)
+    let all_acked seq =
+      match Hashtbl.find_opt t.slots seq with
+      | None -> false
+      | Some (id, _) ->
+          let ackers = !(ack_set t seq id) in
+          List.for_all (fun m -> Iset.mem m ackers) t.members
+    in
+    while t.ack_floor < t.next_order && all_acked t.ack_floor do
+      t.ack_floor <- t.ack_floor + 1
+    done;
     let resent = ref 0 in
     let horizon = t.next_order - 1 in
-    let s = ref t.next_deliver in
+    let s = ref (min t.ack_floor t.next_deliver) in
     while !resent < 20 && !s <= horizon do
       (match Hashtbl.find_opt t.slots !s with
       | Some (id, epoch) ->
@@ -161,7 +185,7 @@ let anti_entropy t =
   end
 
 let poll t =
-  if Fd.suspected t.fd (leader t) then adopt_epoch t (t.epoch + 1);
+  if Fd.suspected t.fd (leader t) && quorate t then adopt_epoch t (t.epoch + 1);
   anti_entropy t;
   (* Suspicions shrink the stability quorum, which can make blocked slots
      deliverable without any new message arriving. *)
@@ -178,7 +202,7 @@ let inject t id payload =
       (List.rev t.opt_deliver_cbs);
     if not (Hashtbl.mem t.delivered_set id) then begin
       Hashtbl.replace t.pending id ();
-      if is_leader t then begin
+      if is_leader t && quorate t then begin
         (* Order it unless some slot already holds it. *)
         let already =
           Hashtbl.fold
@@ -219,6 +243,16 @@ let handle_msg t msg =
             Hashtbl.replace t.slots seq (id, epoch);
             mcast t (Order_ack { gid = t.gid; seq; id; from = t.me })
           end
+        end
+        else begin
+          (* Slot already delivered here. Re-acknowledge it anyway: a
+             recovered member replaying this slot needs a full ack set to
+             reach stability, and everyone who was present when it first
+             stabilised has long stopped talking about it. *)
+          match Hashtbl.find_opt t.slots seq with
+          | Some (sid, _) when sid = id ->
+              mcast t (Order_ack { gid = t.gid; seq; id; from = t.me })
+          | _ -> ()
         end;
         try_deliver t
       end
@@ -277,6 +311,7 @@ let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
           next_send = 0;
           next_order = 0;
           next_deliver = 0;
+          ack_floor = 0;
           known = Hashtbl.create 64;
           pending = Hashtbl.create 32;
           slots = Hashtbl.create 64;

@@ -80,6 +80,20 @@ let create_member net ~gid ~members ~heartbeat_every ~timeout me =
   ignore
     (Engine.periodic engine ~every:heartbeat_every
        (Network.guard net me (fun () -> check t)));
+  (* Recovery voids the detector's timing assumptions: every peer looks
+     silent for the whole outage. Restart the deadlines and trust everyone
+     until a fresh [timeout] elapses, so a recovering node does not act on
+     an epoch of universal (and almost surely wrong) suspicion. *)
+  Network.on_recover net (fun node ->
+      if node = me then begin
+        List.iter
+          (fun peer ->
+            if peer <> me then Hashtbl.replace t.last_heard peer (now t))
+          members;
+        let frozen = t.suspects in
+        t.suspects <- Iset.empty;
+        Iset.iter (fun peer -> List.iter (fun f -> f peer) t.trust_cbs) frozen
+      end);
   t
 
 let create_group net ~members ?(heartbeat_every = Simtime.of_ms 20)

@@ -119,17 +119,19 @@ let broadcast t payload =
 let propose_change t =
   if in_view t && t.proposed_for < t.view.id + 1 then begin
     let suspects = List.filter (Fd.suspected t.fd) t.view.members in
+    (* A join request from a node that is still in our view means it
+       crashed and recovered faster than the failure detector noticed:
+       its standing in the current view is void, and it needs a fresh
+       view (same membership) to jump to. *)
     let joins =
       Iset.elements
-        (Iset.filter
-           (fun j ->
-             (not (View.is_member t.view j)) && not (Fd.suspected t.fd j))
-           t.pending_joins)
+        (Iset.filter (fun j -> not (Fd.suspected t.fd j)) t.pending_joins)
     in
     if suspects <> [] || joins <> [] then begin
       t.proposed_for <- t.view.id + 1;
       let members =
-        List.filter (fun m -> not (List.mem m suspects)) t.view.members @ joins
+        List.filter (fun m -> not (List.mem m suspects)) t.view.members
+        @ List.filter (fun j -> not (View.is_member t.view j)) joins
       in
       (* The flush set must contain every message we have seen in this view
          — including ones we already delivered — so that whichever proposal
@@ -232,7 +234,14 @@ and apply_pending_views t =
         t.own_unstable <- [];
         t.future <- [];
         t.next_vseq <- 0;
-        t.view <- { View.id = instance; members = flush.Flush.f_members };
+        (* Normalise exactly like [View.next] does on the sequential
+           install path — every member must agree on the member order
+           (Passive replication derives primaryship from the head). *)
+        t.view <-
+          {
+            View.id = instance;
+            members = List.sort_uniq Int.compare flush.Flush.f_members;
+          };
         t.excluded <- false;
         t.joining <- false;
         t.stale_polls <- 0;
@@ -360,6 +369,16 @@ let create_group net ~members ?fd ?rto ?passthrough () =
       Rchan.on_deliver t.chan (fun ~src msg ->
           ignore src;
           handle_msg t msg);
+      (* A recovering member must not resume its pre-crash view: messages
+         may have been delivered (or views installed) without it while it
+         was down, so its standing is void. It re-enters through the
+         join/jump path like any left-behind member. *)
+      Network.on_recover net (fun node ->
+          if node = t.me then begin
+            t.excluded <- true;
+            t.stale_polls <- 0;
+            request_join t
+          end);
       C.on_decide t.cons (fun ~instance flush ->
           Hashtbl.replace t.pending_views instance flush;
           apply_pending_views t);

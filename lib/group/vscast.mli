@@ -13,7 +13,15 @@
 
     Messages of view [i] not in the agreed flush set are dropped
     everywhere; the sender (if it survives into the new view)
-    automatically rebroadcasts them in the new view. *)
+    automatically rebroadcasts them in the new view.
+
+    A member that crash-recovers must not resume its pre-crash view:
+    messages may have been delivered — and views installed — without it
+    while it was down, so on recovery it marks itself excluded and
+    re-enters through {!request_join} like any left-behind member. This
+    holds even when it recovers before the failure detector excluded it:
+    a join request from a current member forces a fresh view (with
+    unchanged membership) for the joiner to jump to. *)
 
 type t
 type group

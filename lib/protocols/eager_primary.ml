@@ -9,6 +9,12 @@ type Msg.t +=
       final : bool; (* last batch of the transaction *)
     }
   | Propagate_ack of { cid : int; rid : int; from : int }
+  | Sync_req of { cid : int; from : int }
+  | Sync_state of {
+      cid : int;
+      entries : (Store.Operation.key * (int * int)) list;
+      cache_entries : (int * (bool * int option)) list;
+    }
 
 type config = {
   interactive : bool;
@@ -67,6 +73,7 @@ type replica_state = {
   mutable run_queue : (int * int * Store.Operation.request) list;
       (* rid, client, request *)
   mutable busy : bool;
+  mutable synced : bool; (* false between recovery and state transfer *)
 }
 
 let create net ~replicas ~clients ?(config = default_config) () =
@@ -152,7 +159,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
         Core.Two_phase_commit.start tpc ~coordinator ~participants ~txn
           ~on_complete:(fun d -> on_complete (d = Core.Two_phase_commit.Commit))
   in
-  let is_primary r = Common.lowest_alive ctx = r in
+  (* The lowest alive replica owns the primary copy — but a freshly
+     recovered copy is stale and must not reclaim ownership (or serve
+     local reads) until a surviving peer ships it the database. *)
+  let is_primary r = (state r).synced && Common.lowest_alive ctx = r in
   (* Primary-side transaction driver: execute the next operation; in
      interactive mode propagate its changes and wait for secondary acks
      before continuing; after the last operation run the 2PC. *)
@@ -282,9 +292,34 @@ let create net ~replicas ~clients ?(config = default_config) () =
           attempts = Hashtbl.create 8;
           run_queue = [];
           busy = false;
+          synced = true;
         }
       in
       Hashtbl.replace states r st;
+      (* Rejoin after a crash: pre-crash primary context is dead (the
+         survivors took over and the clients resubmitted), tentative
+         writesets may belong to rounds that resolved without us. Drop
+         them and request a state transfer; primaryship and client
+         service resume when it lands. *)
+      Network.on_recover net (fun node ->
+          if node = r then begin
+            Hashtbl.reset st.active;
+            Hashtbl.reset st.buffered;
+            st.run_queue <- [];
+            st.busy <- false;
+            match
+              List.filter
+                (fun p -> p <> r && Network.alive net p)
+                ctx.Common.replicas
+            with
+            | [] -> ()
+            | peer :: _ ->
+                st.synced <- false;
+                Common.count ctx "state_transfers_total";
+                let chan = Group.Rchan.handle chan_group ~me:r in
+                Group.Rchan.send chan ~dst:peer
+                  (Sync_req { cid = ctx.Common.cid; from = r })
+          end);
       let fifo = Group.Fifo.handle fifo_group ~me:r in
       Group.Fifo.on_deliver fifo (fun ~origin msg ->
           match msg with
@@ -311,6 +346,43 @@ let create net ~replicas ~clients ?(config = default_config) () =
       Group.Rchan.on_deliver chan (fun ~src msg ->
           ignore src;
           match msg with
+          | Sync_req { cid; from } when cid = ctx.Common.cid && st.synced ->
+              (* Defer the snapshot while this copy is in-doubt in a 2PC —
+                 a snapshot taken then would omit decided-but-unapplied
+                 writes the joiner can never recover. *)
+              let rec answer () =
+                if not (st.synced && Network.alive net r) then ()
+                else if Core.Two_phase_commit.in_doubt tpc ~me:r > 0 then
+                  ignore
+                    (Engine.schedule (Network.engine net)
+                       ~after:(Simtime.of_ms 50)
+                       (Network.guard net r answer))
+                else begin
+                  let entries = Store.Kv.snapshot (Common.store ctx r) in
+                  let cache_entries =
+                    Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) st.cache []
+                  in
+                  Group.Rchan.send chan ~dst:from
+                    (Sync_state { cid = ctx.Common.cid; entries; cache_entries })
+                end
+              in
+              answer ()
+          | Sync_state { cid; entries; cache_entries }
+            when cid = ctx.Common.cid ->
+              if not st.synced then begin
+                List.iter
+                  (fun (k, (value, version)) ->
+                    Store.Kv.install (Common.store ctx r) k ~value ~version)
+                  entries;
+                List.iter
+                  (fun (rid, outcome) ->
+                    if not (Hashtbl.mem st.cache rid) then
+                      Hashtbl.replace st.cache rid outcome)
+                  cache_entries;
+                st.synced <- true
+              end
+          | _ when not st.synced ->
+              () (* no client service until the transfer lands *)
           | Ereq { cid; client; request } when cid = ctx.Common.cid -> (
               let rid = request.Store.Operation.rid in
               match Hashtbl.find_opt st.cache rid with

@@ -37,6 +37,12 @@ type Msg.t +=
     }
   | Complete_ack of { cid : int; rid : int; from : int }
   | Txn_abort of { cid : int; rid : int }
+  | Sync_req of { cid : int; from : int }
+  | Sync_state of {
+      cid : int;
+      entries : (Store.Operation.key * (int * int)) list;
+      cache_entries : (int * (bool * int option)) list;
+    }
 
 type config = {
   read_one_write_all : bool;
@@ -112,6 +118,7 @@ type replica_state = {
   delegate_of : (int, int) Hashtbl.t; (* rid -> delegate replica *)
   cache : (int, bool * int option) Hashtbl.t;
   txns : (int, delegate_txn) Hashtbl.t; (* delegate side *)
+  mutable synced : bool; (* false between recovery and state transfer *)
 }
 
 let create net ~replicas ~clients ?(config = default_config) () =
@@ -129,7 +136,18 @@ let create net ~replicas ~clients ?(config = default_config) () =
     Hashtbl.remove st.shadows rid;
     Hashtbl.remove st.complete rid;
     Hashtbl.remove st.quorum_writes rid;
-    Hashtbl.remove st.delegate_of rid
+    Hashtbl.remove st.delegate_of rid;
+    (* The per-op dedup entries must die with the shadow: if the
+       transaction is ever re-driven (client resubmission after a delegate
+       crash), every operation has to re-execute into the fresh shadow —
+       stale entries would make this site ack ops it silently skipped and
+       commit a partial writeset. *)
+    let stale_ops =
+      Hashtbl.fold
+        (fun ((r, _) as key) () acc -> if r = rid then key :: acc else acc)
+        st.executed []
+    in
+    List.iter (Hashtbl.remove st.executed) stale_ops
   in
   let tpc =
     Core.Two_phase_commit.create_group net ~nodes:replicas
@@ -365,20 +383,60 @@ let create net ~replicas ~clients ?(config = default_config) () =
           delegate_of = Hashtbl.create 16;
           cache = Hashtbl.create 64;
           txns = Hashtbl.create 8;
+          synced = true;
         }
       in
       Hashtbl.replace states r st;
+      (* Rejoin after a crash: the copy is stale and any pre-crash
+         transaction context is dead (its delegates aborted or committed
+         without us long ago). Drop that context, stop serving, and ask a
+         surviving peer for the database + reply cache; service resumes
+         when the transfer lands. *)
+      Network.on_recover net (fun node ->
+          if node = r then begin
+            let stale_rids =
+              Hashtbl.fold (fun rid _ acc -> rid :: acc) st.delegate_of []
+              @ Hashtbl.fold (fun rid _ acc -> rid :: acc) st.txns []
+            in
+            List.iter (release_txn st) (List.sort_uniq compare stale_rids);
+            Hashtbl.reset st.txns;
+            (* The per-op dedup table must die with the shadows it guarded:
+               a retransmitted Exec for a still-running transaction has to
+               re-execute into the fresh shadow, or the shadow commits with
+               that operation's write silently missing. Committed
+               transactions stay deduped through the reply cache. *)
+            Hashtbl.reset st.executed;
+            match
+              List.filter
+                (fun p -> p <> r && Network.alive net p)
+                ctx.Common.replicas
+            with
+            | [] -> () (* nobody to copy from: keep serving what we have *)
+            | peer :: _ ->
+                st.synced <- false;
+                Common.count ctx "state_transfers_total";
+                Group.Rchan.send (chan r) ~dst:peer
+                  (Sync_req { cid = ctx.Common.cid; from = r })
+          end);
       let fd = Group.Fd.handle fd_group ~me:r in
       (* Clean up transactions whose delegate crashed, so their locks do
-         not block the system forever. *)
+         not block the system forever. In-doubt transactions — fully
+         processed here, i.e. we may already have voted YES in the 2PC —
+         are exempt: a prepared participant must hold its locks until it
+         learns the decision (the textbook 2PC blocking window; the
+         termination protocol in [Core.Two_phase_commit] resolves it once
+         the coordinator is reachable again). *)
       ignore
         (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 100)
            (Network.guard net r (fun () ->
                 let stale =
                   Hashtbl.fold
                     (fun rid delegate acc ->
-                      if delegate <> r && Group.Fd.suspected fd delegate then
-                        rid :: acc
+                      if
+                        delegate <> r
+                        && Group.Fd.suspected fd delegate
+                        && not (Hashtbl.mem st.complete rid)
+                      then rid :: acc
                       else acc)
                     st.delegate_of []
                 in
@@ -386,6 +444,44 @@ let create net ~replicas ~clients ?(config = default_config) () =
       Group.Rchan.on_deliver (chan r) (fun ~src msg ->
           ignore src;
           match msg with
+          | Sync_req { cid; from } when cid = ctx.Common.cid && st.synced ->
+              (* Don't serve a snapshot while we hold in-doubt transactions:
+                 their writes are decided-but-not-yet-applied here, and a
+                 snapshot taken now would hand the joiner a store missing
+                 commits it will never hear about again. Wait for the
+                 termination protocol to resolve the doubt first. *)
+              let rec answer () =
+                if not (st.synced && Network.alive net r) then ()
+                else if Core.Two_phase_commit.in_doubt tpc ~me:r > 0 then
+                  ignore
+                    (Engine.schedule (Network.engine net)
+                       ~after:(Simtime.of_ms 50)
+                       (Network.guard net r answer))
+                else begin
+                  let entries = Store.Kv.snapshot (Common.store ctx r) in
+                  let cache_entries =
+                    Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) st.cache []
+                  in
+                  Group.Rchan.send (chan r) ~dst:from
+                    (Sync_state { cid = ctx.Common.cid; entries; cache_entries })
+                end
+              in
+              answer ()
+          | Sync_state { cid; entries; cache_entries }
+            when cid = ctx.Common.cid ->
+              if not st.synced then begin
+                List.iter
+                  (fun (k, (value, version)) ->
+                    Store.Kv.install (Common.store ctx r) k ~value ~version)
+                  entries;
+                List.iter
+                  (fun (rid, outcome) ->
+                    if not (Hashtbl.mem st.cache rid) then
+                      Hashtbl.replace st.cache rid outcome)
+                  cache_entries;
+                st.synced <- true
+              end
+          | _ when not st.synced -> () (* mute until the transfer lands *)
           | Lreq { cid; client; request } when cid = ctx.Common.cid -> (
               let rid = request.Store.Operation.rid in
               match Hashtbl.find_opt st.cache rid with

@@ -76,6 +76,28 @@ let create net ~replicas ~clients ?(config = default_config) () =
       let cache : (int, bool * int option) Hashtbl.t = Hashtbl.find caches r in
       let recon = Hashtbl.find recons r in
       let h = Group.Abcast.handle ab ~me:r in
+      (* Redo log: writesets committed locally whose propagation broadcast
+         has not fired yet. A crash inside the propagation delay would
+         otherwise strand those updates on this copy forever — the classic
+         lazy data-loss window. On recovery they are re-broadcast. *)
+      let unsent : (int, (Store.Operation.key * int * int) list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      Network.on_recover net (fun node ->
+          if node = r then begin
+            let backlog =
+              Hashtbl.fold (fun rid ws acc -> (rid, ws) :: acc) unsent []
+            in
+            Hashtbl.reset unsent;
+            List.iter
+              (fun (rid, writes) ->
+                Common.count ctx
+                  ~labels:[ ("replica", string_of_int r) ]
+                  "redo_rebroadcasts_total";
+                Group.Abcast.broadcast h
+                  (Writeset { cid = ctx.Common.cid; rid; writes }))
+              backlog
+          end);
       Group.Abcast.on_deliver h (fun ~origin msg ->
           ignore origin;
           match msg with
@@ -117,10 +139,12 @@ let create net ~replicas ~clients ?(config = default_config) () =
                   if result.Store.Apply.writes <> [] then begin
                     Core.Reconciliation.local_commit recon ~tid:rid
                       ~writes:result.Store.Apply.writes;
+                    Hashtbl.replace unsent rid result.Store.Apply.writes;
                     ignore
                       (Engine.schedule (Network.engine net)
                          ~after:config.propagation_delay
                          (Network.guard net r (fun () ->
+                              Hashtbl.remove unsent rid;
                               Group.Abcast.broadcast h
                                 (Writeset
                                    {

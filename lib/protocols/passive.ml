@@ -14,6 +14,7 @@ type Msg.t +=
       entries : (Store.Operation.key * (int * int)) list;
       cache_entries : (int * (bool * int option)) list;
     }
+  | Sync_req of { cid : int }
 
 type config = { client_retry : Simtime.t; passthrough : bool }
 
@@ -56,6 +57,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
   let states = Hashtbl.create 8 in
   let is_primary st =
     st.synced
+    && Group.Vscast.in_view st.vs
     &&
     match (Group.Vscast.current_view st.vs).Group.View.members with
     | [] -> false
@@ -76,18 +78,42 @@ let create net ~replicas ~clients ?(config = default_config) () =
         }
       in
       Hashtbl.replace states r st;
+      let send_sync st ~dst =
+        let chan = Group.Rchan.handle chan_group ~me:st.me in
+        let entries = Store.Kv.snapshot (Common.store ctx st.me) in
+        let cache_entries =
+          Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) st.cache []
+        in
+        Common.count ctx "state_transfers_total";
+        Group.Rchan.send chan ~dst
+          (Sync { cid = ctx.Common.cid; entries; cache_entries })
+      in
+      (* Crash recovery: whatever this replica executed right before the
+         crash may never have reached the group — distrust it all and
+         rebuild from a surviving copy once readmitted. *)
+      Network.on_recover net (fun node ->
+          if node = r then begin
+            st.synced <- false;
+            Hashtbl.reset st.executing;
+            Store.Kv.reset (Common.store ctx r)
+          end);
       (* Recovery: an excluded replica asks to rejoin; when a view readmits
          it, every surviving member (locally: anyone whose previous view is
          the new view's predecessor) sends it the database and reply cache,
-         so it becomes a valid hot standby again. A member that {e jumped}
-         views (view id advanced by more than one) is itself the stale
-         joiner: it must not volunteer state, and it defers any claim to
-         primaryship until a state transfer arrives. *)
+         so it becomes a valid hot standby again. A member that is itself
+         the readmitted joiner must not volunteer state, and it defers any
+         claim to primaryship until a state transfer arrives. *)
       Group.Vscast.on_view_change vs (fun view ->
           Common.count ctx
             ~labels:[ ("replica", string_of_int r) ]
             "view_changes_total";
-          let jumped = view.Group.View.id > st.last_view_id + 1 in
+          let rejoined =
+            (* Either the view id advanced past us while we were out, or
+               the previous view we saw did not contain us: both mean we
+               are the stale joiner being readmitted. *)
+            view.Group.View.id > st.last_view_id + 1
+            || not (List.mem r st.prev_members)
+          in
           st.last_view_id <- view.Group.View.id;
           let joiners =
             List.filter
@@ -95,25 +121,38 @@ let create net ~replicas ~clients ?(config = default_config) () =
               view.Group.View.members
           in
           st.prev_members <- view.Group.View.members;
-          if jumped then st.synced <- false
-          else if joiners <> [] then begin
-            let chan = Group.Rchan.handle chan_group ~me:r in
-            let entries = Store.Kv.snapshot (Common.store ctx r) in
-            let cache_entries =
-              Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) st.cache []
-            in
-            List.iter
-              (fun dst ->
-                Common.count ctx "state_transfers_total";
-                Group.Rchan.send chan ~dst
-                  (Sync { cid = ctx.Common.cid; entries; cache_entries }))
-              joiners
-          end);
+          if rejoined then begin
+            st.synced <- false;
+            (* Updates we executed whose stability died with the old view
+               will be re-executed on resubmission. *)
+            Hashtbl.reset st.executing;
+            (* Tentative writes that never reached the group are void;
+               the state transfer rebuilds the database. *)
+            Store.Kv.reset (Common.store ctx r)
+          end
+          else if st.synced && joiners <> [] then
+            List.iter (fun dst -> send_sync st ~dst) joiners);
       ignore
         (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 150)
            (Network.guard net r (fun () ->
                 if not (Group.Vscast.in_view vs) then
                   Group.Vscast.request_join vs)));
+      (* Pull-based state transfer: membership diffs cannot always tell
+         the survivors who rejoined (a member that crashes and recovers
+         within a single view change reappears in a view with unchanged
+         membership), so an unsynced member asks for the database itself
+         until some synced member answers. *)
+      ignore
+        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 150)
+           (Network.guard net r (fun () ->
+                if (not st.synced) && Group.Vscast.in_view vs then
+                  let chan = Group.Rchan.handle chan_group ~me:r in
+                  List.iter
+                    (fun dst ->
+                      if dst <> r then
+                        Group.Rchan.send chan ~dst
+                          (Sync_req { cid = ctx.Common.cid }))
+                    replicas)));
       (* Backups (and the primary itself) learn updates through VSCAST. *)
       Group.Vscast.on_deliver vs (fun ~origin msg ->
           match msg with
@@ -136,8 +175,10 @@ let create net ~replicas ~clients ?(config = default_config) () =
           | _ -> ());
       let chan = Group.Rchan.handle chan_group ~me:r in
       Group.Rchan.on_deliver chan (fun ~src msg ->
-          ignore src;
           match msg with
+          | Sync_req { cid } when cid = ctx.Common.cid ->
+              (* Only a synced member may act as a state-transfer donor. *)
+              if st.synced then send_sync st ~dst:src
           | Sync { cid; entries; cache_entries } when cid = ctx.Common.cid ->
               List.iter
                 (fun (k, (value, version)) ->

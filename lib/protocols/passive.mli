@@ -6,7 +6,15 @@
     is stable. On a primary crash the group installs a new view, the next
     member becomes primary, and clients re-send after a timeout —
     duplicate resubmissions are absorbed by a per-request result cache, so
-    each request takes effect exactly once. Figure 16 row: RE EX AC END. *)
+    each request takes effect exactly once.
+
+    A replica that crash-recovers re-enters through the membership
+    protocol (it must not trust its pre-crash view or state): it discards
+    tentative writes that never reached the group and rebuilds from a
+    state transfer — pushed by survivors that see it rejoin a view, and
+    pulled by the joiner ([Sync_req]) when membership alone cannot reveal
+    the rejoin. Until the transfer arrives it claims no primaryship.
+    Figure 16 row: RE EX AC END. *)
 
 type config = {
   client_retry : Sim.Simtime.t;  (** resubmission timeout *)

@@ -33,6 +33,8 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable crash_watchers : (int -> unit) list;  (** most recent first *)
+  mutable recover_watchers : (int -> unit) list;
 }
 
 let create engine ~n ?tracer (config : config) =
@@ -52,6 +54,8 @@ let create engine ~n ?tracer (config : config) =
     sent = 0;
     delivered = 0;
     dropped = 0;
+    crash_watchers = [];
+    recover_watchers = [];
   }
 
 let engine t = t.engine
@@ -125,18 +129,23 @@ let send t ~src ~dst msg =
 
 let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
 
+let on_crash t f = t.crash_watchers <- f :: t.crash_watchers
+let on_recover t f = t.recover_watchers <- f :: t.recover_watchers
+
 let crash t node =
   if t.alive.(node) then begin
     t.alive.(node) <- false;
     Tracer.record t.tracer ~time:(Engine.now t.engine) ~node ~label:"node.crash"
-      ""
+      "";
+    List.iter (fun f -> f node) (List.rev t.crash_watchers)
   end
 
 let recover t node =
   if not t.alive.(node) then begin
     t.alive.(node) <- true;
     Tracer.record t.tracer ~time:(Engine.now t.engine) ~node
-      ~label:"node.recover" ""
+      ~label:"node.recover" "";
+    List.iter (fun f -> f node) (List.rev t.recover_watchers)
   end
 
 let partition t group =
@@ -150,6 +159,7 @@ let heal t =
   Tracer.record t.tracer ~time:(Engine.now t.engine) ~label:"net.heal" ""
 
 let set_drop_probability t p = t.drop_probability <- p
+let drop_probability t = t.drop_probability
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped

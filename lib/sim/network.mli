@@ -45,6 +45,16 @@ val crash : t -> int -> unit
 val recover : t -> int -> unit
 val alive : t -> int -> bool
 
+(** [on_crash t f] calls [f node] whenever [node] crash-stops. Protocols
+    use this to expire state tied to a dead peer. *)
+val on_crash : t -> (int -> unit) -> unit
+
+(** [on_recover t f] calls [f node] whenever [node] comes back up —
+    the hook a recovering replica uses to start its own rejoin /
+    state-transfer path (its timers were suppressed while it was down,
+    so it cannot notice the outage by itself). *)
+val on_recover : t -> (int -> unit) -> unit
+
 (** [guard t node f] wraps [f] so it only runs while [node] is alive —
     use for protocol timers. *)
 val guard : t -> int -> (unit -> unit) -> unit -> unit
@@ -63,6 +73,11 @@ val partition : t -> int list -> unit
 
 val heal : t -> unit
 val set_drop_probability : t -> float -> unit
+
+(** Current per-message drop probability — read it before a temporary
+    [set_drop_probability] override (a loss window in a fault-injection
+    scenario) so the baseline can be restored afterwards. *)
+val drop_probability : t -> float
 
 (** Counters since creation or the last [reset_counters]. *)
 

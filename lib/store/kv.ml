@@ -16,6 +16,7 @@ let install t k ~value ~version =
   if version >= current then Hashtbl.replace t k (value, version)
 
 let force t k ~value ~version = Hashtbl.replace t k (value, version)
+let reset t = Hashtbl.reset t
 
 let version t k = snd (read t k)
 let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

@@ -28,6 +28,11 @@ val install : t -> Operation.key -> value:int -> version:int -> unit
     after-commit order authoritative over tentative local commits. *)
 val force : t -> Operation.key -> value:int -> version:int -> unit
 
+(** [reset t] drops every copy. A replica rejoining after a crash uses
+    this to discard tentative writes that never reached the group before
+    a state transfer rebuilds the database from a surviving copy. *)
+val reset : t -> unit
+
 val version : t -> Operation.key -> int
 val keys : t -> Operation.key list
 

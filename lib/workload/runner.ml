@@ -3,7 +3,12 @@ open Sim
 type factory =
   Network.t -> replicas:int list -> clients:int list -> Core.Technique.instance
 
-type failure = { at : Simtime.t; replica : int }
+type failure = { at : Simtime.t; replica : int; recover_at : Simtime.t option }
+
+let crash_at ~at replica = { at; replica; recover_at = None }
+
+let crash_recover ~at ~recover_at replica =
+  { at; replica; recover_at = Some recover_at }
 
 type arrival = [ `Closed | `Poisson of float ]
 
@@ -25,9 +30,11 @@ type result = {
   serializable : bool;
   phase_ms : (Core.Phase.t * Stats.summary) list;
   metrics : Metrics.snapshot;
+  resubmissions : int;
+  dropped : int;
 }
 
-let run ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
+let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
     ?(net = Network.default_config) ?tune ?(arrival = `Closed)
     ?(failures = []) ?(partitions = []) ?(deadline = Simtime.of_sec 120.)
     ~spec factory =
@@ -38,9 +45,15 @@ let run ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
   (match tune with Some f -> f network ~replicas ~clients | None -> ());
   let inst = factory network ~replicas ~clients in
   List.iter
-    (fun { at; replica } ->
+    (fun { at; replica; recover_at } ->
       ignore
-        (Engine.schedule_at engine ~at (fun () -> Network.crash network replica)))
+        (Engine.schedule_at engine ~at (fun () -> Network.crash network replica));
+      match recover_at with
+      | Some at ->
+          ignore
+            (Engine.schedule_at engine ~at (fun () ->
+                 Network.recover network replica))
+      | None -> ())
     failures;
   List.iter
     (fun { at; group; heal_at } ->
@@ -165,27 +178,39 @@ let run ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
     Metrics.set_gauge m "makespan_ms" (Simtime.to_ms makespan);
     Metrics.snapshot m
   in
-  {
-    committed = !committed;
-    aborted = !aborted;
-    unanswered = !submitted - !answered;
-    latency_ms = Stats.summary all_lat;
-    update_latency_ms = Stats.summary upd_lat;
-    read_latency_ms = Stats.summary read_lat;
-    makespan;
-    throughput;
-    messages;
-    messages_per_txn =
-      (if !answered = 0 then 0. else float_of_int messages /. float_of_int !answered);
-    max_response_gap = !max_gap;
-    converged = Core.Convergence.converged alive_stores;
-    serializable =
-      (match Store.Serializability.check inst.Core.Technique.history with
-      | Store.Serializability.Serializable _ -> true
-      | _ -> false);
-    phase_ms;
-    metrics;
-  }
+  ( {
+      committed = !committed;
+      aborted = !aborted;
+      unanswered = !submitted - !answered;
+      latency_ms = Stats.summary all_lat;
+      update_latency_ms = Stats.summary upd_lat;
+      read_latency_ms = Stats.summary read_lat;
+      makespan;
+      throughput;
+      messages;
+      messages_per_txn =
+        (if !answered = 0 then 0.
+         else float_of_int messages /. float_of_int !answered);
+      max_response_gap = !max_gap;
+      converged = Core.Convergence.converged alive_stores;
+      serializable =
+        (match Store.Serializability.check inst.Core.Technique.history with
+        | Store.Serializability.Serializable _ -> true
+        | _ -> false);
+      phase_ms;
+      metrics;
+      resubmissions =
+        Option.value ~default:0
+          (Metrics.counter_value metrics "resubmissions_total");
+      dropped = Network.messages_dropped network;
+    },
+    inst )
+
+let run ?seed ?n_replicas ?n_clients ?net ?tune ?arrival ?failures ?partitions
+    ?deadline ~spec factory =
+  fst
+    (run_with_instance ?seed ?n_replicas ?n_clients ?net ?tune ?arrival
+       ?failures ?partitions ?deadline ~spec factory)
 
 let pp_result ppf r =
   Format.fprintf ppf

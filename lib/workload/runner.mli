@@ -6,7 +6,21 @@
 type factory =
   Sim.Network.t -> replicas:int list -> clients:int list -> Core.Technique.instance
 
-type failure = { at : Sim.Simtime.t; replica : int }
+(** Crash [replica] at [at]; when [recover_at] is set, bring it back at
+    that time ({!Sim.Network.recover}) so crash-recover scenarios are
+    expressible directly in the schedule. *)
+type failure = {
+  at : Sim.Simtime.t;
+  replica : int;
+  recover_at : Sim.Simtime.t option;
+}
+
+(** [crash_at ~at r] — a crash with no recovery. *)
+val crash_at : at:Sim.Simtime.t -> int -> failure
+
+(** [crash_recover ~at ~recover_at r] — crash then recover. *)
+val crash_recover :
+  at:Sim.Simtime.t -> recover_at:Sim.Simtime.t -> int -> failure
 
 (** How clients issue transactions: [`Closed] waits for each reply plus
     the spec's think time before the next submission (the default);
@@ -40,6 +54,10 @@ type result = {
           phase order (phases the technique never entered are absent) *)
   metrics : Sim.Metrics.snapshot;
       (** the instance's metrics registry at quiescence *)
+  resubmissions : int;
+      (** client resubmissions after reply timeouts — 0 for
+          failure-transparent techniques *)
+  dropped : int;  (** messages lost to crashes, partitions or link loss *)
 }
 
 val run :
@@ -55,5 +73,22 @@ val run :
   spec:Spec.t ->
   factory ->
   result
+
+(** Like {!run}, but also returns the instance that ran, for post-hoc
+    oracles that need its spans, history, or stores. [result] itself
+    stays plain data (structurally comparable). *)
+val run_with_instance :
+  ?seed:int ->
+  ?n_replicas:int ->
+  ?n_clients:int ->
+  ?net:Sim.Network.config ->
+  ?tune:(Sim.Network.t -> replicas:int list -> clients:int list -> unit) ->
+  ?arrival:arrival ->
+  ?failures:failure list ->
+  ?partitions:partition list ->
+  ?deadline:Sim.Simtime.t ->
+  spec:Spec.t ->
+  factory ->
+  result * Core.Technique.instance
 
 val pp_result : Format.formatter -> result -> unit

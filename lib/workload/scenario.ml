@@ -1,0 +1,435 @@
+open Sim
+
+type event =
+  | Crash of { at : Simtime.t; replica : int }
+  | Recover of { at : Simtime.t; replica : int }
+  | Partition of { at : Simtime.t; group : int list; heal_at : Simtime.t }
+  | Loss of { at : Simtime.t; probability : float; until : Simtime.t }
+
+type t = { name : string; description : string; events : event list }
+
+let apply t net =
+  let engine = Network.engine net in
+  let baseline = Network.drop_probability net in
+  List.iter
+    (fun event ->
+      match event with
+      | Crash { at; replica } ->
+          ignore
+            (Engine.schedule_at engine ~at (fun () -> Network.crash net replica))
+      | Recover { at; replica } ->
+          ignore
+            (Engine.schedule_at engine ~at (fun () ->
+                 Network.recover net replica))
+      | Partition { at; group; heal_at } ->
+          ignore
+            (Engine.schedule_at engine ~at (fun () ->
+                 Network.partition net group));
+          ignore
+            (Engine.schedule_at engine ~at:heal_at (fun () -> Network.heal net))
+      | Loss { at; probability; until } ->
+          ignore
+            (Engine.schedule_at engine ~at (fun () ->
+                 Network.set_drop_probability net probability));
+          ignore
+            (Engine.schedule_at engine ~at:until (fun () ->
+                 Network.set_drop_probability net baseline)))
+    t.events
+
+let has_crash t =
+  List.exists (function Crash _ -> true | _ -> false) t.events
+
+let has_partition t =
+  List.exists (function Partition _ -> true | _ -> false) t.events
+
+let crashed_replicas t =
+  List.filter_map
+    (function Crash { replica; _ } -> Some replica | _ -> None)
+    t.events
+  |> List.sort_uniq compare
+
+let has_unrecovered_crash t =
+  List.exists
+    (function
+      | Crash { replica; at } ->
+          not
+            (List.exists
+               (function
+                 | Recover { replica = r; at = at' } ->
+                     r = replica && Simtime.(at' > at)
+                 | _ -> false)
+               t.events)
+      | _ -> false)
+    t.events
+
+(* A replica leaves and comes back: either a crash-recover pair or a
+   partition that heals. The convergence oracle only becomes interesting
+   (recovered copy must catch up) when this holds. *)
+let has_rejoin t =
+  List.exists (function Recover _ -> true | _ -> false) t.events
+  || has_partition t
+
+let bursts ~from ~probability ~burst ~gap ~count =
+  List.init count (fun i ->
+      let at = Simtime.add from (Simtime.mul (Simtime.add burst gap) i) in
+      Loss { at; probability; until = Simtime.add at burst })
+
+(* Built-in library. Times assume the campaign cluster: 3 replicas
+   (0–2), traffic starting at t=0 and running for a few hundred ms.
+   Replica 0 is the interesting victim (primary / sequencer / first
+   delegate in every technique); replica 2 serves no client in the
+   3-replica, 2-client shape, so isolating it exercises catch-up rather
+   than availability. *)
+let builtins =
+  [
+    {
+      name = "crash";
+      description = "replica 0 (primary/sequencer) crashes at 100 ms, stays down";
+      events = [ Crash { at = Simtime.of_ms 100; replica = 0 } ];
+    };
+    {
+      name = "crash-recover";
+      description = "replica 0 crashes at 100 ms, recovers at 600 ms";
+      events =
+        [
+          Crash { at = Simtime.of_ms 100; replica = 0 };
+          Recover { at = Simtime.of_ms 600; replica = 0 };
+        ];
+    };
+    {
+      name = "backup-crash-recover";
+      description = "replica 2 (no client attached) crashes at 100 ms, recovers at 600 ms";
+      events =
+        [
+          Crash { at = Simtime.of_ms 100; replica = 2 };
+          Recover { at = Simtime.of_ms 600; replica = 2 };
+        ];
+    };
+    {
+      name = "partition-heal";
+      description = "replica 2 isolated from 50 ms to 600 ms, then healed";
+      events =
+        [
+          Partition
+            {
+              at = Simtime.of_ms 50;
+              group = [ 2 ];
+              heal_at = Simtime.of_ms 600;
+            };
+        ];
+    };
+    {
+      name = "loss";
+      description = "sustained 5 % message loss for the whole run";
+      events =
+        [
+          Loss
+            {
+              at = Simtime.zero;
+              probability = 0.05;
+              until = Simtime.of_sec 3600.;
+            };
+        ];
+    };
+    {
+      name = "burst-loss";
+      description = "three 100 ms bursts of 30 % loss, 100 ms apart";
+      events =
+        bursts ~from:(Simtime.of_ms 50) ~probability:0.3
+          ~burst:(Simtime.of_ms 100) ~gap:(Simtime.of_ms 100) ~count:3;
+    };
+    {
+      name = "chaos";
+      description =
+        "composed: replica 1 crash-recovers (100–500 ms), replica 2 \
+         partitioned (600–900 ms), 2 % background loss";
+      events =
+        [
+          Crash { at = Simtime.of_ms 100; replica = 1 };
+          Recover { at = Simtime.of_ms 500; replica = 1 };
+          Partition
+            {
+              at = Simtime.of_ms 600;
+              group = [ 2 ];
+              heal_at = Simtime.of_ms 900;
+            };
+          Loss
+            {
+              at = Simtime.zero;
+              probability = 0.02;
+              until = Simtime.of_sec 3600.;
+            };
+        ];
+    };
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) builtins
+
+(* ------------------------------------------------------------------ *)
+(* Expectations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type expectation = {
+  transparent : bool;
+  may_block : bool;
+  strong : bool;
+  recovers : bool;
+  signatures : Core.Phase.t list list;
+}
+
+(* Techniques whose agreement round is an atomic-commitment protocol
+   (2PC): prepared participants can block while the coordinator is
+   down — the paper's §2.1 "databases accept blocking protocols". *)
+let uses_2pc key =
+  List.mem key [ "eager-primary"; "eager-ue-locking" ]
+
+(* Techniques with a catch-up path for a replica that was away: passive
+   rejoins through a view change with state transfer; the ABCAST-based
+   techniques replay missed deliveries (sequencer anti-entropy /
+   consensus progress gossip); semi-passive replays decided consensus
+   instances; eager-primary and eager-UE locking run a state transfer
+   on rejoin; lazy-UE re-broadcasts its redo log. Lazy primary copy is
+   the exception: a recovered primary resumes ownership from its stale
+   copy, and updates that only reached the backups stay stranded there
+   — the classic lazy lost-update window (paper §4.5). *)
+let catches_up key = not (String.equal key "lazy-primary")
+
+let remove_phase p = List.filter (fun q -> not (Core.Phase.equal p q))
+
+let expectation ~key (info : Core.Technique.info) scenario =
+  let base = info.expected_phases in
+  let signatures =
+    (* Semi-active's AC happens per non-deterministic choice; campaign
+       requests are deterministic, so the AC-less row is equally
+       conformant. Lazy techniques promise only that the response is not
+       gated on AC — when the optimistic reply is lost and the client's
+       resubmission is answered from the cache, propagation has already
+       begun and AC legitimately precedes the observed END, so the
+       swapped row is acceptable too. Under a crash the truncated row is
+       acceptable: a transaction committed just before its delegate
+       crashes may never get to propagate. *)
+    let alts =
+      (if String.equal key "semi-active" then
+         [ remove_phase Core.Phase.Agreement_coordination base ]
+       else [])
+      @ (if info.propagation = Core.Technique.Lazy then
+           let body =
+             base
+             |> remove_phase Core.Phase.Agreement_coordination
+             |> remove_phase Core.Phase.Response
+           in
+           [ body @ [ Core.Phase.Agreement_coordination; Core.Phase.Response ] ]
+         else [])
+      @
+      if info.propagation = Core.Technique.Lazy && has_crash scenario then
+        [ remove_phase Core.Phase.Agreement_coordination base ]
+      else []
+    in
+    base :: alts
+  in
+  {
+    transparent = info.failure_transparent;
+    may_block = uses_2pc key && (has_crash scenario || has_partition scenario);
+    strong = info.strong_consistency;
+    recovers = (catches_up key || not (has_rejoin scenario));
+    signatures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = { oracle : string; ok : bool; detail : string }
+
+let signature_equal a b =
+  List.length a = List.length b && List.for_all2 Core.Phase.equal a b
+
+let oracles ~key (info : Core.Technique.info) scenario
+    (result : Runner.result) (inst : Core.Technique.instance) =
+  let e = expectation ~key info scenario in
+  let serializable =
+    {
+      oracle = "serializable";
+      ok = (not e.strong) || result.Runner.serializable;
+      detail =
+        Printf.sprintf "1SR=%b (required=%b)" result.Runner.serializable
+          e.strong;
+    }
+  in
+  let convergence =
+    {
+      oracle = "convergence";
+      ok = result.Runner.converged || not e.recovers;
+      detail =
+        Printf.sprintf "converged=%b (required=%b)" result.Runner.converged
+          e.recovers;
+    }
+  in
+  let signatures =
+    (* Every committed transaction that was answered must show an
+       acceptable Figure-16 row in its span record. *)
+    let spans = inst.Core.Technique.spans in
+    let committed =
+      List.map
+        (fun (r : Store.History.record) -> r.Store.History.tid)
+        (Store.History.records inst.Core.Technique.history)
+    in
+    let checked = ref 0 and bad = ref [] in
+    List.iter
+      (fun rid ->
+        if Core.Phase_span.responded spans ~rid then begin
+          incr checked;
+          let observed = Core.Phase_span.signature spans ~rid in
+          if not (List.exists (signature_equal observed) e.signatures) then
+            bad := (rid, observed) :: !bad
+        end)
+      committed;
+    {
+      oracle = "signatures";
+      ok = !bad = [];
+      detail =
+        (match !bad with
+        | [] -> Printf.sprintf "%d committed rows conform" !checked
+        | (rid, observed) :: _ ->
+            Format.asprintf "%d/%d nonconforming, e.g. rid %d: %a"
+              (List.length !bad) !checked rid Core.Phase.pp_sequence observed);
+    }
+  in
+  let liveness =
+    {
+      oracle = "liveness";
+      ok = result.Runner.unanswered = 0 || e.may_block;
+      detail =
+        Printf.sprintf "unanswered=%d (blocking %s)" result.Runner.unanswered
+          (if e.may_block then "tolerated" else "forbidden");
+    }
+  in
+  let transparency =
+    {
+      oracle = "transparency";
+      ok = (not e.transparent) || result.Runner.resubmissions = 0;
+      detail =
+        Printf.sprintf "resubmissions=%d (transparent=%b)"
+          result.Runner.resubmissions e.transparent;
+    }
+  in
+  [ serializable; convergence; signatures; liveness; transparency ]
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  technique : string;
+  scenario : string;
+  seed : int;
+  result : Runner.result;
+  verdicts : verdict list;
+  ok : bool;
+}
+
+let default_spec =
+  {
+    Spec.default with
+    update_ratio = 1.0;
+    txns_per_client = 25;
+    think_time = Simtime.of_ms 2;
+  }
+
+let run_one ?(seed = 11) ?(spec = default_spec)
+    ?(deadline = Simtime.of_sec 120.) ~key ~info ~factory scenario =
+  let result, inst =
+    Runner.run_with_instance ~seed ~n_replicas:3 ~n_clients:2 ~deadline ~spec
+      ~tune:(fun net ~replicas:_ ~clients:_ -> apply scenario net)
+      factory
+  in
+  let verdicts = oracles ~key info scenario result inst in
+  {
+    technique = key;
+    scenario = scenario.name;
+    seed;
+    result;
+    verdicts;
+    ok = List.for_all (fun (v : verdict) -> v.ok) verdicts;
+  }
+
+let run_campaign ?(seeds = [ 11 ]) ?spec ?deadline ~techniques ~scenarios () =
+  List.concat_map
+    (fun scenario ->
+      List.concat_map
+        (fun (key, info, factory) ->
+          List.map
+            (fun seed ->
+              run_one ~seed ?spec ?deadline ~key ~info ~factory scenario)
+            seeds)
+        techniques)
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let csv_header =
+  "technique,scenario,seed,committed,aborted,unanswered,resubmissions,\
+   messages_dropped,max_response_gap_ms,converged,serializable,\
+   serializable_ok,convergence_ok,signatures_ok,liveness_ok,\
+   transparency_ok,ok"
+
+let verdict_of outcome oracle =
+  List.find (fun v -> String.equal v.oracle oracle) outcome.verdicts
+
+let csv_row o =
+  let r = o.result in
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d,%.2f,%b,%b,%b,%b,%b,%b,%b,%b"
+    (Report.csv_escape o.technique)
+    (Report.csv_escape o.scenario)
+    o.seed r.Runner.committed r.Runner.aborted r.Runner.unanswered
+    r.Runner.resubmissions r.Runner.dropped
+    (Simtime.to_ms r.Runner.max_response_gap)
+    r.Runner.converged r.Runner.serializable
+    (verdict_of o "serializable").ok (verdict_of o "convergence").ok
+    (verdict_of o "signatures").ok (verdict_of o "liveness").ok
+    (verdict_of o "transparency").ok o.ok
+
+let to_csv ppf outcomes =
+  Format.fprintf ppf "%s@." csv_header;
+  List.iter (fun o -> Format.fprintf ppf "%s@." (csv_row o)) outcomes
+
+let jsonl_row o =
+  let r = o.result in
+  let verdicts =
+    String.concat ","
+      (List.map
+         (fun v ->
+           Printf.sprintf "{\"oracle\":\"%s\",\"ok\":%b,\"detail\":\"%s\"}"
+             (Metrics.json_escape v.oracle)
+             v.ok
+             (Metrics.json_escape v.detail))
+         o.verdicts)
+  in
+  Printf.sprintf
+    "{\"technique\":\"%s\",\"scenario\":\"%s\",\"seed\":%d,\"committed\":%d,\
+     \"aborted\":%d,\"unanswered\":%d,\"resubmissions\":%d,\
+     \"messages_dropped\":%d,\"max_response_gap_ms\":%.2f,\"converged\":%b,\
+     \"serializable\":%b,\"ok\":%b,\"verdicts\":[%s]}"
+    (Metrics.json_escape o.technique)
+    (Metrics.json_escape o.scenario)
+    o.seed r.Runner.committed r.Runner.aborted r.Runner.unanswered
+    r.Runner.resubmissions r.Runner.dropped
+    (Simtime.to_ms r.Runner.max_response_gap)
+    r.Runner.converged r.Runner.serializable o.ok verdicts
+
+let pp_outcome ppf o =
+  let r = o.result in
+  Format.fprintf ppf
+    "%-18s %-20s seed=%-4d %s  commit=%d abort=%d blocked=%d resubmit=%d \
+     dropped=%d gap=%.1fms"
+    o.technique o.scenario o.seed
+    (if o.ok then "PASS" else "FAIL")
+    r.Runner.committed r.Runner.aborted r.Runner.unanswered
+    r.Runner.resubmissions r.Runner.dropped
+    (Simtime.to_ms r.Runner.max_response_gap);
+  List.iter
+    (fun (v : verdict) ->
+      if not v.ok then Format.fprintf ppf "@.    !! %s: %s" v.oracle v.detail)
+    o.verdicts

@@ -1,0 +1,159 @@
+(** Fault-injection campaign harness — the "failures assumptions" half of
+    the paper's §6 performance study.
+
+    A {!t} is a declarative failure scenario: a named schedule of crash,
+    recovery, partition/heal and message-loss events that {!apply}
+    installs on a simulated network. {!run_one} executes one technique
+    under one scenario with {!Runner} and then judges the run with
+    post-hoc {e invariant oracles} — 1-copy serializability, replica
+    convergence after heal/recover, Figure-16 signature conformance of
+    every committed transaction, and a liveness check — each against
+    {e per-technique expectations} (e.g. 2PC-based techniques may block
+    on a coordinator crash; failure-transparent techniques must show
+    zero client resubmissions). {!run_campaign} sweeps
+    techniques × scenarios × seeds. *)
+
+(** One scheduled fault event. Times are absolute simulation times;
+    replica ids refer to the runner's replica numbering (0-based). *)
+type event =
+  | Crash of { at : Sim.Simtime.t; replica : int }
+  | Recover of { at : Sim.Simtime.t; replica : int }
+  | Partition of { at : Sim.Simtime.t; group : int list; heal_at : Sim.Simtime.t }
+      (** isolate [group] from the complement between [at] and [heal_at] *)
+  | Loss of { at : Sim.Simtime.t; probability : float; until : Sim.Simtime.t }
+      (** raise the per-message drop probability to [probability] inside
+          the window, restoring the baseline at [until] *)
+
+type t = {
+  name : string;  (** CLI identifier, e.g. ["crash-recover"] *)
+  description : string;
+  events : event list;
+}
+
+(** Schedule every event of the scenario on the network's engine. Safe to
+    call from {!Runner.run}'s [tune] hook (before traffic starts). *)
+val apply : t -> Sim.Network.t -> unit
+
+(** The scenario contains a [Crash]. *)
+val has_crash : t -> bool
+
+(** The scenario contains a [Crash] with no later [Recover] of the same
+    replica — some replica stays down to the end of the run. *)
+val has_unrecovered_crash : t -> bool
+
+(** Replicas crashed at some point during the scenario. *)
+val crashed_replicas : t -> int list
+
+(** [bursts ~from ~probability ~burst ~gap ~count] — [count] loss windows
+    of length [burst] separated by [gap], starting at [from]. *)
+val bursts :
+  from:Sim.Simtime.t ->
+  probability:float ->
+  burst:Sim.Simtime.t ->
+  gap:Sim.Simtime.t ->
+  count:int ->
+  event list
+
+(** {2 Built-in scenario library}
+
+    The builtins assume the campaign cluster shape (3 replicas, ids
+    0–2): [crash] (replica 0 down at 100 ms, stays down),
+    [crash-recover] (replica 0 down 100–600 ms), [backup-crash-recover]
+    (replica 2 down 100–600 ms), [partition-heal] (replica 2 isolated
+    50–600 ms), [loss] (sustained 5 % message loss), [burst-loss]
+    (3 × 100 ms windows of 30 % loss), and [chaos] (crash-recover +
+    partition + background loss composed). *)
+
+val builtins : t list
+
+val find : string -> t option
+
+(** {2 Oracles and expectations} *)
+
+(** What a technique is allowed/required to do under a scenario, derived
+    from its {!Core.Technique.info} classification plus the per-technique
+    knowledge baked into this module (which commit protocol it uses,
+    whether it can catch a recovered replica up). *)
+type expectation = {
+  transparent : bool;
+      (** failure transparent — client resubmissions must be 0 *)
+  may_block : bool;
+      (** some transactions may stay unanswered at the deadline (2PC-based
+          techniques under coordinator crash) *)
+  strong : bool;  (** committed history must stay 1-copy serializable *)
+  recovers : bool;
+      (** a replica that crashes and recovers (or is partitioned and
+          healed) must converge with the survivors by quiescence *)
+  signatures : Core.Phase.t list list;
+      (** acceptable Figure-16 signatures for committed transactions *)
+}
+
+(** [expectation ~key info scenario] — [key] is the registry key
+    (["active"], ["eager-primary"], …). *)
+val expectation : key:string -> Core.Technique.info -> t -> expectation
+
+(** One oracle's verdict on one run. *)
+type verdict = {
+  oracle : string;  (** "serializable", "convergence", "signatures", "liveness", "transparency" *)
+  ok : bool;  (** observed behaviour matches the expectation *)
+  detail : string;  (** observed values, for the report *)
+}
+
+(** Judge a finished run against the expectation. The instance is the one
+    the run produced ({!Runner.run_with_instance}); the signature oracle
+    reads its span records. *)
+val oracles :
+  key:string ->
+  Core.Technique.info ->
+  t ->
+  Runner.result ->
+  Core.Technique.instance ->
+  verdict list
+
+(** {2 Campaign driver} *)
+
+type outcome = {
+  technique : string;
+  scenario : string;
+  seed : int;
+  result : Runner.result;
+  verdicts : verdict list;
+  ok : bool;  (** all verdicts ok *)
+}
+
+(** Workload used by default for campaign runs: 100 % updates (so every
+    committed transaction has a full Figure-16 signature), 2 clients,
+    25 transactions each. *)
+val default_spec : Spec.t
+
+val run_one :
+  ?seed:int ->
+  ?spec:Spec.t ->
+  ?deadline:Sim.Simtime.t ->
+  key:string ->
+  info:Core.Technique.info ->
+  factory:Runner.factory ->
+  t ->
+  outcome
+
+(** Sweep techniques × scenarios × seeds (default seeds: [[11]]). *)
+val run_campaign :
+  ?seeds:int list ->
+  ?spec:Spec.t ->
+  ?deadline:Sim.Simtime.t ->
+  techniques:(string * Core.Technique.info * Runner.factory) list ->
+  scenarios:t list ->
+  unit ->
+  outcome list
+
+(** {2 Reporting} *)
+
+val csv_header : string
+val csv_row : outcome -> string
+val to_csv : Format.formatter -> outcome list -> unit
+
+(** One JSON object per outcome (technique, scenario, seed, counters,
+    verdicts) — the campaign's machine-readable trace. *)
+val jsonl_row : outcome -> string
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -136,7 +136,7 @@ let test_runner_deterministic () =
     (a.Workload.Runner.latency_ms <> c.Workload.Runner.latency_ms)
 
 let test_runner_failure_schedule () =
-  let fail_early = [ { Workload.Runner.at = Simtime.of_ms 10; replica = 2 } ] in
+  let fail_early = [ Workload.Runner.crash_at ~at:(Simtime.of_ms 10) 2 ] in
   let smooth = Workload.Runner.run ~seed:5 ~spec:small_spec active_factory in
   let crashed =
     Workload.Runner.run ~seed:5 ~spec:small_spec ~failures:fail_early
