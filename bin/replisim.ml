@@ -224,6 +224,10 @@ let run_cmd =
       result.Workload.Runner.read_latency_ms;
     Fmt.pr "failover  : max response gap %a@." Sim.Simtime.pp
       result.Workload.Runner.max_response_gap;
+    Fmt.pr "drops     : %d (loss %d, crashed %d, partitioned %d)@."
+      result.Workload.Runner.dropped result.Workload.Runner.dropped_loss
+      result.Workload.Runner.dropped_crashed
+      result.Workload.Runner.dropped_partitioned;
     List.iter
       (fun (phase, s) ->
         Fmt.pr "phase %-3s : [%a]@." (Core.Phase.code phase)
@@ -292,6 +296,210 @@ let trace_cmd =
           (Core.Phase_span.phase_spans spans ~rid)
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ technique_arg $ nondet $ format)
+
+(* ---- explain -------------------------------------------------------- *)
+
+(* Deterministic single-transaction harness for message-cost measurement:
+   constant 1 ms links, no drops, one client, one update transaction.
+   Every number reported comes from the causally-linked message spans the
+   network records — the technique's expected_messages/expected_steps are
+   only ever compared against, never substituted for, the observation. *)
+let explain_run ~n ~seed factory =
+  let engine = Sim.Engine.create ~seed () in
+  let config =
+    {
+      Sim.Network.latency = Sim.Network.Constant (Sim.Simtime.of_ms 1);
+      drop_probability = 0.0;
+    }
+  in
+  let net = Sim.Network.create engine ~n:(n + 1) config in
+  let replicas = List.init n Fun.id in
+  let client = n in
+  let inst = factory net ~replicas ~clients:[ client ] in
+  let request = Store.Operation.request ~client [ Store.Operation.Incr ("x", 1) ] in
+  inst.Core.Technique.submit ~client request (fun _ -> ());
+  ignore (Sim.Engine.run ~until:(Sim.Simtime.of_sec 2.) engine);
+  let spans = inst.Core.Technique.spans in
+  Core.Phase_span.finalize spans ~at:(Sim.Engine.now engine);
+  let rid = request.Store.Operation.rid in
+  let collector = Core.Phase_span.collector spans in
+  let summary = Sim.Msg_dag.analyze collector ~trace:rid ~clients:[ client ] in
+  let msgs = Sim.Msg_dag.messages collector ~trace:rid in
+  let sound = Sim.Msg_dag.causally_sound collector ~trace:rid in
+  (msgs, sound, summary)
+
+let explain_matches (info : Core.Technique.info) ~n
+    (s : Sim.Msg_dag.summary) =
+  s.Sim.Msg_dag.replied
+  && s.Sim.Msg_dag.messages = info.expected_messages ~n
+  && s.Sim.Msg_dag.steps = info.expected_steps
+
+let pp_endpoint ~n ppf e =
+  if e >= n then Fmt.pf ppf "c%d" (e - n) else Fmt.pf ppf "r%d" e
+
+let explain_pretty ~n key (info : Core.Technique.info)
+    (msgs : Sim.Msg_dag.msg list) (s : Sim.Msg_dag.summary) =
+  let on_path =
+    List.map (fun m -> m.Sim.Msg_dag.span.Sim.Span.id) s.critical_path
+  in
+  Fmt.pr "technique : %s (%s, paper §%s)@." info.name key info.section;
+  Fmt.pr "replicas  : %d (+1 client), constant 1 ms links@." n;
+  Fmt.pr "messages  : %d observed / %d expected   (+%d transport acks, %d self)@."
+    s.messages (info.expected_messages ~n) s.transport_acks s.self_sends;
+  Fmt.pr "steps     : %d observed / %d expected@." s.steps info.expected_steps;
+  Fmt.pr "verdict   : %s@."
+    (if explain_matches info ~n s then "OK — matches the §5 expectation"
+     else "DEVIATION from the §5 expectation");
+  Fmt.pr "@.timeline (* = critical path, RE -> END):@.";
+  List.iter
+    (fun (m : Sim.Msg_dag.msg) ->
+      let sp = m.span in
+      let mark = if List.mem sp.Sim.Span.id on_path then "*" else " " in
+      let fate =
+        match (m.delivered, m.drop) with
+        | true, _ -> ""
+        | _, Some cause -> "  [dropped: " ^ cause ^ "]"
+        | _ -> "  [in flight]"
+      in
+      Fmt.pr " %s %8.3f ms  %a->%a  %s%s@." mark
+        (Sim.Simtime.to_ms sp.Sim.Span.start)
+        (pp_endpoint ~n) m.src
+        (fun ppf -> function
+          | Some d -> pp_endpoint ~n ppf d
+          | None -> Fmt.pf ppf "?")
+        m.dst m.label fate)
+    msgs;
+  Fmt.pr "@.critical path (%d steps):@.  %s@." s.steps
+    (String.concat " -> "
+       (List.map (fun (m : Sim.Msg_dag.msg) -> m.Sim.Msg_dag.label)
+          s.critical_path))
+
+let explain_json ~n ~seed key (info : Core.Technique.info)
+    (s : Sim.Msg_dag.summary) =
+  Printf.sprintf
+    {|{"technique":%S,"n":%d,"seed":%d,"observed":{"messages":%d,"steps":%d,"transport_acks":%d,"self_sends":%d,"sends":%d,"dropped":%d,"replied":%b},"expected":{"messages":%d,"steps":%d},"critical_path":[%s],"match":%b}|}
+    key n seed s.Sim.Msg_dag.messages s.steps s.transport_acks s.self_sends
+    s.sends s.dropped s.replied (info.expected_messages ~n)
+    info.expected_steps
+    (String.concat ","
+       (List.map
+          (fun (m : Sim.Msg_dag.msg) ->
+            Printf.sprintf "%S" m.Sim.Msg_dag.label)
+          s.critical_path))
+    (explain_matches info ~n s)
+
+let explain_csv_header =
+  "technique,n,seed,messages,expected_messages,steps,expected_steps,transport_acks,self_sends,sends,dropped,replied,match"
+
+let explain_csv_row ~n ~seed key (info : Core.Technique.info)
+    (s : Sim.Msg_dag.summary) =
+  Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%b" key n seed
+    s.Sim.Msg_dag.messages (info.expected_messages ~n) s.steps
+    info.expected_steps s.transport_acks s.self_sends s.sends s.dropped
+    s.replied (explain_matches info ~n s)
+
+let explain_cmd =
+  let doc =
+    "Measure one transaction's message cost and critical path from causally \
+     linked message spans: per-technique message count and \
+     communication-step depth (the paper's §5 comparison), with the causal \
+     chain from the client's request to its reply highlighted. With \
+     $(b,--check), validate every technique's observed message/step matrix \
+     against its §5 expectation and exit non-zero on deviation."
+  in
+  let technique_opt =
+    Arg.(
+      value
+      & opt (some technique_conv) None
+      & info [ "t"; "technique" ] ~docv:"TECHNIQUE"
+          ~doc:
+            (Printf.sprintf
+               "Technique to explain (default: all). One of: %s."
+               (String.concat ", " Protocols.Registry.keys)))
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("pretty", `Pretty); ("json", `Json); ("csv", `Csv) ]) `Pretty
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,pretty) (per-transaction timeline with the \
+             critical path highlighted), $(b,json) (one object per \
+             technique) or $(b,csv).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Conformance mode: compare the observed message/step signature \
+             of every selected technique against its §5 expectation; exit 1 \
+             on any deviation (or causally unsound trace).")
+  in
+  let run technique n seed format check =
+    let selected =
+      match technique with
+      | Some entry -> [ entry ]
+      | None -> Protocols.Registry.all
+    in
+    let results =
+      List.map
+        (fun (key, (info : Core.Technique.info), factory) ->
+          let msgs, sound, summary =
+            explain_run ~n ~seed (fun net ~replicas ~clients ->
+                factory net ~replicas ~clients)
+          in
+          (key, info, msgs, sound, summary))
+        selected
+    in
+    (match format with
+    | `Csv ->
+        print_endline explain_csv_header;
+        List.iter
+          (fun (key, info, _, _, s) ->
+            print_endline (explain_csv_row ~n ~seed key info s))
+          results
+    | `Json ->
+        List.iter
+          (fun (key, info, _, _, s) ->
+            print_endline (explain_json ~n ~seed key info s))
+          results
+    | `Pretty ->
+        List.iteri
+          (fun i (key, info, msgs, _, s) ->
+            if i > 0 then Fmt.pr "@.";
+            explain_pretty ~n key info msgs s)
+          results);
+    if check then begin
+      let bad =
+        List.filter
+          (fun (_, info, _, sound, s) ->
+            not (sound && explain_matches info ~n s))
+          results
+      in
+      List.iter
+        (fun (key, (info : Core.Technique.info), _, sound, s) ->
+          Fmt.epr
+            "explain --check: %s deviates: %d/%d messages, %d/%d steps \
+             (observed/expected)%s@."
+            key s.Sim.Msg_dag.messages (info.expected_messages ~n)
+            s.Sim.Msg_dag.steps info.expected_steps
+            (if sound then "" else "; trace not causally sound"))
+        bad;
+      if bad <> [] then exit 1
+      else
+        Fmt.pr "explain --check: %d technique(s) match the §5 expectations@."
+          (List.length results)
+    end
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ technique_opt $ replicas $ seed $ format $ check)
 
 (* ---- campaign ------------------------------------------------------- *)
 
@@ -494,4 +702,5 @@ let () =
   let info = Cmd.info "replisim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; metrics_cmd; campaign_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; explain_cmd; metrics_cmd; campaign_cmd ]))

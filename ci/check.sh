@@ -26,4 +26,10 @@ echo "== campaign smoke =="
 dune exec bin/replisim.exe -- campaign --scenario crash-recover \
   --techniques all --seeds 11
 
+# §5 conformance: every technique's measured message count and
+# communication-step depth (from causally-linked message spans) must
+# match its declared expectation; exits non-zero on deviation.
+echo "== message-cost matrix =="
+dune exec bin/replisim.exe -- explain --check --format csv
+
 echo "== ci: OK =="

@@ -120,4 +120,30 @@ let durations t ~rid =
   |> List.filter_map (fun (p, s) ->
          Option.map (fun d -> (p, d)) (Sim.Span.duration_ms s))
 
-let well_nested t ~rid = Sim.Span.well_nested t.spans ~trace:rid
+let root t ~rid =
+  match Hashtbl.find_opt t.txns rid with
+  | Some txn -> Some txn.root
+  | None -> None
+
+(* Nesting is a property of the phase-span tree only: message spans
+   recorded into the same collector (see {!Sim.Network.set_msg_spans})
+   deliberately overlap — a reaction to a message starts at its parent's
+   stop — so they are excluded here. *)
+let well_nested t ~rid =
+  match Hashtbl.find_opt t.txns rid with
+  | None -> false
+  | Some txn -> (
+      match Sim.Span.find t.spans txn.root with
+      | None | Some { Sim.Span.stop = None; _ } -> false
+      | Some root ->
+          let root_stop = Option.get root.Sim.Span.stop in
+          Sim.Span.trace_spans t.spans ~trace:rid
+          |> List.filter (fun (s : Sim.Span.span) ->
+                 Phase.of_code s.Sim.Span.name <> None)
+          |> List.for_all (fun (s : Sim.Span.span) ->
+                 s.Sim.Span.parent = Some txn.root
+                 && Sim.Simtime.(s.Sim.Span.start >= root.Sim.Span.start)
+                 &&
+                 match s.Sim.Span.stop with
+                 | Some stop -> Sim.Simtime.(stop <= root_stop)
+                 | None -> false))

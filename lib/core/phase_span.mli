@@ -46,4 +46,13 @@ val signature : t -> rid:int -> Phase.t list
 (** [(phase, duration_ms)] per closed phase span, in start order. *)
 val durations : t -> rid:int -> (Phase.t * float) list
 
+(** Well-nestedness of the {e phase} spans of [rid]: every phase span is
+    closed, a child of the root, and fits inside the root's interval.
+    Message spans sharing the collector are ignored — causal chains
+    overlap by construction. *)
 val well_nested : t -> rid:int -> bool
+
+(** The id of [rid]'s root ("txn") span, once the first mark created it.
+    Sends performed under this context (see {!Sim.Engine.ctx}) parent
+    their message spans to the transaction root. *)
+val root : t -> rid:int -> Sim.Span.id option

@@ -26,6 +26,14 @@ type info = {
   strong_consistency : bool;
       (** linearisability (DS) or 1-copy serialisability (DB) *)
   expected_phases : Phase.t list;  (** the technique's Figure 16 row *)
+  expected_messages : n:int -> int;
+      (** §5 claim: point-to-point messages one update transaction costs
+          with [n] replicas, as realised by this implementation's
+          group-communication stack (transport acks excluded; see
+          {!Sim.Msg_dag.summary}) *)
+  expected_steps : int;
+      (** §5 claim: communication-step depth of the critical path from
+          the client's request to its reply *)
   section : string;  (** paper section describing it *)
 }
 

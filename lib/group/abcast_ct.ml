@@ -7,6 +7,13 @@ type Msg.t +=
   | Progress of { gid : int; next_inst : int; from : int }
   | Catchup of { gid : int; instance : int; batch : (id * Msg.t) list }
 
+let () =
+  Msg.register_printer (function
+    | Inject { payload; _ } -> Some ("Inject(" ^ Msg.name payload ^ ")")
+    | Catchup { batch; _ } ->
+        Some (Printf.sprintf "Catchup[%d]" (List.length batch))
+    | _ -> None)
+
 module Batch = struct
   type t = (id * Msg.t) list
 end

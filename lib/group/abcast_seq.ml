@@ -11,6 +11,12 @@ type Msg.t +=
   | Fetch_reply of { gid : int; id : id; payload : Msg.t }
   | Order_ack of { gid : int; seq : int; id : id; from : int }
 
+let () =
+  Msg.register_printer (function
+    | Inject { payload; _ } -> Some ("Inject(" ^ Msg.name payload ^ ")")
+    | Fetch_reply { payload; _ } -> Some ("Fetch_reply(" ^ Msg.name payload ^ ")")
+    | _ -> None)
+
 type t = {
   gid : int;
   me : int;

@@ -2,6 +2,11 @@ open Sim
 
 type Msg.t += Causal_msg of { vc : int array; payload : Msg.t }
 
+let () =
+  Msg.register_printer (function
+    | Causal_msg { payload; _ } -> Some ("Causal(" ^ Msg.name payload ^ ")")
+    | _ -> None)
+
 type t = {
   rb : Rbcast.t;
   me_idx : int;

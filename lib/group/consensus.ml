@@ -13,6 +13,17 @@ struct
     | Abort of { gid : int; inst : int; round : int }
     | Decide of { gid : int; inst : int; v : V.t }
 
+  (* Disambiguate from other layers' like-named constructors (the client
+     reply in Protocols.Common is also "Reply"). *)
+  let () =
+    Msg.register_printer (function
+      | Est _ -> Some "Cons_est"
+      | Proposal _ -> Some "Cons_proposal"
+      | Reply _ -> Some "Cons_reply"
+      | Abort _ -> Some "Cons_abort"
+      | Decide _ -> Some "Cons_decide"
+      | _ -> None)
+
   type inst = {
     id : int;
     mutable est : V.t option;

@@ -38,8 +38,6 @@ let check t =
         | Some last when Simtime.(last >= horizon) -> ()
         | _ ->
             t.suspects <- Iset.add peer t.suspects;
-            Tracer.record (Network.tracer t.net) ~time:(now t) ~node:t.me
-              ~label:"fd.suspect" (string_of_int peer);
             List.iter (fun f -> f peer) t.suspect_cbs)
     t.members
 

@@ -2,6 +2,11 @@ open Sim
 
 type Msg.t += Fifo_msg of { fseq : int; payload : Msg.t }
 
+let () =
+  Msg.register_printer (function
+    | Fifo_msg { payload; _ } -> Some ("Fifo(" ^ Msg.name payload ^ ")")
+    | _ -> None)
+
 type t = {
   rb : Rbcast.t;
   mutable next_send : int;

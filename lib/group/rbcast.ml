@@ -2,6 +2,11 @@ open Sim
 
 type Msg.t += Rb of { gid : int; origin : int; seq : int; payload : Msg.t }
 
+let () =
+  Msg.register_printer (function
+    | Rb { payload; _ } -> Some ("Rb(" ^ Msg.name payload ^ ")")
+    | _ -> None)
+
 type t = {
   gid : int;
   me : int;

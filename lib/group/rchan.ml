@@ -4,6 +4,12 @@ type Msg.t +=
   | Data of { gid : int; src : int; seq : int; payload : Msg.t }
   | Ack of { gid : int; seq : int }
 
+let () =
+  Msg.register_printer (function
+    | Data { payload; _ } -> Some ("Data(" ^ Msg.name payload ^ ")")
+    | Ack _ -> Some "Ack"
+    | _ -> None)
+
 type t = {
   net : Network.t;
   gid : int;

@@ -16,6 +16,11 @@ type Msg.t +=
   | Join_req of { gid : int; joiner : int }
   | View_probe of { gid : int; view_id : int }
 
+let () =
+  Msg.register_printer (function
+    | Vs_msg { payload; _ } -> Some ("Vs(" ^ Msg.name payload ^ ")")
+    | _ -> None)
+
 type t = {
   gid : int;
   me : int;
@@ -178,8 +183,6 @@ let rec install t (flush : Flush.t) =
   t.next_vseq <- 0;
   t.view_log <- [];
   t.own_unstable <- [];
-  Tracer.record (Network.tracer t.net) ~time:(Engine.now (Network.engine t.net))
-    ~node:t.me ~label:"vscast.view" (Format.asprintf "%a" View.pp t.view);
   List.iter (fun f -> f t.view) (List.rev t.view_cbs);
   (* Rebroadcast our messages that were dropped by the view change. *)
   if in_view t then
@@ -246,10 +249,6 @@ and apply_pending_views t =
         t.joining <- false;
         t.stale_polls <- 0;
         t.proposed_for <- instance;
-        Tracer.record (Network.tracer t.net)
-          ~time:(Engine.now (Network.engine t.net))
-          ~node:t.me ~label:"vscast.rejoin"
-          (Format.asprintf "%a" View.pp t.view);
         List.iter (fun f -> f t.view) (List.rev t.view_cbs);
         apply_pending_views t
   end

@@ -29,6 +29,13 @@ let info =
     strong_consistency = true;
     expected_phases =
       [ Request; Server_coordination; Execution; Response ];
+    (* Measured §5 cost (sequencer ABCAST, `replisim explain`): the
+       client injects the request at every member (n), the sequencer
+       orders it (n-1), order stability is acked all-to-all (n(n-1)),
+       and every replica answers (n): n^2 + 2n - 1 protocol messages. *)
+    expected_messages = (fun ~n -> (n * n) + (2 * n) - 1);
+    (* Inject -> Order -> Order_ack -> Reply. *)
+    expected_steps = 4;
     section = "3.2";
   }
 

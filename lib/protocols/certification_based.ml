@@ -43,6 +43,14 @@ let info =
     failure_transparent = false;
     strong_consistency = true;
     expected_phases = [ Request; Execution; Agreement_coordination; Response ];
+    (* Measured §5 cost: request to one replica (1), which executes
+       locally and atomically broadcasts the certification writeset —
+       inject, sequencer order, all-to-all order acks: n^2 + n - 2
+       non-self messages — then replies (1): n^2 + n protocol messages. *)
+    expected_messages = (fun ~n -> (n * n) + n);
+    (* Creq -> Inject -> Order -> Order_ack -> Reply: certification
+       happens at delivery, adding no extra communication step. *)
+    expected_steps = 5;
     section = "5.4.2";
   }
 

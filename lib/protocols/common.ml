@@ -13,6 +13,11 @@ type Msg.t +=
       replica : int;
     }
 
+let () =
+  Msg.register_printer (function
+    | Reply _ -> Some "Reply"
+    | _ -> None)
+
 type ctx = {
   cid : int;
   net : Network.t;
@@ -81,6 +86,9 @@ let make net ~replicas ~clients =
       rng = Rng.split (Engine.rng (Network.engine net));
     }
   in
+  (* Message spans share the phase-span collector: one id space per
+     transaction, so message spans parent to phase spans and vice versa. *)
+  Network.set_msg_spans net (Core.Phase_span.collector spans);
   List.iter
     (fun r -> Hashtbl.replace ctx.stores r (Store.Kv.create ()))
     replicas;
@@ -117,13 +125,22 @@ let make net ~replicas ~clients =
     clients;
   ctx
 
-(** Register the client's callback and mark the RE phase. *)
+(** Register the client's callback and mark the RE phase. Also installs
+    the transaction's causal context ({!Sim.Engine.set_ctx}): the sends
+    the protocol performs next are attributed to this transaction's root
+    span, and the network threads the context onward through deliveries. *)
 let register_submit ctx ~client ~(request : Store.Operation.request) cb =
   ignore client;
   Hashtbl.replace ctx.reply_cbs request.rid cb;
   Hashtbl.replace ctx.submit_times request.rid (now ctx);
   count ctx "txn_submitted_total";
-  phase_begin ctx ~rid:request.rid Core.Phase.Request
+  phase_begin ctx ~rid:request.rid Core.Phase.Request;
+  match Core.Phase_span.root ctx.spans ~rid:request.rid with
+  | Some root ->
+      Engine.set_ctx
+        (Network.engine ctx.net)
+        (Some { Engine.trace = request.rid; span = root })
+  | None -> ()
 
 (** Send the response back to the client (END happens when it arrives). *)
 let send_reply ctx ~replica ~client ~rid ~committed ~value =

@@ -43,6 +43,14 @@ let info =
     failure_transparent = false;
     strong_consistency = true;
     expected_phases = [ Request; Execution; Agreement_coordination; Response ];
+    (* Measured §5 cost: request to the primary (1), FIFO-broadcast of
+       the writeset with everyone-to-everyone relays (n(n-1)), backup
+       acks (n-1), then 2PC — Prepare, Vote and Decision rounds at n-1
+       each — and the reply (1): n^2 + 3n - 2 protocol messages. *)
+    expected_messages = (fun ~n -> (n * n) + (3 * n) - 2);
+    (* Ereq -> Propagate -> Propagate_ack -> Prepare -> Vote -> Reply
+       (the Decision round is concurrent with the reply). *)
+    expected_steps = 6;
     section = "4.3 / 5.2";
   }
 

@@ -33,6 +33,13 @@ let info =
     failure_transparent = false;
     strong_consistency = true;
     expected_phases = [ Request; Server_coordination; Execution; Response ];
+    (* Measured §5 cost: request to one replica (1), which atomically
+       broadcasts the ordered operation — inject, sequencer order and
+       all-to-all order acks, n^2 + n - 2 non-self messages — and a
+       single reply (1): n^2 + n protocol messages. *)
+    expected_messages = (fun ~n -> (n * n) + n);
+    (* Areq -> Inject -> Order -> Order_ack -> Reply. *)
+    expected_steps = 5;
     section = "4.4.2";
   }
 

@@ -74,6 +74,17 @@ let info =
       [
         Request; Server_coordination; Execution; Agreement_coordination; Response;
       ];
+    (* Measured §5 cost (single-operation transaction): every round is
+       delegate <-> other replicas point-to-point, so the cost is linear
+       rather than quadratic — Lock_req/Lock_grant, Exec/Exec_ack,
+       Complete/Complete_ack, Prepare/Vote/Decision at n-1 each, framed
+       by the request and the reply: 9(n-1) + 2 = 9n - 7 messages. *)
+    expected_messages = (fun ~n -> (9 * n) - 7);
+    (* Lreq -> Lock_req -> Lock_grant -> Exec -> Exec_ack -> Complete ->
+       Complete_ack -> Prepare -> Vote -> Reply. Per-operation lock and
+       execute round-trips make this by far the deepest technique —
+       the paper's "one round per operation" scaling argument (§5.4.1). *)
+    expected_steps = 10;
     section = "4.4.1 / 5.4.1";
   }
 

@@ -31,6 +31,14 @@ let info =
     failure_transparent = false;
     strong_consistency = false;
     expected_phases = [ Request; Execution; Response; Agreement_coordination ];
+    (* Measured §5 cost: request (1) and reply (1) frame the
+       transaction; the refresh FIFO-broadcast floods the writeset
+       everyone-to-everyone (n(n-1)) after the reply: n^2 - n + 2
+       messages per transaction, but only 2 before the client returns. *)
+    expected_messages = (fun ~n -> (n * n) - n + 2);
+    (* Lpreq -> Reply: propagation is off the response path — the
+       paper's defining property of lazy techniques (§5.3). *)
+    expected_steps = 2;
     section = "4.5 / 5.3";
   }
 

@@ -33,6 +33,14 @@ let info =
     failure_transparent = false;
     strong_consistency = false;
     expected_phases = [ Request; Execution; Response; Agreement_coordination ];
+    (* Measured §5 cost: request (1) and reply (1), plus the deferred
+       ABCAST of the writeset for reconciliation — inject, sequencer
+       order, all-to-all order acks: n^2 + n - 2 non-self messages —
+       after the client already returned: n^2 + n messages total. *)
+    expected_messages = (fun ~n -> (n * n) + n);
+    (* Ureq -> Reply: same total cost as the eager ABCAST variant, but
+       the ordering work is off the response path (§5.3 vs §5.4.2). *)
+    expected_steps = 2;
     section = "4.6";
   }
 

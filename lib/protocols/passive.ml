@@ -31,6 +31,14 @@ let info =
     failure_transparent = false;
     strong_consistency = true;
     expected_phases = [ Request; Execution; Agreement_coordination; Response ];
+    (* Measured §5 cost: request to the primary (1), VSCAST of the
+       update — reliable-broadcast relays flood it everyone-to-everyone
+       (n(n-1)) and stability acks come back (n-1) — then the reply (1):
+       n^2 + 1 protocol messages. *)
+    expected_messages = (fun ~n -> (n * n) + 1);
+    (* Preq -> Update broadcast -> stability ack -> Reply: the primary
+       answers only once the update is stable at the backups. *)
+    expected_steps = 4;
     section = "3.3";
   }
 

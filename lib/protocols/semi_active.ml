@@ -21,6 +21,14 @@ let info =
       [
         Request; Server_coordination; Execution; Agreement_coordination; Response;
       ];
+    (* Same RE->END message pattern as active replication: the leader's
+       non-deterministic choices ride VSCAST off the reply path, so on a
+       deterministic transaction the measured cost is the ABCAST cost —
+       inject at every member (n), sequencer order (n-1), all-to-all
+       order acks (n(n-1)), one reply per replica (n). *)
+    expected_messages = (fun ~n -> (n * n) + (2 * n) - 1);
+    (* Inject -> Order -> Order_ack -> Reply. *)
+    expected_steps = 4;
     section = "3.4";
   }
 

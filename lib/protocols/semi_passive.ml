@@ -27,6 +27,14 @@ let info =
     failure_transparent = true;
     strong_consistency = true;
     expected_phases = [ Request; Execution; Agreement_coordination; Response ];
+    (* Measured §5 cost: the client multicasts to all replicas (n); one
+       consensus instance — estimates to the coordinator (n-1), its
+       proposal (n-1), participant replies (n-1) and an all-to-all
+       decision flood (n(n-1)) — then every replica answers (n):
+       n^2 + 4n - 3 protocol messages. *)
+    expected_messages = (fun ~n -> (n * n) + (4 * n) - 3);
+    (* Sreq -> Cons_est -> Cons_proposal -> Cons_reply -> Reply. *)
+    expected_steps = 5;
     section = "3.5";
   }
 

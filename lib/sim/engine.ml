@@ -1,9 +1,14 @@
+type ctx = { trace : int; span : int }
+
 type timer = {
   time : Simtime.t;
   seq : int;
   (* For ordinary timers: the pending action, [None] once cancelled or run.
      For periodic proxies (seq = -1): the cancellation routine. *)
   mutable action : (unit -> unit) option;
+  (* Causal context captured when the timer was scheduled; reinstalled
+     around the action so trace attribution survives asynchrony. *)
+  t_ctx : ctx option;
 }
 
 type t = {
@@ -11,6 +16,7 @@ type t = {
   mutable next_seq : int;
   queue : timer Heap.t;
   root_rng : Rng.t;
+  mutable cur_ctx : ctx option;
 }
 
 let compare_timer a b =
@@ -24,14 +30,24 @@ let create ?(seed = 0xC0FFEE) () =
     next_seq = 0;
     queue = Heap.create ~cmp:compare_timer;
     root_rng = Rng.create ~seed;
+    cur_ctx = None;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+let ctx t = t.cur_ctx
+let set_ctx t c = t.cur_ctx <- c
+
+let with_ctx t c f =
+  let saved = t.cur_ctx in
+  t.cur_ctx <- c;
+  Fun.protect ~finally:(fun () -> t.cur_ctx <- saved) f
 
 let schedule_at t ~at f =
   let at = Simtime.max at t.clock in
-  let timer = { time = at; seq = t.next_seq; action = Some f } in
+  let timer =
+    { time = at; seq = t.next_seq; action = Some f; t_ctx = t.cur_ctx }
+  in
   t.next_seq <- t.next_seq + 1;
   Heap.push t.queue timer;
   timer
@@ -52,7 +68,7 @@ let periodic t ~every f =
     cancelled := true;
     match !armed with Some tm -> tm.action <- None | None -> ()
   in
-  { time = t.clock; seq = -1; action = Some cancel_now }
+  { time = t.clock; seq = -1; action = Some cancel_now; t_ctx = None }
 
 let cancel timer =
   if timer.seq = -1 then begin
@@ -76,7 +92,7 @@ let step t =
         | Some f ->
             tm.action <- None;
             t.clock <- tm.time;
-            f ();
+            with_ctx t tm.t_ctx f;
             true)
   in
   next ()

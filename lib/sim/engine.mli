@@ -17,6 +17,24 @@ val now : t -> Simtime.t
     independent streams for subsystems). *)
 val rng : t -> Rng.t
 
+(** Ambient causal context: the transaction ([trace]) and span on whose
+    behalf the currently running action executes. {!schedule} captures it
+    into the timer and {!step} reinstalls it around the action, so the
+    context follows the causal chain through asynchrony without any
+    protocol code threading it explicitly. {!Network} overrides it during
+    message delivery with the delivered message's span. *)
+type ctx = { trace : int; span : int }
+
+(** Context of the currently running action ([None] outside any trace —
+    e.g. maintenance timers armed at setup time). *)
+val ctx : t -> ctx option
+
+val set_ctx : t -> ctx option -> unit
+
+(** [with_ctx t c f] runs [f] under context [c], restoring the previous
+    context afterwards (exception-safe). *)
+val with_ctx : t -> ctx option -> (unit -> unit) -> unit
+
 (** [schedule t ~after f] runs [f] at [now t + after]. *)
 val schedule : t -> after:Simtime.t -> (unit -> unit) -> timer
 

@@ -211,8 +211,9 @@ let pp_sample ppf s =
   | Gauge_v g -> Format.fprintf ppf "%-48s %g" name g
   | Histogram_v h ->
       Format.fprintf ppf
-        "%-48s count=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f" name
-        h.count (mean h) (quantile h 0.5) (quantile h 0.9) (quantile h 0.99)
+        "%-48s count=%d mean=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f"
+        name h.count (mean h) (quantile h 0.5) (quantile h 0.9)
+        (quantile h 0.95) (quantile h 0.99)
         (if h.count = 0 then 0. else h.max)
 
 let pp_snapshot ppf snap =
@@ -252,12 +253,13 @@ let sample_to_json s =
     | Gauge_v g -> Printf.sprintf "\"type\":\"gauge\",\"value\":%s" (json_float g)
     | Histogram_v h ->
         Printf.sprintf
-          "\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s"
+          "\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p95\":%s,\"p99\":%s"
           h.count (json_float h.sum)
           (json_float (if h.count = 0 then 0. else h.min))
           (json_float (if h.count = 0 then 0. else h.max))
           (json_float (quantile h 0.5))
           (json_float (quantile h 0.9))
+          (json_float (quantile h 0.95))
           (json_float (quantile h 0.99))
   in
   Printf.sprintf "{\"metric\":\"%s\",\"labels\":{%s},%s}" (json_escape s.metric)

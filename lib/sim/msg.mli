@@ -10,3 +10,14 @@ type t = ..
 
 (** Constructors used by the simulator's own tests. *)
 type t += Ping of int | Pong of int
+
+(** [name msg] — a human-readable name for [msg], used to label message
+    spans. Tries registered printers (most recent first), falling back to
+    the extension constructor's name with the module path stripped. *)
+val name : t -> string
+
+(** Layers whose constructors wrap a payload register a printer that
+    unwraps it recursively (returning [None] for foreign constructors),
+    so a span reads e.g. ["Data(Inject(Req))"] — transport, ordering and
+    protocol layer at a glance. *)
+val register_printer : (t -> string option) -> unit

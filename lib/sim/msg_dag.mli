@@ -1,0 +1,63 @@
+(** Per-transaction message DAG analysis.
+
+    {!Network} records every traced send as a message span; the parent
+    chain follows causality (a message's parent is the span on whose
+    behalf it was sent). This module reconstructs, per transaction: the
+    message census, the communication-step depth — the longest causal
+    message chain from request to the client's reply — and the critical
+    path itself, which is exactly the ancestry of the reply that resolved
+    the transaction.
+
+    This is the measurement side of the paper's §5 comparison: message
+    counts and step depths come only from observed, causally-linked
+    message spans (the claim side lives in {!Core.Technique.info}). *)
+
+(** One point-to-point message, reconstructed from its span. *)
+type msg = {
+  span : Span.span;
+  label : string;  (** message name, transport wrappers included *)
+  src : int;
+  dst : int option;  (** destination, once known (deliver or drop event) *)
+  delivered : bool;
+  drop : string option;  (** drop cause, when the message was dropped *)
+}
+
+(** [s] is a message span (name ["msg:..."]). *)
+val is_msg_span : Span.span -> bool
+
+(** Reconstruct one message from its span ([is_msg_span] must hold). *)
+val of_span : Span.span -> msg
+
+(** All messages of [trace], in send order. *)
+val messages : Span.t -> trace:int -> msg list
+
+(** [dst = Some src] — zero-latency loopback, excluded from the census. *)
+val is_self : msg -> bool
+
+(** Stubborn-channel acknowledgement — transport bookkeeping, counted
+    separately from the technique's §5 message complexity. *)
+val is_transport_ack : msg -> bool
+
+type summary = {
+  rid : int;
+  sends : int;  (** every traced point-to-point send *)
+  messages : int;
+      (** §5-comparable count: delivered, excluding self-addressed
+          messages and transport acks *)
+  transport_acks : int;
+  self_sends : int;
+  dropped : int;
+  steps : int;  (** communication-step depth of the critical path *)
+  critical_path : msg list;  (** in causal order, ending at the reply *)
+  replied : bool;  (** a message reached the client *)
+}
+
+(** [analyze t ~trace ~clients] — [clients] tells the analysis which
+    endpoints are clients, so it can identify the resolving reply (the
+    first message delivered to a client). *)
+val analyze : Span.t -> trace:int -> clients:int list -> summary
+
+(** Structural invariants of a message trace (the property-test oracle):
+    every delivered message span has a parent in the same trace, and a
+    dropped message causes nothing — no span claims it as parent. *)
+val causally_sound : Span.t -> trace:int -> bool

@@ -3,65 +3,69 @@ type latency =
   | Uniform of Simtime.t * Simtime.t
   | Exponential of { floor : Simtime.t; mean : Simtime.t }
 
-type config = {
-  latency : latency;
-  drop_probability : float;
-  trace_messages : bool;
-}
+type config = { latency : latency; drop_probability : float }
 
 let default_config =
   {
     latency = Uniform (Simtime.of_us 500, Simtime.of_us 1_500);
     drop_probability = 0.0;
-    trace_messages = false;
   }
+
+type drop_cause = Loss | Crashed | Partitioned
+
+let drop_cause_name = function
+  | Loss -> "loss"
+  | Crashed -> "crashed"
+  | Partitioned -> "partitioned"
 
 type handler = src:int -> Msg.t -> bool
 
 type t = {
   engine : Engine.t;
   n : int;
-  tracer : Tracer.t;
   rng : Rng.t;
   mutable latency : latency;
   mutable drop_probability : float;
-  trace_messages : bool;
+  mutable msg_spans : Span.t option;
+      (** collector for per-message spans; [None] = don't record *)
   handlers : handler list array;  (** most recent first *)
   link_latency : (int * int, latency) Hashtbl.t;  (** per-link overrides *)
   alive : bool array;
   group_of : int array;  (** partition group; all 0 when healed *)
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped : int;
+  mutable drop_loss : int;
+  mutable drop_crashed : int;
+  mutable drop_partitioned : int;
   mutable crash_watchers : (int -> unit) list;  (** most recent first *)
   mutable recover_watchers : (int -> unit) list;
 }
 
-let create engine ~n ?tracer (config : config) =
-  let tracer = match tracer with Some tr -> tr | None -> Tracer.create () in
+let create engine ~n (config : config) =
   {
     engine;
     n;
-    tracer;
     rng = Rng.split (Engine.rng engine);
     latency = config.latency;
     drop_probability = config.drop_probability;
-    trace_messages = config.trace_messages;
+    msg_spans = None;
     handlers = Array.make n [];
     link_latency = Hashtbl.create 8;
     alive = Array.make n true;
     group_of = Array.make n 0;
     sent = 0;
     delivered = 0;
-    dropped = 0;
+    drop_loss = 0;
+    drop_crashed = 0;
+    drop_partitioned = 0;
     crash_watchers = [];
     recover_watchers = [];
   }
 
 let engine t = t.engine
 let size t = t.n
-let tracer t = t.tracer
 let rng t = t.rng
+let set_msg_spans t spans = t.msg_spans <- Some spans
 let add_handler t node h = t.handlers.(node) <- h :: t.handlers.(node)
 let alive t node = t.alive.(node)
 
@@ -91,39 +95,82 @@ let clear_link_latencies t = Hashtbl.reset t.link_latency
 
 let reachable t src dst = t.group_of.(src) = t.group_of.(dst)
 
-let trace t label info =
-  if t.trace_messages then
-    Tracer.record t.tracer ~time:(Engine.now t.engine) ~label info
+(* Open a message span when a collector is installed and the sender runs
+   under a causal context: the span's parent is whatever span caused the
+   send (the delivered message upstream, or the transaction root at
+   submit time). Context-free traffic — maintenance timers armed at
+   setup — is deliberately unattributed. *)
+let open_msg_span t ~src msg =
+  match (t.msg_spans, Engine.ctx t.engine) with
+  | Some spans, Some { Engine.trace; span = parent } ->
+      let at = Engine.now t.engine in
+      let id =
+        Span.start_span spans ~trace ~parent ~track:src
+          ~name:("msg:" ^ Msg.name msg) at
+      in
+      Span.add_event spans id ~at ~track:src "send";
+      Some (spans, id, trace)
+  | _ -> None
 
-let deliver t ~src ~dst msg =
-  if t.alive.(dst) && reachable t src dst then begin
+let span_drop span ~at ~dst cause =
+  match span with
+  | None -> ()
+  | Some (spans, id, _) ->
+      Span.add_event spans id ~at ~track:dst ("drop:" ^ drop_cause_name cause);
+      Span.finish spans id at
+
+let count_drop t cause =
+  match cause with
+  | Loss -> t.drop_loss <- t.drop_loss + 1
+  | Crashed -> t.drop_crashed <- t.drop_crashed + 1
+  | Partitioned -> t.drop_partitioned <- t.drop_partitioned + 1
+
+let deliver t ~src ~dst ~span msg =
+  if not t.alive.(dst) then begin
+    count_drop t Crashed;
+    span_drop span ~at:(Engine.now t.engine) ~dst Crashed
+  end
+  else if not (reachable t src dst) then begin
+    count_drop t Partitioned;
+    span_drop span ~at:(Engine.now t.engine) ~dst Partitioned
+  end
+  else begin
     t.delivered <- t.delivered + 1;
-    trace t "net.deliver" (Printf.sprintf "%d->%d" src dst);
+    let at = Engine.now t.engine in
+    let ctx =
+      match span with
+      | None -> Engine.ctx t.engine
+      | Some (spans, id, trace) ->
+          Span.add_event spans id ~at ~track:dst "deliver";
+          Span.finish spans id at;
+          Some { Engine.trace; span = id }
+    in
     let rec dispatch = function
       | [] -> ()
       | h :: rest -> if not (h ~src msg) then dispatch rest
     in
-    dispatch t.handlers.(dst)
-  end
-  else begin
-    t.dropped <- t.dropped + 1;
-    trace t "net.drop" (Printf.sprintf "%d->%d (dead or partitioned)" src dst)
+    (* Handlers run under the delivered message's span: anything they
+       send (or schedule) is causally attributed to this message. *)
+    Engine.with_ctx t.engine ctx (fun () -> dispatch t.handlers.(dst))
   end
 
 let send t ~src ~dst msg =
   if t.alive.(src) then begin
     t.sent <- t.sent + 1;
-    trace t "net.send" (Printf.sprintf "%d->%d" src dst);
-    if (not (reachable t src dst)) || Rng.float t.rng 1.0 < t.drop_probability
-    then begin
-      t.dropped <- t.dropped + 1;
-      trace t "net.drop" (Printf.sprintf "%d->%d (in flight)" src dst)
+    let span = open_msg_span t ~src msg in
+    if not (reachable t src dst) then begin
+      count_drop t Partitioned;
+      span_drop span ~at:(Engine.now t.engine) ~dst Partitioned
+    end
+    else if Rng.float t.rng 1.0 < t.drop_probability then begin
+      count_drop t Loss;
+      span_drop span ~at:(Engine.now t.engine) ~dst Loss
     end
     else begin
       let delay = if src = dst then Simtime.zero else draw_latency t ~src ~dst in
       ignore
         (Engine.schedule t.engine ~after:delay (fun () ->
-             deliver t ~src ~dst msg))
+             deliver t ~src ~dst ~span msg))
     end
   end
 
@@ -135,36 +182,33 @@ let on_recover t f = t.recover_watchers <- f :: t.recover_watchers
 let crash t node =
   if t.alive.(node) then begin
     t.alive.(node) <- false;
-    Tracer.record t.tracer ~time:(Engine.now t.engine) ~node ~label:"node.crash"
-      "";
     List.iter (fun f -> f node) (List.rev t.crash_watchers)
   end
 
 let recover t node =
   if not t.alive.(node) then begin
     t.alive.(node) <- true;
-    Tracer.record t.tracer ~time:(Engine.now t.engine) ~node
-      ~label:"node.recover" "";
     List.iter (fun f -> f node) (List.rev t.recover_watchers)
   end
 
 let partition t group =
   Array.fill t.group_of 0 t.n 0;
-  List.iter (fun node -> t.group_of.(node) <- 1) group;
-  Tracer.record t.tracer ~time:(Engine.now t.engine) ~label:"net.partition"
-    (String.concat "," (List.map string_of_int group))
+  List.iter (fun node -> t.group_of.(node) <- 1) group
 
-let heal t =
-  Array.fill t.group_of 0 t.n 0;
-  Tracer.record t.tracer ~time:(Engine.now t.engine) ~label:"net.heal" ""
+let heal t = Array.fill t.group_of 0 t.n 0
 
 let set_drop_probability t p = t.drop_probability <- p
 let drop_probability t = t.drop_probability
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
-let messages_dropped t = t.dropped
+let messages_dropped t = t.drop_loss + t.drop_crashed + t.drop_partitioned
+let dropped_loss t = t.drop_loss
+let dropped_crashed t = t.drop_crashed
+let dropped_partitioned t = t.drop_partitioned
 
 let reset_counters t =
   t.sent <- 0;
   t.delivered <- 0;
-  t.dropped <- 0
+  t.drop_loss <- 0;
+  t.drop_crashed <- 0;
+  t.drop_partitioned <- 0

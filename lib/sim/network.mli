@@ -5,7 +5,14 @@
     dropped, and is discarded if the destination is crashed or partitioned
     away at delivery time. Delivery runs the destination's handler stack:
     handlers are tried from the most recently added until one returns
-    [true]. *)
+    [true].
+
+    When a {!Span} collector is installed ({!set_msg_spans}) and the sender
+    runs under an {!Engine.ctx}, every send opens a message span (named
+    ["msg:" ^ Msg.name]) parented to the causing span, closed at delivery or
+    drop time; handlers run under the delivered message's span, so the whole
+    causal message DAG of a transaction is recorded without protocol
+    changes (see {!Msg_dag}). *)
 
 type latency =
   | Constant of Simtime.t
@@ -16,21 +23,30 @@ type latency =
 type config = {
   latency : latency;
   drop_probability : float;  (** per point-to-point message, in [0,1] *)
-  trace_messages : bool;  (** record each send/deliver/drop in the tracer *)
 }
 
 val default_config : config
+
+(** Why a message was dropped: probabilistic in-flight loss, a crashed
+    destination, or a partition (at send or delivery time). *)
+type drop_cause = Loss | Crashed | Partitioned
+
+val drop_cause_name : drop_cause -> string
 
 (** A handler returns [true] when it consumed the message. *)
 type handler = src:int -> Msg.t -> bool
 
 type t
 
-val create : Engine.t -> n:int -> ?tracer:Tracer.t -> config -> t
+val create : Engine.t -> n:int -> config -> t
 val engine : t -> Engine.t
 val size : t -> int
-val tracer : t -> Tracer.t
 val rng : t -> Rng.t
+
+(** Install the span collector message spans are recorded into (usually
+    the transaction-trace collector, {!Core.Phase_span.collector}, so
+    message spans and phase spans share one id space). *)
+val set_msg_spans : t -> Span.t -> unit
 
 (** [add_handler t node h] pushes [h] on top of [node]'s handler stack. *)
 val add_handler : t -> int -> handler -> unit
@@ -83,5 +99,11 @@ val drop_probability : t -> float
 
 val messages_sent : t -> int
 val messages_delivered : t -> int
+
+(** Total drops (= loss + crashed + partitioned). *)
 val messages_dropped : t -> int
+
+val dropped_loss : t -> int
+val dropped_crashed : t -> int
+val dropped_partitioned : t -> int
 val reset_counters : t -> unit

@@ -108,5 +108,31 @@ let to_chrome t =
            "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":%s}"
            (json_escape s.Span.name) ts dur pid tid args))
     (Span.spans t);
+  (* Delivered messages additionally become flow events ("s" at the
+     sender, "f" at the destination), so the viewer draws the causal
+     arrows between lanes. The flow id is the message span id. *)
+  List.iter
+    (fun (s : Span.span) ->
+      if Msg_dag.is_msg_span s then begin
+        let m = Msg_dag.of_span s in
+        match (m.Msg_dag.dst, s.Span.stop) with
+        | Some dst, Some stop when m.Msg_dag.delivered ->
+            let pid = s.Span.trace in
+            let name = json_escape m.Msg_dag.label in
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
+                 name s.Span.id
+                 (Simtime.to_us s.Span.start)
+                 pid
+                 (tid_of_track s.Span.track));
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":%d}"
+                 name s.Span.id (Simtime.to_us stop) pid
+                 (tid_of_track (Some dst)))
+        | _ -> ()
+      end)
+    (Span.spans t);
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf

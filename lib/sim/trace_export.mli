@@ -11,7 +11,10 @@ val to_jsonl : Span.t -> string
 
 (** Chrome trace_event JSON: [{"traceEvents": [...], "displayTimeUnit":
     "ms"}]. Transactions map to pids, lanes (client / replica r) to tids,
-    spans to ["ph":"X"] complete events with [ts]/[dur] in microseconds. *)
+    spans to ["ph":"X"] complete events with [ts]/[dur] in microseconds.
+    Delivered message spans additionally emit flow events (["ph":"s"] at
+    the sender, ["ph":"f"] at the destination) so Perfetto draws the
+    causal arrows between lanes. *)
 val to_chrome : Span.t -> string
 
 (** Minimal JSON string escaping shared with {!Metrics}. *)

@@ -17,15 +17,16 @@ let csv_escape field =
 
 let csv_header =
   "label,committed,aborted,unanswered,throughput_tps,lat_mean_ms,lat_p50_ms,\
-   lat_p90_ms,lat_p99_ms,lat_max_ms,upd_lat_mean_ms,read_lat_mean_ms,\
-   makespan_ms,messages,messages_per_txn,max_response_gap_ms,converged,\
-   serializable"
+   lat_p90_ms,lat_p95_ms,lat_p99_ms,lat_max_ms,upd_lat_mean_ms,\
+   read_lat_mean_ms,makespan_ms,messages,messages_per_txn,\
+   max_response_gap_ms,converged,serializable"
 
 let csv_row ~label (r : Runner.result) =
-  Printf.sprintf "%s,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%d,%.2f,%.2f,%b,%b"
+  Printf.sprintf
+    "%s,%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%d,%.2f,%.2f,%b,%b"
     (csv_escape label) r.committed r.aborted r.unanswered r.throughput
     r.latency_ms.Stats.mean r.latency_ms.Stats.p50 r.latency_ms.Stats.p90
-    r.latency_ms.Stats.p99 r.latency_ms.Stats.max
+    r.latency_ms.Stats.p95 r.latency_ms.Stats.p99 r.latency_ms.Stats.max
     r.update_latency_ms.Stats.mean r.read_latency_ms.Stats.mean
     (Sim.Simtime.to_ms r.makespan)
     r.messages r.messages_per_txn
@@ -38,14 +39,15 @@ let to_csv ppf rows =
     (fun (label, result) -> Format.fprintf ppf "%s@." (csv_row ~label result))
     rows
 
-let phase_csv_header = "label,phase,count,mean_ms,p50_ms,p90_ms,p99_ms,max_ms"
+let phase_csv_header =
+  "label,phase,count,mean_ms,p50_ms,p90_ms,p95_ms,p99_ms,max_ms"
 
 let phase_csv_rows ~label (r : Runner.result) =
   List.map
     (fun (phase, (s : Stats.summary)) ->
-      Printf.sprintf "%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f" (csv_escape label)
+      Printf.sprintf "%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f" (csv_escape label)
         (Core.Phase.code phase) s.Stats.count s.Stats.mean s.Stats.p50
-        s.Stats.p90 s.Stats.p99 s.Stats.max)
+        s.Stats.p90 s.Stats.p95 s.Stats.p99 s.Stats.max)
     r.phase_ms
 
 let phases_to_csv ppf rows =

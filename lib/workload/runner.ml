@@ -32,6 +32,9 @@ type result = {
   metrics : Metrics.snapshot;
   resubmissions : int;
   dropped : int;
+  dropped_loss : int;
+  dropped_crashed : int;
+  dropped_partitioned : int;
 }
 
 let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
@@ -203,6 +206,9 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
         Option.value ~default:0
           (Metrics.counter_value metrics "resubmissions_total");
       dropped = Network.messages_dropped network;
+      dropped_loss = Network.dropped_loss network;
+      dropped_crashed = Network.dropped_crashed network;
+      dropped_partitioned = Network.dropped_partitioned network;
     },
     inst )
 

@@ -58,6 +58,9 @@ type result = {
       (** client resubmissions after reply timeouts — 0 for
           failure-transparent techniques *)
   dropped : int;  (** messages lost to crashes, partitions or link loss *)
+  dropped_loss : int;  (** dropped by the link-loss coin flip *)
+  dropped_crashed : int;  (** dropped because an endpoint was crashed *)
+  dropped_partitioned : int;  (** dropped at a partition boundary *)
 }
 
 val run :

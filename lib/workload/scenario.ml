@@ -371,7 +371,8 @@ let run_campaign ?(seeds = [ 11 ]) ?spec ?deadline ~techniques ~scenarios () =
 
 let csv_header =
   "technique,scenario,seed,committed,aborted,unanswered,resubmissions,\
-   messages_dropped,max_response_gap_ms,converged,serializable,\
+   messages_dropped,dropped_loss,dropped_crashed,dropped_partitioned,\
+   max_response_gap_ms,converged,serializable,\
    serializable_ok,convergence_ok,signatures_ok,liveness_ok,\
    transparency_ok,ok"
 
@@ -380,11 +381,12 @@ let verdict_of outcome oracle =
 
 let csv_row o =
   let r = o.result in
-  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d,%.2f,%b,%b,%b,%b,%b,%b,%b,%b"
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.2f,%b,%b,%b,%b,%b,%b,%b,%b"
     (Report.csv_escape o.technique)
     (Report.csv_escape o.scenario)
     o.seed r.Runner.committed r.Runner.aborted r.Runner.unanswered
-    r.Runner.resubmissions r.Runner.dropped
+    r.Runner.resubmissions r.Runner.dropped r.Runner.dropped_loss
+    r.Runner.dropped_crashed r.Runner.dropped_partitioned
     (Simtime.to_ms r.Runner.max_response_gap)
     r.Runner.converged r.Runner.serializable
     (verdict_of o "serializable").ok (verdict_of o "convergence").ok
@@ -410,12 +412,14 @@ let jsonl_row o =
   Printf.sprintf
     "{\"technique\":\"%s\",\"scenario\":\"%s\",\"seed\":%d,\"committed\":%d,\
      \"aborted\":%d,\"unanswered\":%d,\"resubmissions\":%d,\
-     \"messages_dropped\":%d,\"max_response_gap_ms\":%.2f,\"converged\":%b,\
+     \"messages_dropped\":%d,\"dropped_loss\":%d,\"dropped_crashed\":%d,\
+     \"dropped_partitioned\":%d,\"max_response_gap_ms\":%.2f,\"converged\":%b,\
      \"serializable\":%b,\"ok\":%b,\"verdicts\":[%s]}"
     (Metrics.json_escape o.technique)
     (Metrics.json_escape o.scenario)
     o.seed r.Runner.committed r.Runner.aborted r.Runner.unanswered
-    r.Runner.resubmissions r.Runner.dropped
+    r.Runner.resubmissions r.Runner.dropped r.Runner.dropped_loss
+    r.Runner.dropped_crashed r.Runner.dropped_partitioned
     (Simtime.to_ms r.Runner.max_response_gap)
     r.Runner.converged r.Runner.serializable o.ok verdicts
 
@@ -423,11 +427,12 @@ let pp_outcome ppf o =
   let r = o.result in
   Format.fprintf ppf
     "%-18s %-20s seed=%-4d %s  commit=%d abort=%d blocked=%d resubmit=%d \
-     dropped=%d gap=%.1fms"
+     dropped=%d(loss=%d,crash=%d,part=%d) gap=%.1fms"
     o.technique o.scenario o.seed
     (if o.ok then "PASS" else "FAIL")
     r.Runner.committed r.Runner.aborted r.Runner.unanswered
-    r.Runner.resubmissions r.Runner.dropped
+    r.Runner.resubmissions r.Runner.dropped r.Runner.dropped_loss
+    r.Runner.dropped_crashed r.Runner.dropped_partitioned
     (Simtime.to_ms r.Runner.max_response_gap);
   List.iter
     (fun (v : verdict) ->

@@ -5,13 +5,23 @@ type summary = {
   mean : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
   min : float;
   max : float;
 }
 
 let empty_summary =
-  { count = 0; mean = 0.; p50 = 0.; p90 = 0.; p99 = 0.; min = 0.; max = 0. }
+  {
+    count = 0;
+    mean = 0.;
+    p50 = 0.;
+    p90 = 0.;
+    p95 = 0.;
+    p99 = 0.;
+    min = 0.;
+    max = 0.;
+  }
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -33,6 +43,7 @@ let summarize values =
         mean = total /. float_of_int n;
         p50 = percentile sorted 0.5;
         p90 = percentile sorted 0.9;
+        p95 = percentile sorted 0.95;
         p99 = percentile sorted 0.99;
         min = sorted.(0);
         max = sorted.(n - 1);
@@ -45,5 +56,6 @@ let record r v = r.rev_values <- v :: r.rev_values
 let summary r = summarize r.rev_values
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f"
-    s.count s.mean s.p50 s.p90 s.p99 s.max
+  Format.fprintf ppf
+    "n=%d mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f" s.count
+    s.mean s.p50 s.p90 s.p95 s.p99 s.max

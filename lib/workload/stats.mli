@@ -5,6 +5,7 @@ type summary = {
   mean : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
   min : float;
   max : float;

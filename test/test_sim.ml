@@ -246,7 +246,6 @@ let test_network_latency_bounds () =
     {
       Network.latency = Network.Uniform (Simtime.of_ms 1, Simtime.of_ms 2);
       drop_probability = 0.0;
-      trace_messages = false;
     }
   in
   let e, net = make_net ~config () in
@@ -391,10 +390,7 @@ let test_network_per_link_latency () =
 (* Determinism: identical seeds produce identical message traces. *)
 let run_workload seed =
   let e = Engine.create ~seed () in
-  let config =
-    { Network.default_config with Network.trace_messages = true }
-  in
-  let net = Network.create e ~n:4 config in
+  let net = Network.create e ~n:4 Network.default_config in
   let log = ref [] in
   for node = 0 to 3 do
     Network.add_handler net node (fun ~src msg ->
@@ -417,21 +413,41 @@ let test_determinism () =
   Alcotest.(check bool) "different seed, different timings" true (a <> c)
 
 (* ------------------------------------------------------------------ *)
-(* Tracer                                                             *)
+(* Drop causes                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let test_tracer () =
-  let tr = Tracer.create () in
-  Tracer.record tr ~time:(Simtime.of_ms 1) ~node:0 ~label:"a" "x";
-  Tracer.record tr ~time:(Simtime.of_ms 2) ~label:"b" "y";
-  Tracer.record tr ~time:(Simtime.of_ms 3) ~node:1 ~label:"a" "z";
-  Alcotest.(check int) "count" 2 (Tracer.count tr ~label:"a");
-  Alcotest.(check int) "entries" 3 (List.length (Tracer.entries tr));
-  let a_entries = Tracer.with_label tr "a" in
-  Alcotest.(check (list string)) "filtered info" [ "x"; "z" ]
-    (List.map (fun e -> e.Tracer.info) a_entries);
-  Tracer.clear tr;
-  Alcotest.(check int) "cleared" 0 (List.length (Tracer.entries tr))
+let test_drop_causes () =
+  let e, net = make_net ~n:4 () in
+  (* Crashed destination. *)
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 0);
+  ignore (Engine.run e);
+  Alcotest.(check int) "crashed" 1 (Network.dropped_crashed net);
+  Network.recover net 1;
+  (* Partition separates {2,3} from {0,1}: dropped at send time. *)
+  Network.partition net [ 2; 3 ];
+  Network.send net ~src:0 ~dst:2 (Msg.Ping 1);
+  ignore (Engine.run e);
+  Alcotest.(check int) "partitioned" 1 (Network.dropped_partitioned net);
+  Network.heal net;
+  (* Probabilistic loss. *)
+  Network.set_drop_probability net 1.0;
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 2);
+  ignore (Engine.run e);
+  Alcotest.(check int) "loss" 1 (Network.dropped_loss net);
+  Alcotest.(check int) "total is the sum" 3 (Network.messages_dropped net);
+  Network.reset_counters net;
+  Alcotest.(check int) "reset" 0 (Network.messages_dropped net)
+
+(* A message in flight towards a node that crashes before delivery is
+   counted as a crash drop, not loss. *)
+let test_drop_crash_in_flight () =
+  let e, net = make_net () in
+  Network.send net ~src:0 ~dst:1 (Msg.Ping 0);
+  Network.crash net 1;
+  ignore (Engine.run e);
+  Alcotest.(check int) "crashed in flight" 1 (Network.dropped_crashed net);
+  Alcotest.(check int) "no loss" 0 (Network.dropped_loss net)
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                              *)
@@ -594,7 +610,11 @@ let () =
           tc "per-link latency" test_network_per_link_latency;
           tc "determinism" test_determinism;
         ] );
-      ("tracer", [ tc "basics" test_tracer ]);
+      ( "drop causes",
+        [
+          tc "by cause" test_drop_causes;
+          tc "crash in flight" test_drop_crash_in_flight;
+        ] );
       ( "span",
         [
           tc "nesting" test_span_nesting;
