@@ -84,6 +84,16 @@ let techniques : (string * Workload.Runner.factory) list =
 
 let technique name = List.assoc name techniques
 
+(* Machine-readable results: each perf* writes BENCH_perfN.json next to
+   its printed table (same numbers, schema-checked by
+   [replisim bench-check]). *)
+let bench_out name = Workload.Bench_out.create ~bench:name ~seed:11 ~n_replicas:3
+
+let abort_pct (result : Workload.Runner.result) =
+  let total = result.Workload.Runner.committed + result.Workload.Runner.aborted in
+  if total = 0 then 0.
+  else 100. *. float_of_int result.Workload.Runner.aborted /. float_of_int total
+
 (* --- perf1: response time vs degree of replication ------------------- *)
 
 let latency_vs_replicas () =
@@ -99,6 +109,7 @@ let latency_vs_replicas () =
     }
   in
   let ns = [ 3; 5; 7; 9 ] in
+  let out = bench_out "perf1" in
   Fmt.pr "%-18s" "technique";
   List.iter (fun n -> Fmt.pr "%10s" (Printf.sprintf "n=%d" n)) ns;
   Fmt.pr "@.";
@@ -110,10 +121,16 @@ let latency_vs_replicas () =
           let result =
             Workload.Runner.run ~n_replicas:n ~n_clients:2 ~spec factory
           in
-          Fmt.pr "%10.2f" result.Workload.Runner.latency_ms.Workload.Stats.mean)
+          let mean = result.Workload.Runner.latency_ms.Workload.Stats.mean in
+          Workload.Bench_out.add out ~metric:"latency_mean" ~technique:name
+            ~unit_:"ms"
+            ~params:[ ("n", string_of_int n) ]
+            mean;
+          Fmt.pr "%10.2f" mean)
         ns;
       Fmt.pr "@.")
-    techniques
+    techniques;
+  ignore (Workload.Bench_out.write out)
 
 (* --- perf2: throughput and aborts vs update ratio --------------------- *)
 
@@ -122,6 +139,7 @@ let mix_sweep () =
     "perf2 — Throughput (committed txn/s) and abort rate vs update ratio \
      (n=3)";
   let ratios = [ 0.0; 0.2; 0.5; 0.8; 1.0 ] in
+  let out = bench_out "perf2" in
   Fmt.pr "%-18s" "technique";
   List.iter (fun r -> Fmt.pr "%16s" (Printf.sprintf "%.0f%%upd" (100. *. r))) ratios;
   Fmt.pr "@.";
@@ -140,22 +158,19 @@ let mix_sweep () =
             }
           in
           let result = Workload.Runner.run ~n_clients:4 ~spec factory in
-          let total =
-            result.Workload.Runner.committed + result.Workload.Runner.aborted
-          in
-          let abort_pct =
-            if total = 0 then 0.
-            else
-              100.
-              *. float_of_int result.Workload.Runner.aborted
-              /. float_of_int total
-          in
+          let ab = abort_pct result in
+          let params = [ ("update_ratio", Printf.sprintf "%.1f" update_ratio) ] in
+          Workload.Bench_out.add out ~metric:"throughput" ~technique:name
+            ~unit_:"txn/s" ~params result.Workload.Runner.throughput;
+          Workload.Bench_out.add out ~metric:"abort_pct" ~technique:name
+            ~unit_:"%" ~params ab;
           Fmt.pr "%16s"
             (Printf.sprintf "%.0f/s %.0f%%ab" result.Workload.Runner.throughput
-               abort_pct))
+               ab))
         ratios;
       Fmt.pr "@.")
-    techniques
+    techniques;
+  ignore (Workload.Bench_out.write out)
 
 (* --- perf3: failover behaviour ---------------------------------------- *)
 
@@ -163,6 +178,7 @@ let failover () =
   section
     "perf3 — Failure assumptions: crash of replica 0 at t=100ms under a \
      steady update stream";
+  let out = bench_out "perf3" in
   Fmt.pr "%-18s %14s %14s %10s %10s@." "technique" "max gap (ms)"
     "p99 lat (ms)" "committed" "converged";
   List.iter
@@ -180,11 +196,20 @@ let failover () =
           ~failures:[ Workload.Runner.crash_at ~at:(Simtime.of_ms 100) 0 ]
           factory
       in
+      Workload.Bench_out.add out ~metric:"max_response_gap" ~technique:name
+        ~unit_:"ms"
+        (Simtime.to_ms result.Workload.Runner.max_response_gap);
+      Workload.Bench_out.add out ~metric:"latency_p99" ~technique:name
+        ~unit_:"ms" result.Workload.Runner.latency_ms.Workload.Stats.p99;
+      Workload.Bench_out.add out ~metric:"committed" ~technique:name
+        ~unit_:"txns"
+        (float_of_int result.Workload.Runner.committed);
       Fmt.pr "%-18s %14.1f %14.1f %10d %10b@." name
         (Simtime.to_ms result.Workload.Runner.max_response_gap)
         result.Workload.Runner.latency_ms.Workload.Stats.p99
         result.Workload.Runner.committed result.Workload.Runner.converged)
     techniques;
+  ignore (Workload.Bench_out.write out);
   Fmt.pr
     "@.Reading: active/semi-active/semi-passive mask the crash (gap ≈ \
      detection time);@.primary-based techniques pay a visible take-over \
@@ -287,14 +312,20 @@ let eager_vs_lazy () =
     let lag = Simtime.to_ms (Simtime.sub t_conv t_last) in
     ((Workload.Stats.summary lat).Workload.Stats.mean, lag)
   in
+  let out = bench_out "perf4" in
   List.iter
     (fun (eager, lazy_) ->
       List.iter
         (fun name ->
           let latency, lag = measure name in
+          Workload.Bench_out.add out ~metric:"update_latency_mean"
+            ~technique:name ~unit_:"ms" latency;
+          Workload.Bench_out.add out ~metric:"convergence_lag" ~technique:name
+            ~unit_:"ms" lag;
           Fmt.pr "%-18s %16.2f %22.1f@." name latency lag)
         [ eager; lazy_ ])
     pairs;
+  ignore (Workload.Bench_out.write out);
   Fmt.pr
     "@.Reading: lazy halves the client-visible latency but leaves a window@.\
      during which copies diverge; eager pays the coordination before END.@."
@@ -303,6 +334,7 @@ let eager_vs_lazy () =
 
 let message_counts () =
   section "perf5 — Messages and communication steps per update transaction";
+  let out = bench_out "perf5" in
   Fmt.pr "%-18s %12s %14s@." "technique" "msgs/txn" "latency (ms)";
   List.iter
     (fun (name, factory) ->
@@ -337,9 +369,14 @@ let message_counts () =
       ignore (Engine.run ~until:(Simtime.of_sec 1.) engine);
       let total = float_of_int (Network.messages_sent net) in
       let per_txn = (total -. idle_rate) /. float_of_int n_txns in
+      Workload.Bench_out.add out ~metric:"messages_per_txn" ~technique:name
+        ~unit_:"messages" (max 0. per_txn);
+      Workload.Bench_out.add out ~metric:"latency_mean" ~technique:name
+        ~unit_:"ms" (Workload.Stats.summary lat).Workload.Stats.mean;
       Fmt.pr "%-18s %12.1f %14.2f@." name (max 0. per_txn)
         (Workload.Stats.summary lat).Workload.Stats.mean)
     techniques;
+  ignore (Workload.Bench_out.write out);
   Fmt.pr
     "@.Reading: lazy primary is the cheapest (one round + deferred refresh);@.\
      distributed locking pays per-operation lock+exec rounds plus 2PC.@."
@@ -375,6 +412,7 @@ let wan () =
   let spec =
     { Workload.Spec.default with update_ratio = 1.0; txns_per_client = 20 }
   in
+  let out = bench_out "perf6" in
   Fmt.pr "%-18s %12s %12s %10s@." "technique" "LAN" "WAN" "ratio";
   List.iter
     (fun (name, factory) ->
@@ -385,9 +423,14 @@ let wan () =
       in
       let l = lan_result.Workload.Runner.latency_ms.Workload.Stats.mean in
       let w = wan_result.Workload.Runner.latency_ms.Workload.Stats.mean in
+      Workload.Bench_out.add out ~metric:"latency_mean" ~technique:name
+        ~unit_:"ms" ~params:[ ("net", "lan") ] l;
+      Workload.Bench_out.add out ~metric:"latency_mean" ~technique:name
+        ~unit_:"ms" ~params:[ ("net", "wan") ] w;
       Fmt.pr "%-18s %12.2f %12.2f %9.1fx@." name l w
         (if l > 0. then w /. l else 0.))
     techniques;
+  ignore (Workload.Bench_out.write out);
   Fmt.pr
     "@.Reading: over a WAN the coordination rounds dominate: eager@.\
      techniques inflate by the number of wide-area round trips they@.\
@@ -401,6 +444,7 @@ let phase_breakdown () =
   section
     "perf7 — Phase-by-phase latency decomposition (ms, mean span duration \
      over a 100%-update run)";
+  let out = bench_out "perf7" in
   Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." "technique" "RE" "SC" "EX"
     "AC" "total" "tail";
   List.iter
@@ -467,14 +511,30 @@ let phase_breakdown () =
               ps
           end)
         (Core.Phase_span.rids spans);
-      let mean key =
+      let mean_v key =
         match (Hashtbl.find_opt sums key, Hashtbl.find_opt counts key) with
-        | Some s, Some c when c > 0 -> Printf.sprintf "%.2f" (s /. float_of_int c)
-        | _ -> "-"
+        | Some s, Some c when c > 0 -> Some (s /. float_of_int c)
+        | _ -> None
       in
+      let mean key =
+        match mean_v key with
+        | Some m -> Printf.sprintf "%.2f" m
+        | None -> "-"
+      in
+      List.iter
+        (fun key ->
+          match mean_v key with
+          | Some m ->
+              Workload.Bench_out.add out ~metric:"phase_mean" ~technique:name
+                ~unit_:"ms"
+                ~params:[ ("phase", key) ]
+                m
+          | None -> ())
+        [ "RE"; "SC"; "EX"; "AC"; "total"; "tail" ];
       Fmt.pr "%-18s %10s %10s %10s %10s %10s %10s@." name (mean "RE")
         (mean "SC") (mean "EX") (mean "AC") (mean "total") (mean "tail"))
     techniques;
+  ignore (Workload.Bench_out.write out);
   Fmt.pr
     "@.Reading: the functional model's phases as a latency budget, read@.\
      off each transaction's span tree. The tail column is span activity@.\
@@ -505,6 +565,7 @@ let crash_recovery_windows () =
       think_time = Simtime.of_ms 2;
     }
   in
+  let out = bench_out "perf8" in
   Fmt.pr "%-18s %10s %10s %10s %9s %12s@." "technique" "before" "during"
     "after" "resubmit" "max gap (ms)";
   List.iter
@@ -553,6 +614,19 @@ let crash_recovery_windows () =
               (List.fold_left ( +. ) 0. ls /. float_of_int (List.length ls))
               (List.length ls)
       in
+      List.iteri
+        (fun b window ->
+          match !(buckets.(b)) with
+          | [] -> ()
+          | ls ->
+              Workload.Bench_out.add out ~metric:"latency_mean" ~technique:name
+                ~unit_:"ms"
+                ~params:[ ("window", window) ]
+                (List.fold_left ( +. ) 0. ls /. float_of_int (List.length ls)))
+        [ "before"; "during"; "after" ];
+      Workload.Bench_out.add out ~metric:"resubmissions" ~technique:name
+        ~unit_:"count"
+        (float_of_int result.Workload.Runner.resubmissions);
       Fmt.pr "%-18s %10s %10s %10s %9d %12.1f@." name (cell 0) (cell 1)
         (cell 2) result.Workload.Runner.resubmissions
         (Simtime.to_ms result.Workload.Runner.max_response_gap))
@@ -569,7 +643,8 @@ let crash_recovery_windows () =
     "@.Reading: group-communication techniques mask the crash (during ~=@.\
      before, no resubmissions); primary-copy techniques pay a failover@.\
      spike (during >> before) and client resubmissions; after recovery the@.\
-     rejoined replica serves again and latency returns to the baseline.@."
+     rejoined replica serves again and latency returns to the baseline.@.";
+  ignore (Workload.Bench_out.write out)
 
 (* --- perf9: abort/block rates vs loss and partition duration ------------ *)
 
@@ -585,19 +660,20 @@ let loss_and_partition_rates () =
       think_time = Simtime.of_ms 2;
     }
   in
+  let out = bench_out "perf9" in
   let names =
     [ "active"; "eager-primary"; "eager-ue-locking"; "lazy-ue"; "certification" ]
   in
   let cell (result : Workload.Runner.result) =
-    let total = result.Workload.Runner.committed + result.Workload.Runner.aborted in
-    let abort_pct =
-      if total = 0 then 0.
-      else
-        100.
-        *. float_of_int result.Workload.Runner.aborted
-        /. float_of_int total
-    in
-    Printf.sprintf "%.0f%%ab %dblk" abort_pct result.Workload.Runner.unanswered
+    Printf.sprintf "%.0f%%ab %dblk" (abort_pct result)
+      result.Workload.Runner.unanswered
+  in
+  let record ~name ~params result =
+    Workload.Bench_out.add out ~metric:"abort_pct" ~technique:name ~unit_:"%"
+      ~params (abort_pct result);
+    Workload.Bench_out.add out ~metric:"blocked" ~technique:name ~unit_:"txns"
+      ~params
+      (float_of_int result.Workload.Runner.unanswered)
   in
   let probabilities = [ 0.0; 0.02; 0.05; 0.10 ] in
   Fmt.pr "%-18s" "loss probability";
@@ -615,6 +691,7 @@ let loss_and_partition_rates () =
                 Sim.Network.set_drop_probability net p)
               ~deadline:(Simtime.of_sec 300.) factory
           in
+          record ~name ~params:[ ("loss_p", Printf.sprintf "%.2f" p) ] result;
           Fmt.pr "%16s" (cell result))
         probabilities;
       Fmt.pr "@.")
@@ -641,6 +718,9 @@ let loss_and_partition_rates () =
                 ]
               ~deadline:(Simtime.of_sec 300.) factory
           in
+          record ~name
+            ~params:[ ("partition_ms", string_of_int d) ]
+            result;
           Fmt.pr "%16s" (cell result))
         durations_ms;
       Fmt.pr "@.")
@@ -649,7 +729,8 @@ let loss_and_partition_rates () =
     "@.Reading: loss is absorbed by retransmission everywhere (aborts only@.\
      from lock timeouts under delay); partitions price the strategies@.\
      apart — 2PC techniques may block or abort while the majority side of@.\
-     a group-communication technique keeps committing.@."
+     a group-communication technique keeps committing.@.";
+  ignore (Workload.Bench_out.write out)
 
 (* --- perf10: contention under open-loop load ---------------------------- *)
 
@@ -657,6 +738,7 @@ let contention () =
   section
     "perf10 — Contention under open-loop (Poisson) load: abort rate and \
      latency vs offered load, hot keyspace (n=3, 4 clients)";
+  let out = bench_out "perf10" in
   let rates = [ 50.; 150.; 400. ] in
   Fmt.pr "%-18s" "technique";
   List.iter
@@ -682,26 +764,24 @@ let contention () =
             Workload.Runner.run ~n_clients:4 ~spec ~arrival:(`Poisson rate)
               factory
           in
-          let total =
-            result.Workload.Runner.committed + result.Workload.Runner.aborted
-          in
-          let abort_pct =
-            if total = 0 then 0.
-            else
-              100.
-              *. float_of_int result.Workload.Runner.aborted
-              /. float_of_int total
-          in
+          let params = [ ("rate", Printf.sprintf "%.0f" rate) ] in
+          Workload.Bench_out.add out ~metric:"latency_mean" ~technique:name
+            ~unit_:"ms" ~params
+            result.Workload.Runner.latency_ms.Workload.Stats.mean;
+          Workload.Bench_out.add out ~metric:"abort_pct" ~technique:name
+            ~unit_:"%" ~params (abort_pct result);
           Fmt.pr "%22s"
             (Printf.sprintf "%.1fms %.0f%%ab"
-               result.Workload.Runner.latency_ms.Workload.Stats.mean abort_pct))
+               result.Workload.Runner.latency_ms.Workload.Stats.mean
+               (abort_pct result)))
         rates;
       Fmt.pr "@.")
     [ "eager-ue-locking"; "certification"; "eager-ue-abcast"; "lazy-ue" ];
   Fmt.pr
     "@.Reading: open-loop load piles conflicting transactions up: locking@.\
      queues (latency grows) while certification aborts (optimism priced);@.\
-     ordered execution (eager-ue-abcast) and lazy commits stay flat.@."
+     ordered execution (eager-ue-abcast) and lazy commits stay flat.@.";
+  ignore (Workload.Bench_out.write out)
 
 
 (* --- perf11: partitions ------------------------------------------------- *)
@@ -753,6 +833,7 @@ let partitions () =
             () );
     ]
   in
+  let out = bench_out "perf11" in
   Fmt.pr "%-22s %12s %14s %12s %12s@." "technique" "committed" "max gap (ms)"
     "converged" "1SR";
   List.iter
@@ -777,6 +858,12 @@ let partitions () =
             ]
           ~deadline:(Simtime.of_sec 300.) factory
       in
+      Workload.Bench_out.add out ~metric:"committed" ~technique:name
+        ~unit_:"txns"
+        (float_of_int result.Workload.Runner.committed);
+      Workload.Bench_out.add out ~metric:"max_response_gap" ~technique:name
+        ~unit_:"ms"
+        (Simtime.to_ms result.Workload.Runner.max_response_gap);
       Fmt.pr "%-22s %12d %14.1f %12b %12b@." name
         result.Workload.Runner.committed
         (Simtime.to_ms result.Workload.Runner.max_response_gap)
@@ -785,7 +872,8 @@ let partitions () =
   Fmt.pr
     "@.Reading: majority sides keep committing through the partition;@.\
      the isolated replica catches up after the heal (progress gossip /@.\
-     rejoin); lazy-ue never stalls at all and reconciles afterwards.@."
+     rejoin); lazy-ue never stalls at all and reconciles afterwards.@.";
+  ignore (Workload.Bench_out.write out)
 
 (* --- perf12: tail latency ----------------------------------------------- *)
 
@@ -802,18 +890,100 @@ let tail_latency () =
       key_skew = 0.9;
     }
   in
+  let out = bench_out "perf12" in
   Fmt.pr "%-18s %10s %10s %10s %10s@." "technique" "mean" "p95" "p99" "max";
   List.iter
     (fun (name, factory) ->
       let result = Workload.Runner.run ~n_clients:4 ~spec factory in
       let l = result.Workload.Runner.latency_ms in
+      List.iter
+        (fun (metric, v) ->
+          Workload.Bench_out.add out ~metric ~technique:name ~unit_:"ms" v)
+        [
+          ("latency_mean", l.Workload.Stats.mean);
+          ("latency_p95", l.Workload.Stats.p95);
+          ("latency_p99", l.Workload.Stats.p99);
+          ("latency_max", l.Workload.Stats.max);
+        ];
       Fmt.pr "%-18s %10.2f %10.2f %10.2f %10.2f@." name l.Workload.Stats.mean
         l.Workload.Stats.p95 l.Workload.Stats.p99 l.Workload.Stats.max)
     techniques;
   Fmt.pr
     "@.Reading: the mean hides the queueing the paper's step counts imply:@.\
      deep critical paths (locking's per-operation rounds) stretch the tail@.\
-     far more than the average, while lazy replies stay tight at p99.@."
+     far more than the average, while lazy replies stay tight at p99.@.";
+  ignore (Workload.Bench_out.write out)
+
+(* --- perf13: resource-gauge trajectories vs offered load ----------------- *)
+
+let series_stat ~f name (result : Workload.Runner.result) =
+  result.Workload.Runner.series
+  |> List.filter (fun (s : Sim.Timeseries.series) -> s.name = name)
+  |> List.map f
+  |> List.fold_left Stdlib.max 0.
+
+let series_max = series_stat ~f:Sim.Timeseries.max_value
+
+let resource_trajectory () =
+  section
+    "perf13 — Resource trajectories under open-loop load: peak queue depth \
+     and lock waiters vs offered rate (n=3, 4 clients, hot keys, sampled \
+     every 5ms)";
+  let out = bench_out "perf13" in
+  let rates = [ 50.; 150.; 400. ] in
+  let queue_names =
+    [ "abcast_pending"; "abcast_undelivered"; "vscast_buffered"; "rchan_unacked" ]
+  in
+  Fmt.pr "%-18s %8s %10s %8s %10s %10s %8s@." "technique" "rate" "lat(ms)"
+    "abort%" "waiters^" "queue^" "txns^";
+  List.iter
+    (fun name ->
+      let factory = registry_factory name in
+      List.iter
+        (fun rate ->
+          let spec =
+            {
+              Workload.Spec.default with
+              update_ratio = 1.0;
+              txns_per_client = 60;
+              n_keys = 10;
+              key_skew = 0.95;
+            }
+          in
+          let result =
+            Workload.Runner.run ~n_clients:4 ~spec ~arrival:(`Poisson rate)
+              ~sample:(Simtime.of_ms 5) ~deadline:(Simtime.of_sec 8.) factory
+          in
+          let waiters = series_max "lock_waiters" result in
+          let queue =
+            List.fold_left
+              (fun acc n -> Stdlib.max acc (series_max n result))
+              0. queue_names
+          in
+          let active = series_max "active_txns" result in
+          let params = [ ("rate", Printf.sprintf "%.0f" rate) ] in
+          Workload.Bench_out.add out ~metric:"latency_mean" ~technique:name
+            ~unit_:"ms" ~params
+            result.Workload.Runner.latency_ms.Workload.Stats.mean;
+          Workload.Bench_out.add out ~metric:"abort_pct" ~technique:name
+            ~unit_:"%" ~params (abort_pct result);
+          Workload.Bench_out.add out ~metric:"lock_waiters_max" ~technique:name
+            ~unit_:"txns" ~params waiters;
+          Workload.Bench_out.add out ~metric:"queue_depth_max" ~technique:name
+            ~unit_:"msgs" ~params queue;
+          Workload.Bench_out.add out ~metric:"active_txns_max" ~technique:name
+            ~unit_:"txns" ~params active;
+          Fmt.pr "%-18s %8.0f %10.1f %8.0f %10.0f %10.0f %8.0f@." name rate
+            result.Workload.Runner.latency_ms.Workload.Stats.mean
+            (abort_pct result) waiters queue active)
+        rates)
+    [ "eager-ue-locking"; "certification"; "eager-ue-abcast"; "lazy-ue" ];
+  Fmt.pr
+    "@.Reading: the gauges localise the queueing perf10 only infers from@.\
+     latency: locking's backlog shows up as lock waiters (a convoy on the@.\
+     hot keys), certification's as aborts with zero waiters, and the@.\
+     ordered-execution techniques as group-stack queue depth.@.";
+  ignore (Workload.Bench_out.write out)
 
 let all =
   [
@@ -829,4 +999,5 @@ let all =
     ("perf10", contention);
     ("perf11", partitions);
     ("perf12", tail_latency);
+    ("perf13", resource_trajectory);
   ]

@@ -262,7 +262,7 @@ let trace_cmd =
              (one JSON object per span) or $(b,chrome) (trace_event JSON for \
              Perfetto / chrome://tracing).")
   in
-  let run (_, (info : Core.Technique.info), factory) nondet format =
+  let run (key, (info : Core.Technique.info), factory) nondet format =
     let engine = Sim.Engine.create ~seed:3 () in
     let net = Sim.Network.create engine ~n:4 Sim.Network.default_config in
     let inst = factory net ~replicas:[ 0; 1; 2 ] ~clients:[ 3 ] in
@@ -278,6 +278,8 @@ let trace_cmd =
     Core.Phase_span.finalize spans ~at:(Sim.Engine.now engine);
     match format with
     | `Jsonl ->
+        print_endline
+          (Workload.Report.header_json ~seed:3 ~technique:key ~n_replicas:3 ());
         print_endline (Sim.Trace_export.to_jsonl (Core.Phase_span.collector spans))
     | `Chrome ->
         print_endline (Sim.Trace_export.to_chrome (Core.Phase_span.collector spans))
@@ -466,6 +468,11 @@ let explain_cmd =
             print_endline (explain_csv_row ~n ~seed key info s))
           results
     | `Json ->
+        print_endline
+          (Workload.Report.header_json ~seed
+             ~technique:
+               (match technique with Some (key, _, _) -> key | None -> "all")
+             ~n_replicas:n ());
         List.iter
           (fun (key, info, _, _, s) ->
             print_endline (explain_json ~n ~seed key info s))
@@ -600,14 +607,29 @@ let campaign_cmd =
              techniques)
         ~scenarios ()
     in
+    let campaign_header =
+      Workload.Report.header_json
+        ~seed:(match seeds with s :: _ -> s | [] -> 11)
+        ~technique:technique_sel ~n_replicas:3
+        ~extra:
+          [
+            ( "seeds",
+              "[" ^ String.concat "," (List.map string_of_int seeds) ^ "]" );
+            ("scenarios", Printf.sprintf "%S" scenario_sel);
+          ]
+        ()
+    in
     (match jsonl with
     | None -> ()
     | Some "-" ->
+        print_endline campaign_header;
         List.iter
           (fun o -> print_endline (Workload.Scenario.jsonl_row o))
           outcomes
     | Some file ->
         let oc = open_out file in
+        output_string oc campaign_header;
+        output_char oc '\n';
         List.iter
           (fun o ->
             output_string oc (Workload.Scenario.jsonl_row o);
@@ -678,8 +700,11 @@ let metrics_cmd =
       Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m ~spec
         (fun net ~replicas ~clients -> factory net ~replicas ~clients)
     in
-    if json then
+    if json then begin
+      print_endline
+        (Workload.Report.header_json ~seed ~technique:key ~n_replicas:n ());
       print_endline (Sim.Metrics.snapshot_to_json result.Workload.Runner.metrics)
+    end
     else begin
       Fmt.pr "technique : %s@." key;
       Fmt.pr "result    : %a@.@." Workload.Runner.pp_result result;
@@ -693,14 +718,383 @@ let metrics_cmd =
       const run $ technique_arg $ replicas $ clients $ updates $ txns $ seed
       $ json)
 
+(* ---- timeline ------------------------------------------------------- *)
+
+(* Column index of a virtual instant on a [cols]-wide axis ending at
+   [t_end]. *)
+let timeline_col ~cols ~t_end at =
+  if t_end <= 0 then 0
+  else min (cols - 1) (Sim.Simtime.to_us at * cols / t_end)
+
+let sparkline ~cols ~t_end (s : Sim.Timeseries.series) =
+  let ramp = " .:-=+*#@" in
+  let buckets = Array.make cols 0. in
+  List.iter
+    (fun (p : Sim.Timeseries.point) ->
+      let c = timeline_col ~cols ~t_end p.at in
+      if p.value > buckets.(c) then buckets.(c) <- p.value)
+    (Sim.Timeseries.points s);
+  let mx = Array.fold_left Float.max 0. buckets in
+  String.init cols (fun i ->
+      if mx <= 0. then ' '
+      else
+        let idx = int_of_float (buckets.(i) /. mx *. 8.) in
+        ramp.[max 0 (min 8 idx)])
+
+(* One marker character per scheduled fault event: P/H for a partition
+   and its heal, C/R for crash/recover, L for a loss window. *)
+let fault_ruler ~cols ~t_end events =
+  let line = Bytes.make cols ' ' in
+  let mark at c =
+    let i = timeline_col ~cols ~t_end at in
+    Bytes.set line i c
+  in
+  List.iter
+    (fun (event : Workload.Scenario.event) ->
+      match event with
+      | Workload.Scenario.Crash { at; _ } -> mark at 'C'
+      | Workload.Scenario.Recover { at; _ } -> mark at 'R'
+      | Workload.Scenario.Partition { at; heal_at; _ } ->
+          mark at 'P';
+          mark heal_at 'H'
+      | Workload.Scenario.Loss { at; until; _ } ->
+          mark at 'L';
+          mark until 'l')
+    events;
+  Bytes.to_string line
+
+(* Intervals during which a detector finding is expected (fault active,
+   plus [grace] for the protocol to drain afterwards). An unrecovered
+   crash stays in effect forever. *)
+let fault_windows ~grace (events : Workload.Scenario.event list) =
+  List.filter_map
+    (fun (event : Workload.Scenario.event) ->
+      match event with
+      | Workload.Scenario.Crash { at; replica } ->
+          let recover_at =
+            List.find_map
+              (fun (e : Workload.Scenario.event) ->
+                match e with
+                | Workload.Scenario.Recover { at = r_at; replica = r }
+                  when r = replica && Sim.Simtime.(r_at > at) ->
+                    Some r_at
+                | _ -> None)
+              events
+          in
+          Some
+            ( at,
+              match recover_at with
+              | Some r -> Sim.Simtime.add r grace
+              | None -> Sim.Simtime.infinity )
+      | Workload.Scenario.Partition { at; heal_at; _ } ->
+          Some (at, Sim.Simtime.add heal_at grace)
+      | Workload.Scenario.Loss { at; until; _ } ->
+          Some (at, Sim.Simtime.add until grace)
+      | Workload.Scenario.Recover _ -> None)
+    events
+
+let in_some_window windows (f : Sim.Saturation.finding) =
+  List.exists
+    (fun (w_start, w_end) ->
+      Sim.Simtime.(f.Sim.Saturation.at <= w_end)
+      && Sim.Simtime.(w_start <= f.Sim.Saturation.until))
+    windows
+
+(* Group-stack backlogs that should visibly build while a partition cuts
+   a member off and drain once it heals. *)
+let backlog_names =
+  [ "rchan_unacked"; "abcast_pending"; "abcast_undelivered"; "vscast_buffered" ]
+
+(* The partition build-up/drain obligation: some group-stack queue must
+   peak >= 2 inside the partition window and be back <= 1 by the end of
+   the (quiesced) run. *)
+let check_partition_backlog series events =
+  let ranges =
+    List.filter_map
+      (fun (e : Workload.Scenario.event) ->
+        match e with
+        | Workload.Scenario.Partition { at; heal_at; _ } -> Some (at, heal_at)
+        | _ -> None)
+      events
+  in
+  match ranges with
+  | [] -> Ok ()
+  | (p_at, p_heal) :: _ -> (
+      let candidates =
+        List.filter
+          (fun (s : Sim.Timeseries.series) ->
+            s.kind = Sim.Timeseries.Queue && List.mem s.name backlog_names)
+          series
+      in
+      match candidates with
+      | [] -> Error "no group-stack queue series sampled"
+      | _ ->
+          let built_and_drained (s : Sim.Timeseries.series) =
+            let pts = Sim.Timeseries.points s in
+            let peak_in_window =
+              List.fold_left
+                (fun acc (p : Sim.Timeseries.point) ->
+                  if Sim.Simtime.(p.at >= p_at) && Sim.Simtime.(p.at <= p_heal)
+                  then Float.max acc p.value
+                  else acc)
+                0. pts
+            in
+            let final =
+              match s.points_rev with [] -> 0. | p :: _ -> p.value
+            in
+            peak_in_window >= 2. && final <= 1.
+          in
+          if List.exists built_and_drained candidates then Ok ()
+          else
+            Error
+              "no group-stack queue built up (>= 2) during the partition and \
+               drained (<= 1) after heal")
+
+let timeline_cmd =
+  let doc =
+    "Run a workload with the resource sampler on and render per-replica \
+     gauge timelines (queue depths, lock waiters, 2PC in-doubt windows) \
+     aligned with the injected fault events, plus any saturation-detector \
+     findings. With $(b,--check), exit non-zero when a detector fires \
+     outside a fault window, or when a partition scenario fails to show \
+     the expected backlog build-up and post-heal drain."
+  in
+  let scenario_names =
+    String.concat ", "
+      (List.map (fun s -> s.Workload.Scenario.name) Workload.Scenario.builtins)
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt string "partition-heal"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Fault scenario to inject: one of %s, or $(b,none) for a \
+                healthy run."
+               scenario_names))
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"M" ~doc:"Client count.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 25
+      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let interval =
+    Arg.(
+      value & opt int 5
+      & info [ "interval" ] ~docv:"MS" ~doc:"Sampling interval (virtual ms).")
+  in
+  let until =
+    Arg.(
+      value & opt int 2000
+      & info [ "until" ] ~docv:"MS"
+          ~doc:"Workload deadline (virtual ms; quiescence drain follows).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("pretty", `Pretty); ("json", `Json); ("csv", `Csv) ]) `Pretty
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,pretty) (sparklines), $(b,json) (JSONL: \
+             header, one object per series, one per finding) or $(b,csv) \
+             (long-format points).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit 1 when a saturation finding lies outside every fault \
+             window, or a partition scenario shows no backlog \
+             build-up/drain.")
+  in
+  let run (key, _, factory) scenario_sel n m txns seed interval_ms until_ms
+      format check =
+    let scenario =
+      match scenario_sel with
+      | "none" -> None
+      | name -> (
+          match Workload.Scenario.find name with
+          | Some s -> Some s
+          | None ->
+              Fmt.epr "unknown scenario %S (known: %s, none)@." name
+                scenario_names;
+              exit 2)
+    in
+    let events =
+      match scenario with Some s -> s.Workload.Scenario.events | None -> []
+    in
+    let spec =
+      { Workload.Scenario.default_spec with txns_per_client = txns }
+    in
+    let result =
+      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m
+        ~tune:(fun net ~replicas:_ ~clients:_ ->
+          match scenario with
+          | Some s -> Workload.Scenario.apply s net
+          | None -> ())
+        ~deadline:(Sim.Simtime.of_ms until_ms)
+        ~sample:(Sim.Simtime.of_ms interval_ms) ~spec
+        (fun net ~replicas ~clients -> factory net ~replicas ~clients)
+    in
+    let series = result.Workload.Runner.series in
+    let findings = Sim.Saturation.analyze series in
+    let header =
+      Workload.Report.header_json ~seed ~technique:key ~n_replicas:n
+        ~extra:
+          [
+            ("scenario", Printf.sprintf "%S" scenario_sel);
+            ("interval_us", string_of_int (interval_ms * 1000));
+          ]
+        ()
+    in
+    (match format with
+    | `Json ->
+        print_endline header;
+        List.iter
+          (fun s -> print_endline (Sim.Timeseries.series_to_json s))
+          series;
+        List.iter
+          (fun f -> print_endline (Sim.Saturation.finding_to_json f))
+          findings
+    | `Csv ->
+        print_endline "metric,replica,kind,unit,at_us,value";
+        List.iter
+          (fun (s : Sim.Timeseries.series) ->
+            List.iter
+              (fun (p : Sim.Timeseries.point) ->
+                Printf.printf "%s,%d,%s,%s,%d,%s\n"
+                  (Workload.Report.csv_escape s.name)
+                  s.replica
+                  (Sim.Timeseries.kind_to_string s.kind)
+                  s.unit_
+                  (Sim.Simtime.to_us p.at)
+                  (Sim.Metrics.json_float p.value))
+              (Sim.Timeseries.points s))
+          series
+    | `Pretty ->
+        let cols = 64 in
+        let t_end =
+          List.fold_left
+            (fun acc (s : Sim.Timeseries.series) ->
+              match s.points_rev with
+              | p :: _ -> max acc (Sim.Simtime.to_us p.Sim.Timeseries.at)
+              | [] -> acc)
+            1 series
+        in
+        Fmt.pr "technique : %s   scenario : %s   seed : %d@." key scenario_sel
+          seed;
+        Fmt.pr "result    : %a@." Workload.Runner.pp_result result;
+        Fmt.pr "axis      : 0 .. %.0f ms, sampled every %d ms@."
+          (float_of_int t_end /. 1000.)
+          interval_ms;
+        if events <> [] then
+          Fmt.pr "%-28s|%s| C=crash R=recover P=partition H=heal L=loss@."
+            "faults" (fault_ruler ~cols ~t_end events);
+        let shown = ref 0 in
+        List.iter
+          (fun (s : Sim.Timeseries.series) ->
+            if Sim.Timeseries.max_value s > 0. then begin
+              incr shown;
+              let who =
+                if s.replica < 0 then "all"
+                else if s.replica >= n then Printf.sprintf "c%d" (s.replica - n)
+                else Printf.sprintf "r%d" s.replica
+              in
+              Fmt.pr "%-24s %-3s|%s| max=%g@." s.name who
+                (sparkline ~cols ~t_end s)
+                (Sim.Timeseries.max_value s)
+            end)
+          series;
+        Fmt.pr "(%d series sampled, %d non-zero shown)@." (List.length series)
+          !shown;
+        List.iter
+          (fun f -> Fmt.pr "finding   : %a@." Sim.Saturation.pp_finding f)
+          findings);
+    if check then begin
+      let windows = fault_windows ~grace:(Sim.Simtime.of_ms 300) events in
+      let stray =
+        List.filter (fun f -> not (in_some_window windows f)) findings
+      in
+      List.iter
+        (fun f ->
+          Fmt.epr "timeline --check: finding outside any fault window: %a@."
+            Sim.Saturation.pp_finding f)
+        stray;
+      let backlog =
+        match check_partition_backlog series events with
+        | Ok () -> true
+        | Error msg ->
+            Fmt.epr "timeline --check: %s@." msg;
+            false
+      in
+      if stray <> [] || not backlog then exit 1
+      else
+        Fmt.pr
+          "timeline --check: OK (%d series, %d findings, all inside fault \
+           windows)@."
+          (List.length series) (List.length findings)
+    end
+  in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(
+      const run $ technique_arg $ scenario_arg $ replicas $ clients $ txns
+      $ seed $ interval $ until $ format $ check)
+
+(* ---- bench-check ---------------------------------------------------- *)
+
+let bench_check_cmd =
+  let doc =
+    "Validate BENCH_*.json files written by the bench suite against the \
+     machine-readable schema (type/version/bench/seed/n_replicas plus \
+     non-empty results with metric/technique/unit/params/value). Exits \
+     non-zero on the first malformed file."
+  in
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"BENCH_*.json files to validate.")
+  in
+  let run files =
+    let bad = ref 0 in
+    List.iter
+      (fun path ->
+        match Workload.Bench_out.validate_file path with
+        | Ok () -> Fmt.pr "bench-check: %s OK@." path
+        | Error msg ->
+            incr bad;
+            Fmt.epr "bench-check: %s: %s@." path msg)
+      files;
+    if !bad > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "bench-check" ~doc) Term.(const run $ files)
+
 let () =
   let doc =
     "Replication techniques from 'Understanding Replication in Databases \
      and Distributed Systems' (Wiesmann et al., ICDCS 2000), reproduced on \
      a discrete-event simulator."
   in
-  let info = Cmd.info "replisim" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "replisim" ~version:Workload.Report.version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; trace_cmd; explain_cmd; metrics_cmd; campaign_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            trace_cmd;
+            explain_cmd;
+            metrics_cmd;
+            campaign_cmd;
+            timeline_cmd;
+            bench_check_cmd;
+          ]))

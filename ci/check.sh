@@ -32,4 +32,19 @@ dune exec bin/replisim.exe -- campaign --scenario crash-recover \
 echo "== message-cost matrix =="
 dune exec bin/replisim.exe -- explain --check --format csv
 
+# Resource-timeline smoke: sample two techniques through the
+# partition-heal scenario; --check exits non-zero if any saturation
+# finding falls outside a fault window or the group-stack backlog fails
+# to grow during the partition and drain after the heal.
+echo "== timeline smoke =="
+dune exec bin/replisim.exe -- timeline -t active --check
+dune exec bin/replisim.exe -- timeline -t eager-ue-locking --check
+
+# Machine-readable bench output: two fast experiments, then validate
+# every BENCH_*.json against the schema.
+echo "== bench output schema =="
+dune exec bench/main.exe -- perf1 > /dev/null
+dune exec bench/main.exe -- perf13 > /dev/null
+dune exec bin/replisim.exe -- bench-check BENCH_perf*.json
+
 echo "== ci: OK =="

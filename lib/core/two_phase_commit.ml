@@ -128,6 +128,14 @@ let create_group net ~nodes ?rto ?passthrough ?participant_timeout ~vote ~learn
           prepared = Hashtbl.create 16;
         }
       in
+      (match Network.timeseries net with
+      | Some ts ->
+          (* In-doubt is healthy only for the round trip between vote
+             and decision; a Window series so overruns are findings. *)
+          Timeseries.register ts ~name:"tpc_in_doubt" ~replica:me
+            ~kind:Timeseries.Window ~unit_:"transactions" (fun () ->
+              float_of_int (Hashtbl.length t.prepared))
+      | None -> ());
       Group.Rchan.on_deliver t.chan (fun ~src msg ->
           ignore src;
           handle_msg group t msg);

@@ -153,6 +153,12 @@ let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
           opt_delivered_rev = [];
         }
       in
+      (match Network.timeseries net with
+      | Some ts ->
+          Timeseries.register ts ~name:"abcast_pending" ~replica:me
+            ~kind:Timeseries.Queue ~unit_:"messages" (fun () ->
+              float_of_int (Hashtbl.length t.pending))
+      | None -> ());
       Rchan.on_deliver t.chan (fun ~src msg ->
           ignore src;
           match msg with

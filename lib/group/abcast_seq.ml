@@ -330,6 +330,18 @@ let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
           opt_delivered_rev = [];
         }
       in
+      (match Network.timeseries net with
+      | Some ts ->
+          Timeseries.register ts ~name:"abcast_pending" ~replica:me
+            ~kind:Timeseries.Queue ~unit_:"messages" (fun () ->
+              float_of_int (Hashtbl.length t.pending));
+          Timeseries.register ts ~name:"abcast_undelivered" ~replica:me
+            ~kind:Timeseries.Queue ~unit_:"messages" (fun () ->
+              float_of_int
+                (Hashtbl.fold
+                   (fun seq _ acc -> if seq >= t.next_deliver then acc + 1 else acc)
+                   t.slots 0))
+      | None -> ());
       Rchan.on_deliver t.chan (fun ~src msg ->
           ignore src;
           handle_msg t msg);

@@ -275,6 +275,16 @@ struct
             decide_cbs = [];
           }
         in
+        (match Network.timeseries net with
+        | Some ts ->
+            Timeseries.register ts ~name:"consensus_open" ~replica:me
+              ~kind:Timeseries.Queue ~unit_:"instances" (fun () ->
+                float_of_int
+                  (Hashtbl.fold
+                     (fun _ inst acc ->
+                       if inst.decided = None then acc + 1 else acc)
+                     t.insts 0))
+        | None -> ());
         Rchan.on_deliver t.chan (fun ~src msg ->
             ignore src;
             handle_msg t msg);

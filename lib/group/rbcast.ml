@@ -59,6 +59,14 @@ let create_group net ~members ?rto ?passthrough () =
           deliver_cbs = [];
         }
       in
+      (* [seen] is a monotone dedup table, not a backlog — a Level, so
+         the queue-growth detector ignores it. *)
+      (match Network.timeseries net with
+      | Some ts ->
+          Timeseries.register ts ~name:"rbcast_seen" ~replica:me
+            ~kind:Timeseries.Level ~unit_:"messages" (fun () ->
+              float_of_int (Hashtbl.length t.seen))
+      | None -> ());
       Rchan.on_deliver chan (fun ~src msg ->
           ignore src;
           match msg with

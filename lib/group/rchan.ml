@@ -81,6 +81,12 @@ let create_group net ~nodes ?(rto = Simtime.of_ms 10) ?(max_retries = 100)
           deliver_cbs = [];
         }
       in
+      (match Network.timeseries net with
+      | Some ts ->
+          Timeseries.register ts ~name:"rchan_unacked" ~replica:me
+            ~kind:Timeseries.Queue ~unit_:"messages" (fun () ->
+              float_of_int (Hashtbl.length t.unacked))
+      | None -> ());
       Network.add_handler net me (fun ~src msg ->
           match msg with
           | Data { gid = g; src = origin; seq; payload } when g = gid ->

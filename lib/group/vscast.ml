@@ -365,6 +365,17 @@ let create_group net ~members ?fd ?rto ?passthrough () =
           view_cbs = [];
         }
       in
+      (match Network.timeseries net with
+      | Some ts ->
+          Timeseries.register ts ~name:"vscast_view" ~replica:me
+            ~kind:Timeseries.Level ~unit_:"view" (fun () -> float_of_int t.view.View.id);
+          Timeseries.register ts ~name:"vscast_flushing" ~replica:me
+            ~kind:Timeseries.Flag ~unit_:"bool" (fun () ->
+              if t.proposed_for > t.view.View.id || t.joining then 1. else 0.);
+          Timeseries.register ts ~name:"vscast_buffered" ~replica:me
+            ~kind:Timeseries.Queue ~unit_:"messages" (fun () ->
+              float_of_int (Hashtbl.length t.buffered))
+      | None -> ());
       Rchan.on_deliver t.chan (fun ~src msg ->
           ignore src;
           handle_msg t msg);

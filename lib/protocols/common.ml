@@ -92,6 +92,19 @@ let make net ~replicas ~clients =
   List.iter
     (fun r -> Hashtbl.replace ctx.stores r (Store.Kv.create ()))
     replicas;
+  (match Network.timeseries net with
+  | Some ts ->
+      Timeseries.register ts ~name:"active_txns" ~replica:(-1)
+        ~kind:Timeseries.Queue ~unit_:"transactions" (fun () ->
+          float_of_int (Hashtbl.length ctx.reply_cbs));
+      List.iter
+        (fun r ->
+          let kv = Hashtbl.find ctx.stores r in
+          Timeseries.register ts ~name:"kv_size" ~replica:r
+            ~kind:Timeseries.Level ~unit_:"keys" (fun () ->
+              float_of_int (List.length (Store.Kv.keys kv))))
+        replicas
+  | None -> ());
   List.iter
     (fun client ->
       Network.add_handler net client (fun ~src msg ->

@@ -398,6 +398,15 @@ let create net ~replicas ~clients ?(config = default_config) () =
         }
       in
       Hashtbl.replace states r st;
+      (match Network.timeseries net with
+      | Some ts ->
+          Timeseries.register ts ~name:"lock_held" ~replica:r
+            ~kind:Timeseries.Level ~unit_:"locks" (fun () ->
+              float_of_int (Store.Lock_table.held_count st.locks));
+          Timeseries.register ts ~name:"lock_waiters" ~replica:r
+            ~kind:Timeseries.Waiters ~unit_:"requests" (fun () ->
+              float_of_int (Store.Lock_table.waiting_count st.locks))
+      | None -> ());
       (* Rejoin after a crash: the copy is stale and any pre-crash
          transaction context is dead (its delegates aborted or committed
          without us long ago). Drop that context, stop serving, and ask a

@@ -194,6 +194,22 @@ let quantile (h : hist_snapshot) q =
 let mean (h : hist_snapshot) =
   if h.count = 0 then 0. else h.sum /. float_of_int h.count
 
+(* Histogram snapshots render through the shared summary record so the
+   quantile set (and the count=0 sentinel) matches Workload.Stats. *)
+let hist_summary (h : hist_snapshot) =
+  if h.count = 0 then Summary.empty
+  else
+    {
+      Summary.count = h.count;
+      mean = mean h;
+      p50 = quantile h 0.5;
+      p90 = quantile h 0.9;
+      p95 = quantile h 0.95;
+      p99 = quantile h 0.99;
+      min = h.min;
+      max = h.max;
+    }
+
 (* Rendering -------------------------------------------------------- *)
 
 let labels_to_string labels =
@@ -210,11 +226,11 @@ let pp_sample ppf s =
   | Counter_v c -> Format.fprintf ppf "%-48s %d" name c
   | Gauge_v g -> Format.fprintf ppf "%-48s %g" name g
   | Histogram_v h ->
+      let s = hist_summary h in
       Format.fprintf ppf
         "%-48s count=%d mean=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f"
-        name h.count (mean h) (quantile h 0.5) (quantile h 0.9)
-        (quantile h 0.95) (quantile h 0.99)
-        (if h.count = 0 then 0. else h.max)
+        name s.Summary.count s.Summary.mean s.Summary.p50 s.Summary.p90
+        s.Summary.p95 s.Summary.p99 s.Summary.max
 
 let pp_snapshot ppf snap =
   List.iter (fun s -> Format.fprintf ppf "%a@." pp_sample s) snap
@@ -252,15 +268,13 @@ let sample_to_json s =
     | Counter_v c -> Printf.sprintf "\"type\":\"counter\",\"value\":%d" c
     | Gauge_v g -> Printf.sprintf "\"type\":\"gauge\",\"value\":%s" (json_float g)
     | Histogram_v h ->
+        let s = hist_summary h in
         Printf.sprintf
           "\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p95\":%s,\"p99\":%s"
-          h.count (json_float h.sum)
-          (json_float (if h.count = 0 then 0. else h.min))
-          (json_float (if h.count = 0 then 0. else h.max))
-          (json_float (quantile h 0.5))
-          (json_float (quantile h 0.9))
-          (json_float (quantile h 0.95))
-          (json_float (quantile h 0.99))
+          s.Summary.count (json_float h.sum)
+          (json_float s.Summary.min) (json_float s.Summary.max)
+          (json_float s.Summary.p50) (json_float s.Summary.p90)
+          (json_float s.Summary.p95) (json_float s.Summary.p99)
   in
   Printf.sprintf "{\"metric\":\"%s\",\"labels\":{%s},%s}" (json_escape s.metric)
     labels value

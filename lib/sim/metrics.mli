@@ -57,6 +57,10 @@ val quantile : hist_snapshot -> float -> float
 
 val mean : hist_snapshot -> float
 
+(** Render a histogram snapshot as the shared {!Summary.t} record
+    (bucket-edge quantiles; {!Summary.empty} when [count = 0]). *)
+val hist_summary : hist_snapshot -> Summary.t
+
 val pp_sample : Format.formatter -> sample -> unit
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
@@ -64,3 +68,7 @@ val pp_snapshot : Format.formatter -> snapshot -> unit
 val snapshot_to_json : snapshot -> string
 
 val json_escape : string -> string
+
+(** Compact float rendering for JSON: integer-valued floats print as
+    ["N.0"], others as [%.6g]. *)
+val json_float : float -> string

@@ -28,6 +28,9 @@ type t = {
   mutable drop_probability : float;
   mutable msg_spans : Span.t option;
       (** collector for per-message spans; [None] = don't record *)
+  mutable timeseries : Timeseries.t option;
+      (** sampler resource gauges register into; [None] = don't sample *)
+  in_flight : int array;  (** scheduled-not-yet-delivered, per destination *)
   handlers : handler list array;  (** most recent first *)
   link_latency : (int * int, latency) Hashtbl.t;  (** per-link overrides *)
   alive : bool array;
@@ -49,6 +52,8 @@ let create engine ~n (config : config) =
     latency = config.latency;
     drop_probability = config.drop_probability;
     msg_spans = None;
+    timeseries = None;
+    in_flight = Array.make n 0;
     handlers = Array.make n [];
     link_latency = Hashtbl.create 8;
     alive = Array.make n true;
@@ -66,6 +71,22 @@ let engine t = t.engine
 let size t = t.n
 let rng t = t.rng
 let set_msg_spans t spans = t.msg_spans <- Some spans
+let timeseries t = t.timeseries
+
+(* Installing a sampler also registers the network's own gauges: the
+   per-endpoint in-flight message count and the running drop total.
+   Subsystems built afterwards find the sampler via [timeseries] and
+   register their queues themselves. *)
+let set_timeseries t ts =
+  t.timeseries <- Some ts;
+  for dst = 0 to t.n - 1 do
+    Timeseries.register ts ~name:"net_in_flight" ~replica:dst
+      ~kind:Timeseries.Queue ~unit_:"messages" (fun () ->
+        float_of_int t.in_flight.(dst))
+  done;
+  Timeseries.register ts ~name:"net_dropped_total" ~replica:(-1)
+    ~kind:Timeseries.Level ~unit_:"messages" (fun () ->
+      float_of_int (t.drop_loss + t.drop_crashed + t.drop_partitioned))
 let add_handler t node h = t.handlers.(node) <- h :: t.handlers.(node)
 let alive t node = t.alive.(node)
 
@@ -168,8 +189,10 @@ let send t ~src ~dst msg =
     end
     else begin
       let delay = if src = dst then Simtime.zero else draw_latency t ~src ~dst in
+      t.in_flight.(dst) <- t.in_flight.(dst) + 1;
       ignore
         (Engine.schedule t.engine ~after:delay (fun () ->
+             t.in_flight.(dst) <- t.in_flight.(dst) - 1;
              deliver t ~src ~dst ~span msg))
     end
   end

@@ -48,6 +48,14 @@ val rng : t -> Rng.t
     message spans and phase spans share one id space). *)
 val set_msg_spans : t -> Span.t -> unit
 
+(** Install a {!Timeseries} sampler. The network registers its own
+    gauges immediately ([net_in_flight] per endpoint, the
+    [net_dropped_total] level); subsystems created afterwards discover
+    the sampler via {!timeseries} and register theirs. *)
+val set_timeseries : t -> Timeseries.t -> unit
+
+val timeseries : t -> Timeseries.t option
+
 (** [add_handler t node h] pushes [h] on top of [node]'s handler stack. *)
 val add_handler : t -> int -> handler -> unit
 

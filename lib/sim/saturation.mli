@@ -1,0 +1,31 @@
+(** Saturation/anomaly detectors over sampled {!Timeseries}.
+
+    One detector per gauge kind: sustained queue growth ([Queue]),
+    lock-waiter convoys ([Waiters]) and over-long in-doubt windows
+    ([Window]). [Level]/[Flag] series are informational only. *)
+
+type config = {
+  queue_min_run : int;  (** Samples a queue must keep (non-strictly) growing. *)
+  queue_min_rise : float;  (** Net rise the run must accumulate. *)
+  waiters_threshold : float;  (** Waiter count that counts as a convoy. *)
+  waiters_min_run : int;  (** Consecutive samples at/above the threshold. *)
+  window_max : Simtime.t;  (** Longest healthy positive window. *)
+}
+
+val default : config
+
+type finding = {
+  detector : string;  (** ["queue_growth" | "waiter_convoy" | "window_overrun"]. *)
+  metric : string;
+  replica : int;
+  at : Simtime.t;  (** Start of the offending run. *)
+  until : Simtime.t;  (** Last sample of the run. *)
+  peak : float;
+  detail : string;
+}
+
+(** Findings across all series, in (series, time) order. *)
+val analyze : ?config:config -> Timeseries.series list -> finding list
+
+val finding_to_json : finding -> string
+val pp_finding : Format.formatter -> finding -> unit

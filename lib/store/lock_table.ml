@@ -157,6 +157,9 @@ let holders t key =
 let waiting_count t =
   Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.entries 0
 
+let held_count t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.holders) t.entries 0
+
 let active_txns t =
   Hashtbl.fold
     (fun _ e acc ->

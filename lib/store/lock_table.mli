@@ -34,5 +34,8 @@ val holders : t -> Operation.key -> (int * mode) list
 (** Number of requests currently waiting (for tests/stats). *)
 val waiting_count : t -> int
 
+(** Total (txn, key) locks currently held, over all keys. *)
+val held_count : t -> int
+
 (** All transactions currently holding or awaiting at least one lock. *)
 val active_txns : t -> int list

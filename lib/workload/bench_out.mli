@@ -1,0 +1,48 @@
+(** Machine-readable bench results.
+
+    Each perf* experiment accumulates (metric, technique, params, value)
+    rows and writes [BENCH_<name>.json]:
+
+    {v
+    {"type":"bench","version":"1.1.0","bench":"perf1","seed":11,
+     "n_replicas":3,
+     "results":[{"metric":"latency_mean","technique":"active",
+                 "unit":"ms","params":{"n":"3"},"value":4.2}, ...]}
+    v}
+
+    The schema checker used by [replisim bench-check] lives here too
+    (with a minimal JSON parser — no external JSON dependency). *)
+
+type t
+
+val create : bench:string -> seed:int -> n_replicas:int -> t
+
+val add :
+  t ->
+  metric:string ->
+  technique:string ->
+  ?unit_:string ->
+  ?params:(string * string) list ->
+  float ->
+  unit
+
+val to_json : t -> string
+val filename : t -> string
+
+(** Write [BENCH_<bench>.json] into [dir] (default ["."]); returns the
+    path. *)
+val write : ?dir:string -> t -> string
+
+(** {2 Validation} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+val validate_json : json -> (unit, string) result
+val validate_file : string -> (unit, string) result

@@ -1,3 +1,21 @@
+(* Tool version, stamped into every machine-readable export. *)
+let version = "1.1.0"
+
+(* Every JSONL export (run, campaign, metrics, explain, timeline) opens
+   with this header record so a file is self-describing: which tool
+   version, seed and cluster shape produced it. *)
+let header_json ?(extra = []) ~seed ~technique ~n_replicas () =
+  let extra =
+    extra
+    |> List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" (Sim.Metrics.json_escape k) v)
+    |> String.concat ""
+  in
+  Printf.sprintf
+    "{\"type\":\"header\",\"version\":\"%s\",\"seed\":%d,\"technique\":\"%s\",\"n_replicas\":%d%s}"
+    version seed
+    (Sim.Metrics.json_escape technique)
+    n_replicas extra
+
 (* RFC 4180-style quoting: labels like "active,n=3,upd=0.5" must not
    break the column count, so any field containing a comma, quote or
    newline is wrapped in double quotes with inner quotes doubled. *)

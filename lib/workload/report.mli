@@ -1,6 +1,16 @@
 (** CSV export of experiment results, for plotting the performance-study
     figures outside the harness. *)
 
+(** Tool version stamped into machine-readable exports. *)
+val version : string
+
+(** The common JSONL header record ([{"type":"header",...}]) every
+    machine-readable export opens with. [extra] appends pre-rendered
+    JSON values under additional keys. *)
+val header_json :
+  ?extra:(string * string) list ->
+  seed:int -> technique:string -> n_replicas:int -> unit -> string
+
 (** Quote a field RFC 4180-style when it contains a comma, double quote
     or newline (inner quotes doubled). *)
 val csv_escape : string -> string

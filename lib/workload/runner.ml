@@ -35,16 +35,25 @@ type result = {
   dropped_loss : int;
   dropped_crashed : int;
   dropped_partitioned : int;
+  series : Timeseries.series list;
 }
 
 let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
     ?(net = Network.default_config) ?tune ?(arrival = `Closed)
     ?(failures = []) ?(partitions = []) ?(deadline = Simtime.of_sec 120.)
-    ~spec factory =
+    ?sample ~spec factory =
   let engine = Engine.create ~seed () in
   let network = Network.create engine ~n:(n_replicas + n_clients) net in
   let replicas = List.init n_replicas Fun.id in
   let clients = List.init n_clients (fun i -> n_replicas + i) in
+  (* The sampler must exist before the factory runs: subsystems register
+     their gauges at creation time via [Network.timeseries]. *)
+  let sampler =
+    match sample with
+    | Some interval -> Some (Timeseries.create ~interval engine)
+    | None -> None
+  in
+  Option.iter (Network.set_timeseries network) sampler;
   (match tune with Some f -> f network ~replicas ~clients | None -> ());
   let inst = factory network ~replicas ~clients in
   List.iter
@@ -209,14 +218,15 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       dropped_loss = Network.dropped_loss network;
       dropped_crashed = Network.dropped_crashed network;
       dropped_partitioned = Network.dropped_partitioned network;
+      series = (match sampler with Some ts -> Timeseries.series ts | None -> []);
     },
     inst )
 
 let run ?seed ?n_replicas ?n_clients ?net ?tune ?arrival ?failures ?partitions
-    ?deadline ~spec factory =
+    ?deadline ?sample ~spec factory =
   fst
     (run_with_instance ?seed ?n_replicas ?n_clients ?net ?tune ?arrival
-       ?failures ?partitions ?deadline ~spec factory)
+       ?failures ?partitions ?deadline ?sample ~spec factory)
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -61,6 +61,9 @@ type result = {
   dropped_loss : int;  (** dropped by the link-loss coin flip *)
   dropped_crashed : int;  (** dropped because an endpoint was crashed *)
   dropped_partitioned : int;  (** dropped at a partition boundary *)
+  series : Sim.Timeseries.series list;
+      (** sampled resource time-series — empty unless [?sample] was
+          given *)
 }
 
 val run :
@@ -73,6 +76,7 @@ val run :
   ?failures:failure list ->
   ?partitions:partition list ->
   ?deadline:Sim.Simtime.t ->
+  ?sample:Sim.Simtime.t ->
   spec:Spec.t ->
   factory ->
   result
@@ -90,6 +94,7 @@ val run_with_instance :
   ?failures:failure list ->
   ?partitions:partition list ->
   ?deadline:Sim.Simtime.t ->
+  ?sample:Sim.Simtime.t ->
   spec:Spec.t ->
   factory ->
   result * Core.Technique.instance

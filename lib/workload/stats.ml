@@ -1,6 +1,8 @@
-(** Latency/throughput statistics for the benchmark harness. *)
+(* Latency/throughput statistics for the benchmark harness — a re-export
+   of the shared {!Sim.Summary} implementation, kept as a module so the
+   harness-facing name stays [Workload.Stats]. *)
 
-type summary = {
+type summary = Sim.Summary.t = {
   count : int;
   mean : float;
   p50 : float;
@@ -11,51 +13,13 @@ type summary = {
   max : float;
 }
 
-let empty_summary =
-  {
-    count = 0;
-    mean = 0.;
-    p50 = 0.;
-    p90 = 0.;
-    p95 = 0.;
-    p99 = 0.;
-    min = 0.;
-    max = 0.;
-  }
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else
-    let idx = int_of_float (p *. float_of_int (n - 1)) in
-    sorted.(idx)
-
-let summarize values =
-  match values with
-  | [] -> empty_summary
-  | _ ->
-      let sorted = Array.of_list values in
-      Array.sort compare sorted;
-      let n = Array.length sorted in
-      let total = Array.fold_left ( +. ) 0. sorted in
-      {
-        count = n;
-        mean = total /. float_of_int n;
-        p50 = percentile sorted 0.5;
-        p90 = percentile sorted 0.9;
-        p95 = percentile sorted 0.95;
-        p99 = percentile sorted 0.99;
-        min = sorted.(0);
-        max = sorted.(n - 1);
-      }
+let empty_summary = Sim.Summary.empty
+let percentile = Sim.Summary.percentile
+let summarize = Sim.Summary.summarize
 
 type recorder = { mutable rev_values : float list }
 
 let recorder () = { rev_values = [] }
 let record r v = r.rev_values <- v :: r.rev_values
 let summary r = summarize r.rev_values
-
-let pp_summary ppf s =
-  Format.fprintf ppf
-    "n=%d mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f" s.count
-    s.mean s.p50 s.p90 s.p95 s.p99 s.max
+let pp_summary = Sim.Summary.pp

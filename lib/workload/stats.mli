@@ -1,6 +1,11 @@
-(** Latency/throughput statistics for the benchmark harness. *)
+(** Latency/throughput statistics for the benchmark harness.
 
-type summary = {
+    The summary record and percentile arithmetic live in {!Sim.Summary};
+    this module re-exports them (the record equation makes the fields
+    accessible under [Workload.Stats]) and adds the incremental
+    recorder the runner feeds response times into. *)
+
+type summary = Sim.Summary.t = {
   count : int;
   mean : float;
   p50 : float;
@@ -11,9 +16,14 @@ type summary = {
   max : float;
 }
 
+(** The [count = 0] sentinel (all statistics [0.]). *)
 val empty_summary : summary
 
-(** Summarise a batch of samples (order-independent). *)
+(** Nearest-rank quantile of a sorted array, clamped to the ends. *)
+val percentile : float array -> float -> float
+
+(** Summarise a batch of samples (order-independent). Empty input yields
+    {!empty_summary}; a single sample is every quantile of itself. *)
 val summarize : float list -> summary
 
 (** Incremental recorder. *)
