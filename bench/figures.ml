@@ -324,7 +324,9 @@ let fig14 () =
    that exercises its distinctive path. *)
 let observed_signatures () =
   List.map
-    (fun ((key, (info : Core.Technique.info), _) : string * _ * _) ->
+    (fun (e : Protocols.Registry.entry) ->
+      let key = e.key in
+      let info = e.info in
       let factory =
         match key with
         | "active" -> active

@@ -12,82 +12,22 @@ let section title =
   Fmt.pr "%s@." title;
   hr ()
 
-(* Passthrough factories: wire traffic == protocol message pattern. *)
+(* Passthrough factories: wire traffic == protocol message pattern.
+   Every technique declares "passthrough" in its schema, so the whole
+   sweep comes off the registry instead of ten hand-written configs. *)
 let techniques : (string * Workload.Runner.factory) list =
-  [
-    ( "active",
-      fun net ~replicas ~clients ->
-        Protocols.Active.create net ~replicas ~clients
-          ~config:{ Protocols.Active.default_config with passthrough = true }
-          () );
-    ( "passive",
-      fun net ~replicas ~clients ->
-        Protocols.Passive.create net ~replicas ~clients
-          ~config:{ Protocols.Passive.default_config with passthrough = true }
-          () );
-    ( "semi-active",
-      fun net ~replicas ~clients ->
-        Protocols.Semi_active.create net ~replicas ~clients
-          ~config:
-            { Protocols.Semi_active.default_config with passthrough = true }
-          () );
-    ( "semi-passive",
-      fun net ~replicas ~clients ->
-        Protocols.Semi_passive.create net ~replicas ~clients
-          ~config:{ Protocols.Semi_passive.passthrough = true }
-          () );
-    ( "eager-primary",
-      fun net ~replicas ~clients ->
-        Protocols.Eager_primary.create net ~replicas ~clients
-          ~config:
-            { Protocols.Eager_primary.default_config with passthrough = true }
-          () );
-    ( "eager-ue-locking",
-      fun net ~replicas ~clients ->
-        Protocols.Eager_ue_locking.create net ~replicas ~clients
-          ~config:
-            {
-              Protocols.Eager_ue_locking.default_config with
-              passthrough = true;
-            }
-          () );
-    ( "eager-ue-abcast",
-      fun net ~replicas ~clients ->
-        Protocols.Eager_ue_abcast.create net ~replicas ~clients
-          ~config:
-            {
-              Protocols.Eager_ue_abcast.default_config with
-              passthrough = true;
-            }
-          () );
-    ( "lazy-primary",
-      fun net ~replicas ~clients ->
-        Protocols.Lazy_primary.create net ~replicas ~clients
-          ~config:
-            { Protocols.Lazy_primary.default_config with passthrough = true }
-          () );
-    ( "lazy-ue",
-      fun net ~replicas ~clients ->
-        Protocols.Lazy_ue.create net ~replicas ~clients
-          ~config:{ Protocols.Lazy_ue.default_config with passthrough = true }
-          () );
-    ( "certification",
-      fun net ~replicas ~clients ->
-        Protocols.Certification_based.create net ~replicas ~clients
-          ~config:
-            {
-              Protocols.Certification_based.default_config with
-              passthrough = true;
-            }
-          () );
-  ]
+  List.map
+    (fun (e : Protocols.Registry.entry) ->
+      (e.key, Protocols.Registry.configure_exn e [ ("passthrough", "true") ]))
+    Protocols.Registry.all
 
 let technique name = List.assoc name techniques
 
 (* Machine-readable results: each perf* writes BENCH_perfN.json next to
    its printed table (same numbers, schema-checked by
    [replisim bench-check]). *)
-let bench_out name = Workload.Bench_out.create ~bench:name ~seed:11 ~n_replicas:3
+let bench_out ?config name =
+  Workload.Bench_out.create ?config ~bench:name ~seed:11 ~n_replicas:3 ()
 
 let abort_pct (result : Workload.Runner.result) =
   let total = result.Workload.Runner.committed + result.Workload.Runner.aborted in
@@ -546,7 +486,7 @@ let phase_breakdown () =
 
 let registry_factory name =
   match Protocols.Registry.find name with
-  | Some (_, _, factory) -> factory
+  | Some entry -> Protocols.Registry.default_factory entry
   | None -> invalid_arg name
 
 let crash_recovery_windows () =
@@ -985,6 +925,99 @@ let resource_trajectory () =
      ordered-execution techniques as group-stack queue depth.@.";
   ignore (Workload.Bench_out.write out)
 
+(* --- perf14: sequencer batching — batch window vs offered load --------- *)
+
+(* The batching trade-off: a wider sequencer batch window amortises one
+   ordering round (one Order + one all-to-all ack wave) over every
+   request that arrives inside the window, cutting wire messages per
+   transaction at saturating load, at the price of up to one window of
+   added latency per request. batch_window=0 is the unbatched §5
+   protocol. *)
+let batching () =
+  section
+    "perf14 — Sequencer batching: wire messages per txn and mean latency \
+     vs batch window under open-loop (Poisson) load (n=3, 4 clients, 100% \
+     updates, passthrough)";
+  let windows_ms = [ 0; 1; 5; 20 ] in
+  let rates = [ 100.; 1000. ] in
+  let out = bench_out ~config:[ ("passthrough", "true") ] "perf14" in
+  let spec =
+    {
+      Workload.Spec.default with
+      update_ratio = 1.0;
+      txns_per_client = 60;
+      n_keys = 200;
+    }
+  in
+  (* msgs/txn at (technique, window, rate), for the closing verdict *)
+  let recorded = Hashtbl.create 16 in
+  Fmt.pr "%-18s %10s %8s %10s %10s %8s@." "technique" "window" "rate"
+    "msgs/txn" "lat(ms)" "abort%";
+  List.iter
+    (fun name ->
+      let entry = Option.get (Protocols.Registry.find name) in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun rate ->
+              let factory =
+                Protocols.Registry.configure_exn entry
+                  [
+                    ("passthrough", "true");
+                    ("batch_window", Printf.sprintf "%dms" w);
+                  ]
+              in
+              let builder =
+                Workload.Builder.make ~clients:4 ~spec
+                  ~arrival:(`Poisson rate) ~deadline:(Simtime.of_sec 8.) ()
+              in
+              let result = Workload.Builder.run builder factory in
+              let params =
+                [
+                  ("batch_window_ms", string_of_int w);
+                  ("rate", Printf.sprintf "%.0f" rate);
+                ]
+              in
+              Hashtbl.replace recorded (name, w, rate)
+                result.Workload.Runner.messages_per_txn;
+              Workload.Bench_out.add out ~metric:"messages_per_txn"
+                ~technique:name ~unit_:"msgs" ~params
+                result.Workload.Runner.messages_per_txn;
+              Workload.Bench_out.add out ~metric:"latency_mean"
+                ~technique:name ~unit_:"ms" ~params
+                result.Workload.Runner.latency_ms.Workload.Stats.mean;
+              Workload.Bench_out.add out ~metric:"abort_pct" ~technique:name
+                ~unit_:"%" ~params (abort_pct result);
+              Fmt.pr "%-18s %8dms %8.0f %10.1f %10.1f %8.0f@." name w rate
+                result.Workload.Runner.messages_per_txn
+                result.Workload.Runner.latency_ms.Workload.Stats.mean
+                (abort_pct result))
+            rates)
+        windows_ms)
+    [ "active"; "certification" ];
+  let saturating = List.fold_left Float.max 0. rates in
+  List.iter
+    (fun name ->
+      match
+        ( Hashtbl.find_opt recorded (name, 0, saturating),
+          Hashtbl.find_opt recorded (name, 5, saturating) )
+      with
+      | Some unbatched, Some batched ->
+          Fmt.pr
+            "@.verdict: %s at %.0f/s: %.1f msgs/txn unbatched vs %.1f with \
+             a 5ms window (%s)@."
+            name saturating unbatched batched
+            (if batched < unbatched then "batching wins"
+             else "batching does not pay here")
+      | _ -> ())
+    [ "active"; "certification" ];
+  Fmt.pr
+    "@.Reading: at saturating load many requests land inside one window,@.\
+     so the ordering round (Order + all-to-all acks) is paid once per@.\
+     batch instead of once per transaction; at low load the window mostly@.\
+     holds a single request and only adds its width to the latency.@.";
+  ignore (Workload.Bench_out.write out)
+
 let all =
   [
     ("perf1", latency_vs_replicas);
@@ -1000,4 +1033,5 @@ let all =
     ("perf11", partitions);
     ("perf12", tail_latency);
     ("perf13", resource_trajectory);
+    ("perf14", batching);
   ]

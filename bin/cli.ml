@@ -1,0 +1,233 @@
+(* Shared Cmdliner vocabulary for replisim's subcommands: the technique
+   and fault-event converters, the workload flags (seed, replicas,
+   clients, txns, ...) that run/metrics/campaign/timeline all accept,
+   and the --set/--config technique-configuration pipeline. Each
+   subcommand composes these terms, so a flag means the same thing (and
+   has the same default) everywhere it appears, while --help stays
+   per-subcommand. *)
+
+open Cmdliner
+
+let fail fmt = Fmt.kstr (fun msg -> Fmt.epr "replisim: %s@." msg; exit 2) fmt
+
+(* ---- technique selection -------------------------------------------- *)
+
+let technique_conv =
+  let parse s =
+    Protocols.Registry.find_res s |> Result.map_error (fun m -> `Msg m)
+  in
+  let print ppf (e : Protocols.Registry.entry) =
+    Format.pp_print_string ppf e.key
+  in
+  Arg.conv (parse, print)
+
+let technique_arg =
+  Arg.(
+    required
+    & opt (some technique_conv) None
+    & info [ "t"; "technique" ] ~docv:"TECHNIQUE"
+        ~doc:
+          (Printf.sprintf "Replication technique to run. One of: %s."
+             (String.concat ", " Protocols.Registry.keys)))
+
+let technique_opt ~doc =
+  Arg.(
+    value
+    & opt (some technique_conv) None
+    & info [ "t"; "technique" ] ~docv:"TECHNIQUE"
+        ~doc:
+          (Printf.sprintf "%s One of: %s." doc
+             (String.concat ", " Protocols.Registry.keys)))
+
+(* ---- fault events ---------------------------------------------------- *)
+
+(* REPLICA@TIME events: accepts 0@100ms, 0@100 (ms) and 0@1s / 0@1.5s,
+   plus comma-separated lists (0@1s,2@3s) — used by --crash and
+   --recover. *)
+let event_conv =
+  let parse_one s =
+    match String.split_on_char '@' s with
+    | [ replica; at ] -> (
+        let time =
+          if Filename.check_suffix at "ms" then
+            Option.map Sim.Simtime.of_ms
+              (int_of_string_opt (Filename.chop_suffix at "ms"))
+          else if Filename.check_suffix at "s" then
+            Option.map Sim.Simtime.of_sec
+              (float_of_string_opt (Filename.chop_suffix at "s"))
+          else Option.map Sim.Simtime.of_ms (int_of_string_opt at)
+        in
+        match (int_of_string_opt replica, time) with
+        | Some r, _ when r < 0 ->
+            Error
+              (`Msg
+                (Printf.sprintf "replica id must be non-negative, got %d" r))
+        | Some r, Some at -> Ok (r, at)
+        | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s"))
+    | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s")
+  in
+  let parse s =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+          match parse_one item with
+          | Ok ev -> go (ev :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)
+  in
+  let print ppf events =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+      (fun ppf (replica, at) ->
+        Format.fprintf ppf "%d@%a" replica Sim.Simtime.pp at)
+      ppf events
+  in
+  Arg.conv (parse, print)
+
+let crashes_arg =
+  Arg.(
+    value & opt_all event_conv []
+    & info [ "crash" ] ~docv:"R@TIME"
+        ~doc:
+          "Crash replica R at TIME (repeatable; comma lists accepted), e.g. \
+           --crash 0@100ms or --crash 0@1s,2@3s.")
+
+let recoveries_arg =
+  Arg.(
+    value & opt_all event_conv []
+    & info [ "recover" ] ~docv:"R@TIME"
+        ~doc:
+          "Recover replica R at TIME (same syntax as $(b,--crash): \
+           repeatable, comma lists accepted, e.g. --recover 0@1s,2@3s). Each \
+           entry must pair with an earlier --crash of the same replica.")
+
+(* ---- shared workload flags ------------------------------------------- *)
+
+let seed_arg ?(default = 11) () =
+  Arg.(
+    value & opt int default
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let replicas_arg ?(default = 3) () =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
+
+let clients_arg ?(default = 4) () =
+  Arg.(
+    value & opt int default
+    & info [ "clients" ] ~docv:"M" ~doc:"Client count.")
+
+let txns_arg ?(default = 50) () =
+  Arg.(
+    value & opt int default
+    & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
+
+let updates_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "updates" ] ~docv:"RATIO" ~doc:"Fraction of update transactions.")
+
+let ops_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "ops" ] ~docv:"K" ~doc:"Operations per transaction.")
+
+let keys_arg =
+  Arg.(value & opt int 100 & info [ "keys" ] ~docv:"K" ~doc:"Database size.")
+
+let skew_arg =
+  Arg.(
+    value & opt float 0.6
+    & info [ "skew" ] ~docv:"THETA" ~doc:"Zipfian access skew (0 = uniform).")
+
+(* ---- technique configuration (--set / --config) ---------------------- *)
+
+let directive_conv =
+  let parse s =
+    Protocols.Config.parse_directive s |> Result.map_error (fun m -> `Msg m)
+  in
+  let print ppf d =
+    Format.pp_print_string ppf (Protocols.Config.directive_to_string d)
+  in
+  Arg.conv (parse, print)
+
+let set_args =
+  Arg.(
+    value
+    & opt_all directive_conv []
+    & info [ "set" ] ~docv:"TECH.KEY=VALUE"
+        ~doc:
+          "Override one technique parameter, e.g. $(b,--set \
+           certification.abcast_impl=consensus) or $(b,--set \
+           active.batch_window=5ms). Repeatable; see $(b,replisim config) \
+           for the per-technique keys.")
+
+let config_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:
+          "Read TECH.KEY=VALUE directives from FILE (one per line, '#' \
+           comments); $(b,--set) flags override the file.")
+
+(* A directive naming an unknown technique or an unknown key would
+   otherwise be silently ignored by techniques it doesn't apply to, so
+   every directive is validated against the registry up front. *)
+let validate_directive (d : Protocols.Config.directive) =
+  match Protocols.Registry.find_res d.technique with
+  | Error msg -> Error (Printf.sprintf "--set %s: %s" (Protocols.Config.directive_to_string d) msg)
+  | Ok entry -> (
+      match Protocols.Config.find_key entry.schema d.key with
+      | Some _ -> Ok ()
+      | None ->
+          Error
+            (Printf.sprintf "--set %s: unknown config key %S for %s (valid keys: %s)"
+               (Protocols.Config.directive_to_string d)
+               d.key entry.key
+               (String.concat ", " (Protocols.Config.keys entry.schema))))
+
+(* File directives first, --set flags after, so the flags win when both
+   bind the same key. *)
+let directives_term =
+  let combine file sets =
+    let file_directives =
+      match file with
+      | None -> Ok []
+      | Some path -> Protocols.Config.parse_file path
+    in
+    match file_directives with
+    | Error msg -> Error msg
+    | Ok from_file -> (
+        let directives = from_file @ sets in
+        match
+          List.fold_left
+            (fun acc d ->
+              match acc with
+              | Error _ as e -> e
+              | Ok () -> validate_directive d)
+            (Ok ()) directives
+        with
+        | Error msg -> Error msg
+        | Ok () -> Ok directives)
+  in
+  Term.(term_result' (const combine $ config_file_arg $ set_args))
+
+(* The resolved configuration of [entry] under [directives] plus its
+   constructor. Directives were validated at parse time, so a failure
+   here is a programming error. *)
+let resolve (entry : Protocols.Registry.entry) directives =
+  let pairs = Protocols.Config.pairs_for ~technique:entry.key directives in
+  match Protocols.Registry.configure entry pairs with
+  | Ok (cfg, factory) -> (cfg, factory)
+  | Error msg -> fail "%s" msg
+
+(* Header [config] pairs: only the non-default bindings, so an export of
+   a default run stays byte-identical to pre-configuration versions. *)
+let config_pairs (entry : Protocols.Registry.entry) (cfg : Protocols.Config.t) =
+  let defaults = Protocols.Registry.default_config entry in
+  List.filter
+    (fun (k, v) -> List.assoc_opt k (Protocols.Config.to_strings defaults) <> Some v)
+    (Protocols.Config.to_strings cfg)

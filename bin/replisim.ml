@@ -2,115 +2,17 @@
    configurable workload on the simulated cluster.
 
      replisim list
+     replisim config active
      replisim run -t eager-ue-abcast -n 5 --clients 4 --updates 0.8
-     replisim run -t passive --crash 0@100ms
+     replisim run -t certification --set certification.abcast_impl=consensus
+     replisim run -t active --set active.batch_window=5ms
      replisim trace -t active
-*)
+
+   The shared argument vocabulary (technique/event converters, workload
+   flags, --set/--config resolution) lives in Cli; the run plumbing in
+   Workload.Builder. *)
 
 open Cmdliner
-
-let technique_conv =
-  let parse s =
-    match Protocols.Registry.find s with
-    | Some entry -> Ok entry
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown technique %S (try: %s)" s
-               (String.concat " " Protocols.Registry.keys)))
-  in
-  let print ppf (key, _, _) = Format.pp_print_string ppf key in
-  Arg.conv (parse, print)
-
-let technique_arg =
-  Arg.(
-    required
-    & opt (some technique_conv) None
-    & info [ "t"; "technique" ] ~docv:"TECHNIQUE"
-        ~doc:
-          (Printf.sprintf "Replication technique to run. One of: %s."
-             (String.concat ", " Protocols.Registry.keys)))
-
-(* REPLICA@TIME events: accepts 0@100ms, 0@100 (ms) and 0@1s / 0@1.5s,
-   plus comma-separated lists (0@1s,2@3s) — used by --crash and
-   --recover. *)
-let event_conv =
-  let parse_one s =
-    match String.split_on_char '@' s with
-    | [ replica; at ] -> (
-        let time =
-          if Filename.check_suffix at "ms" then
-            Option.map Sim.Simtime.of_ms
-              (int_of_string_opt (Filename.chop_suffix at "ms"))
-          else if Filename.check_suffix at "s" then
-            Option.map Sim.Simtime.of_sec
-              (float_of_string_opt (Filename.chop_suffix at "s"))
-          else Option.map Sim.Simtime.of_ms (int_of_string_opt at)
-        in
-        match (int_of_string_opt replica, time) with
-        | Some r, _ when r < 0 ->
-            Error
-              (`Msg
-                (Printf.sprintf "replica id must be non-negative, got %d" r))
-        | Some r, Some at -> Ok (r, at)
-        | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s"))
-    | _ -> Error (`Msg "expected REPLICA@TIME, e.g. 0@100ms or 0@1s")
-  in
-  let parse s =
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | item :: rest -> (
-          match parse_one item with
-          | Ok ev -> go (ev :: acc) rest
-          | Error _ as e -> e)
-    in
-    go [] (String.split_on_char ',' s)
-  in
-  let print ppf events =
-    Format.pp_print_list
-      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
-      (fun ppf (replica, at) ->
-        Format.fprintf ppf "%d@%a" replica Sim.Simtime.pp at)
-      ppf events
-  in
-  Arg.conv (parse, print)
-
-(* Pair each --recover entry with the crash of the same replica; a
-   recovery without a matching earlier crash is a schedule error. *)
-let merge_failures ~crashes ~recoveries =
-  let failures =
-    List.map (fun (replica, at) -> Workload.Runner.crash_at ~at replica) crashes
-  in
-  List.fold_left
-    (fun acc (replica, recover_at) ->
-      match acc with
-      | Error _ as e -> e
-      | Ok failures -> (
-          let paired = ref false in
-          let failures =
-            List.map
-              (fun (f : Workload.Runner.failure) ->
-                if
-                  (not !paired) && f.replica = replica
-                  && f.recover_at = None
-                  && Sim.Simtime.(f.at < recover_at)
-                then begin
-                  paired := true;
-                  { f with recover_at = Some recover_at }
-                end
-                else f)
-              failures
-          in
-          match !paired with
-          | true -> Ok failures
-          | false ->
-              Error
-                (Printf.sprintf
-                   "--recover %d@%s has no earlier --crash of replica %d"
-                   replica
-                   (Sim.Simtime.to_string recover_at)
-                   replica)))
-    (Ok failures) recoveries
 
 (* ---- list ----------------------------------------------------------- *)
 
@@ -118,103 +20,99 @@ let list_cmd =
   let doc = "List the implemented replication techniques." in
   let run () =
     List.iter
-      (fun (key, info, _) ->
-        Fmt.pr "%-18s %a@." key Core.Technique.pp_info info)
+      (fun (e : Protocols.Registry.entry) ->
+        Fmt.pr "%-18s %a@." e.key Core.Technique.pp_info e.info)
       Protocols.Registry.all
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- config --------------------------------------------------------- *)
+
+let config_cmd =
+  let doc =
+    "Show the configuration schema of one technique (or all): every \
+     settable key with its type, default, effective value under the given \
+     $(b,--set)/$(b,--config) directives, and what it does."
+  in
+  let technique =
+    Arg.(
+      value
+      & pos 0 (some Cli.technique_conv) None
+      & info [] ~docv:"TECHNIQUE"
+          ~doc:"Technique whose schema to print (default: all).")
+  in
+  let run technique directives =
+    let entries =
+      match technique with
+      | Some e -> [ e ]
+      | None -> Protocols.Registry.all
+    in
+    List.iteri
+      (fun i (e : Protocols.Registry.entry) ->
+        if i > 0 then Fmt.pr "@.";
+        let cfg, _ = Cli.resolve e directives in
+        let effective = Protocols.Config.to_strings cfg in
+        Fmt.pr "%s — %s (paper §%s)@." e.key e.info.Core.Technique.name
+          e.info.Core.Technique.section;
+        List.iter
+          (fun (k : Protocols.Config.key) ->
+            let default = Protocols.Config.value_to_string k.default in
+            let eff =
+              Option.value ~default (List.assoc_opt k.name effective)
+            in
+            let doc =
+              if eff <> default then
+                Printf.sprintf "%s [default: %s]" k.doc default
+              else k.doc
+            in
+            Fmt.pr "  %-16s %-28s = %-10s %s@." k.name
+              (Protocols.Config.ty_to_string k.ty)
+              eff doc)
+          e.schema)
+      entries
+  in
+  Cmd.v (Cmd.info "config" ~doc)
+    Term.(const run $ technique $ Cli.directives_term)
 
 (* ---- run ------------------------------------------------------------ *)
 
 let run_cmd =
   let doc = "Run a workload against a technique and report the metrics." in
-  let replicas =
-    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
-  in
-  let clients =
-    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"M" ~doc:"Client count.")
-  in
-  let updates =
-    Arg.(
-      value & opt float 0.5
-      & info [ "updates" ] ~docv:"RATIO" ~doc:"Fraction of update transactions.")
-  in
-  let txns =
-    Arg.(
-      value & opt int 50
-      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
-  in
-  let ops =
-    Arg.(
-      value & opt int 1
-      & info [ "ops" ] ~docv:"K" ~doc:"Operations per transaction.")
-  in
-  let keys =
-    Arg.(value & opt int 100 & info [ "keys" ] ~docv:"K" ~doc:"Database size.")
-  in
-  let skew =
-    Arg.(
-      value & opt float 0.6
-      & info [ "skew" ] ~docv:"THETA" ~doc:"Zipfian access skew (0 = uniform).")
-  in
-  let seed =
-    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-  in
-  let crashes =
-    Arg.(
-      value & opt_all event_conv []
-      & info [ "crash" ] ~docv:"R@TIME"
-          ~doc:
-            "Crash replica R at TIME (repeatable; comma lists accepted), \
-             e.g. --crash 0@100ms or --crash 0@1s,2@3s.")
-  in
-  let recoveries =
-    Arg.(
-      value & opt_all event_conv []
-      & info [ "recover" ] ~docv:"R@TIME"
-          ~doc:
-            "Recover replica R at TIME (same syntax as $(b,--crash): \
-             repeatable, comma lists accepted, e.g. --recover 0@1s,2@3s). \
-             Each entry must pair with an earlier --crash of the same \
-             replica.")
-  in
   let csv =
     Arg.(
       value & flag
       & info [ "csv" ] ~doc:"Emit the result as a CSV row (with header).")
   in
-  let run (key, _, factory) n m updates txns ops keys skew seed crashes
-      recoveries csv =
+  let run (entry : Protocols.Registry.entry) directives n m updates txns ops
+      keys skew seed crashes recoveries csv =
+    let cfg, factory = Cli.resolve entry directives in
     let failures =
       match
-        merge_failures ~crashes:(List.concat crashes)
+        Workload.Builder.crash_schedule ~crashes:(List.concat crashes)
           ~recoveries:(List.concat recoveries)
       with
       | Ok failures -> failures
-      | Error msg ->
-          Fmt.epr "replisim: %s@." msg;
-          exit 2
+      | Error msg -> Cli.fail "%s" msg
     in
-    let spec =
-      {
-        Workload.Spec.n_keys = keys;
-        key_skew = skew;
-        update_ratio = updates;
-        ops_per_txn = ops;
-        txns_per_client = txns;
-        think_time = Sim.Simtime.of_ms 1;
-      }
+    let spec = Workload.Builder.spec ~keys ~skew ~updates ~ops ~txns () in
+    let builder =
+      Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ~failures ()
     in
-    let result =
-      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m ~failures ~spec
-        (fun net ~replicas ~clients -> factory net ~replicas ~clients)
-    in
+    let result = Workload.Builder.run builder factory in
     if csv then begin
-      let label = Printf.sprintf "%s;n=%d;upd=%.2f;seed=%d" key n updates seed in
+      let label =
+        Printf.sprintf "%s;n=%d;upd=%.2f;seed=%d" entry.key n updates seed
+      in
       Workload.Report.to_csv Fmt.stdout [ (label, result) ];
       exit 0
     end;
     Fmt.pr "workload  : %a@." Workload.Spec.pp spec;
+    (match Cli.config_pairs entry cfg with
+    | [] -> ()
+    | pairs ->
+        Fmt.pr "config    : %s@."
+          (String.concat " "
+             (List.map (fun (k, v) -> k ^ "=" ^ v) pairs)));
     Fmt.pr "result    : %a@." Workload.Runner.pp_result result;
     Fmt.pr "latencies : all [%a]@." Workload.Stats.pp_summary
       result.Workload.Runner.latency_ms;
@@ -236,8 +134,10 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ technique_arg $ replicas $ clients $ updates $ txns $ ops
-      $ keys $ skew $ seed $ crashes $ recoveries $ csv)
+      const run $ Cli.technique_arg $ Cli.directives_term
+      $ Cli.replicas_arg () $ Cli.clients_arg () $ Cli.updates_arg
+      $ Cli.txns_arg () $ Cli.ops_arg $ Cli.keys_arg $ Cli.skew_arg
+      $ Cli.seed_arg () $ Cli.crashes_arg $ Cli.recoveries_arg $ csv)
 
 (* ---- trace ---------------------------------------------------------- *)
 
@@ -262,34 +162,37 @@ let trace_cmd =
              (one JSON object per span) or $(b,chrome) (trace_event JSON for \
              Perfetto / chrome://tracing).")
   in
-  let run (key, (info : Core.Technique.info), factory) nondet format =
-    let engine = Sim.Engine.create ~seed:3 () in
-    let net = Sim.Network.create engine ~n:4 Sim.Network.default_config in
-    let inst = factory net ~replicas:[ 0; 1; 2 ] ~clients:[ 3 ] in
+  let run (entry : Protocols.Registry.entry) directives nondet format =
+    let cfg, factory = Cli.resolve entry directives in
     let ops =
       if nondet then [ Store.Operation.Write_random "x" ]
       else [ Store.Operation.Incr ("x", 1) ]
     in
-    let request = Store.Operation.request ~client:3 ops in
-    inst.Core.Technique.submit ~client:3 request (fun _ -> ());
-    ignore (Sim.Engine.run ~until:(Sim.Simtime.of_sec 10.) engine);
-    let rid = request.Store.Operation.rid in
-    let spans = inst.Core.Technique.spans in
-    Core.Phase_span.finalize spans ~at:(Sim.Engine.now engine);
+    let p =
+      Workload.Builder.probe ~seed:3 ~n:3 ~ops
+        ~until:(Sim.Simtime.of_sec 10.) factory
+    in
+    let info = entry.info in
+    let spans = p.Workload.Builder.p_inst.Core.Technique.spans in
+    let rid = p.Workload.Builder.p_rid in
     match format with
     | `Jsonl ->
         print_endline
-          (Workload.Report.header_json ~seed:3 ~technique:key ~n_replicas:3 ());
+          (Workload.Report.header_json
+             ~config:(Cli.config_pairs entry cfg)
+             ~seed:3 ~technique:entry.key ~n_replicas:3 ());
         print_endline (Sim.Trace_export.to_jsonl (Core.Phase_span.collector spans))
     | `Chrome ->
         print_endline (Sim.Trace_export.to_chrome (Core.Phase_span.collector spans))
     | `Pretty ->
-        Fmt.pr "technique : %s (paper §%s)@." info.name info.section;
+        Fmt.pr "technique : %s (paper §%s)@." info.Core.Technique.name
+          info.Core.Technique.section;
         Fmt.pr "signature : %a   [paper row: %a]@." Core.Phase.pp_sequence
           (Core.Phase_span.signature spans ~rid)
-          Core.Phase.pp_sequence info.expected_phases;
+          Core.Phase.pp_sequence info.Core.Technique.expected_phases;
         Core.Phase_trace.pp_marks Fmt.stdout
-          (Core.Phase_trace.marks inst.Core.Technique.phases ~rid);
+          (Core.Phase_trace.marks
+             p.Workload.Builder.p_inst.Core.Technique.phases ~rid);
         Fmt.pr "spans     :@.";
         List.iter
           (fun (_, span) ->
@@ -297,38 +200,11 @@ let trace_cmd =
               (Option.value ~default:0. (Sim.Span.duration_ms span)))
           (Core.Phase_span.phase_spans spans ~rid)
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ technique_arg $ nondet $ format)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ Cli.technique_arg $ Cli.directives_term $ nondet $ format)
 
 (* ---- explain -------------------------------------------------------- *)
-
-(* Deterministic single-transaction harness for message-cost measurement:
-   constant 1 ms links, no drops, one client, one update transaction.
-   Every number reported comes from the causally-linked message spans the
-   network records — the technique's expected_messages/expected_steps are
-   only ever compared against, never substituted for, the observation. *)
-let explain_run ~n ~seed factory =
-  let engine = Sim.Engine.create ~seed () in
-  let config =
-    {
-      Sim.Network.latency = Sim.Network.Constant (Sim.Simtime.of_ms 1);
-      drop_probability = 0.0;
-    }
-  in
-  let net = Sim.Network.create engine ~n:(n + 1) config in
-  let replicas = List.init n Fun.id in
-  let client = n in
-  let inst = factory net ~replicas ~clients:[ client ] in
-  let request = Store.Operation.request ~client [ Store.Operation.Incr ("x", 1) ] in
-  inst.Core.Technique.submit ~client request (fun _ -> ());
-  ignore (Sim.Engine.run ~until:(Sim.Simtime.of_sec 2.) engine);
-  let spans = inst.Core.Technique.spans in
-  Core.Phase_span.finalize spans ~at:(Sim.Engine.now engine);
-  let rid = request.Store.Operation.rid in
-  let collector = Core.Phase_span.collector spans in
-  let summary = Sim.Msg_dag.analyze collector ~trace:rid ~clients:[ client ] in
-  let msgs = Sim.Msg_dag.messages collector ~trace:rid in
-  let sound = Sim.Msg_dag.causally_sound collector ~trace:rid in
-  (msgs, sound, summary)
 
 let explain_matches (info : Core.Technique.info) ~n
     (s : Sim.Msg_dag.summary) =
@@ -410,21 +286,9 @@ let explain_cmd =
      against its §5 expectation and exit non-zero on deviation."
   in
   let technique_opt =
-    Arg.(
-      value
-      & opt (some technique_conv) None
-      & info [ "t"; "technique" ] ~docv:"TECHNIQUE"
-          ~doc:
-            (Printf.sprintf
-               "Technique to explain (default: all). One of: %s."
-               (String.concat ", " Protocols.Registry.keys)))
+    Cli.technique_opt ~doc:"Technique to explain (default: all)."
   in
-  let replicas =
-    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
-  in
-  let seed =
-    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-  in
+  let seed = Cli.seed_arg ~default:7 () in
   let format =
     Arg.(
       value
@@ -444,7 +308,7 @@ let explain_cmd =
              of every selected technique against its §5 expectation; exit 1 \
              on any deviation (or causally unsound trace).")
   in
-  let run technique n seed format check =
+  let run technique directives n seed format check =
     let selected =
       match technique with
       | Some entry -> [ entry ]
@@ -452,12 +316,11 @@ let explain_cmd =
     in
     let results =
       List.map
-        (fun (key, (info : Core.Technique.info), factory) ->
-          let msgs, sound, summary =
-            explain_run ~n ~seed (fun net ~replicas ~clients ->
-                factory net ~replicas ~clients)
-          in
-          (key, info, msgs, sound, summary))
+        (fun (entry : Protocols.Registry.entry) ->
+          let _cfg, factory = Cli.resolve entry directives in
+          let p = Workload.Builder.probe ~seed ~n factory in
+          let msgs, sound, summary = Workload.Builder.probe_summary p in
+          (entry.key, entry.info, msgs, sound, summary))
         selected
     in
     (match format with
@@ -468,11 +331,21 @@ let explain_cmd =
             print_endline (explain_csv_row ~n ~seed key info s))
           results
     | `Json ->
+        let technique_label, config =
+          match technique with
+          | Some entry ->
+              let cfg, _ = Cli.resolve entry directives in
+              (entry.key, Cli.config_pairs entry cfg)
+          | None ->
+              ( "all",
+                List.map
+                  (fun (d : Protocols.Config.directive) ->
+                    (d.technique ^ "." ^ d.key, d.value))
+                  directives )
+        in
         print_endline
-          (Workload.Report.header_json ~seed
-             ~technique:
-               (match technique with Some (key, _, _) -> key | None -> "all")
-             ~n_replicas:n ());
+          (Workload.Report.header_json ~config ~seed
+             ~technique:technique_label ~n_replicas:n ());
         List.iter
           (fun (key, info, _, _, s) ->
             print_endline (explain_json ~n ~seed key info s))
@@ -506,7 +379,9 @@ let explain_cmd =
     end
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ technique_opt $ replicas $ seed $ format $ check)
+    Term.(
+      const run $ technique_opt $ Cli.directives_term $ Cli.replicas_arg ()
+      $ seed $ format $ check)
 
 (* ---- campaign ------------------------------------------------------- *)
 
@@ -547,11 +422,6 @@ let campaign_cmd =
       value & opt (list int) [ 11 ]
       & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Random seeds to sweep.")
   in
-  let txns =
-    Arg.(
-      value & opt int 25
-      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
-  in
   let csv =
     Arg.(
       value & flag
@@ -566,7 +436,7 @@ let campaign_cmd =
             "Also write one JSON object per run (counters + oracle \
              verdicts) to FILE ($(b,-) for stdout).")
   in
-  let run scenario_sel technique_sel seeds txns csv jsonl =
+  let run scenario_sel technique_sel directives seeds txns csv jsonl =
     let scenarios =
       match scenario_sel with
       | "all" -> Workload.Scenario.builtins
@@ -576,9 +446,8 @@ let campaign_cmd =
               match Workload.Scenario.find name with
               | Some s -> s
               | None ->
-                  Fmt.epr "unknown scenario %S (known: %s)@." name
-                    scenario_names;
-                  exit 2)
+                  Cli.fail "unknown scenario %S (known: %s)" name
+                    scenario_names)
             (String.split_on_char ',' names)
     in
     let techniques =
@@ -587,12 +456,9 @@ let campaign_cmd =
       | keys ->
           List.map
             (fun key ->
-              match Protocols.Registry.find key with
-              | Some entry -> entry
-              | None ->
-                  Fmt.epr "unknown technique %S (try: %s)@." key
-                    (String.concat " " Protocols.Registry.keys);
-                  exit 2)
+              match Protocols.Registry.find_res key with
+              | Ok entry -> entry
+              | Error msg -> Cli.fail "%s" msg)
             (String.split_on_char ',' keys)
     in
     let spec = { Workload.Scenario.default_spec with txns_per_client = txns } in
@@ -600,10 +466,9 @@ let campaign_cmd =
       Workload.Scenario.run_campaign ~seeds ~spec
         ~techniques:
           (List.map
-             (fun (key, info, factory) ->
-               ( key,
-                 info,
-                 fun net ~replicas ~clients -> factory net ~replicas ~clients ))
+             (fun (entry : Protocols.Registry.entry) ->
+               let _cfg, factory = Cli.resolve entry directives in
+               (entry.key, entry.info, factory))
              techniques)
         ~scenarios ()
     in
@@ -611,6 +476,11 @@ let campaign_cmd =
       Workload.Report.header_json
         ~seed:(match seeds with s :: _ -> s | [] -> 11)
         ~technique:technique_sel ~n_replicas:3
+        ~config:
+          (List.map
+             (fun (d : Protocols.Config.directive) ->
+               (d.technique ^ "." ^ d.key, d.value))
+             directives)
         ~extra:
           [
             ( "seeds",
@@ -651,8 +521,8 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
-      const run $ scenarios_arg $ techniques_arg $ seeds_arg $ txns $ csv
-      $ jsonl)
+      const run $ scenarios_arg $ techniques_arg $ Cli.directives_term
+      $ seeds_arg $ Cli.txns_arg ~default:25 () $ csv $ jsonl)
 
 (* ---- metrics -------------------------------------------------------- *)
 
@@ -661,62 +531,39 @@ let metrics_cmd =
     "Run a workload against a technique and print its metrics registry \
      (counters, gauges, per-phase latency histograms)."
   in
-  let replicas =
-    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
-  in
-  let clients =
-    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"M" ~doc:"Client count.")
-  in
-  let updates =
-    Arg.(
-      value & opt float 0.5
-      & info [ "updates" ] ~docv:"RATIO" ~doc:"Fraction of update transactions.")
-  in
-  let txns =
-    Arg.(
-      value & opt int 50
-      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
-  in
-  let seed =
-    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-  in
   let json =
     Arg.(
       value & flag
       & info [ "json" ] ~doc:"Emit the metrics snapshot as a JSON array.")
   in
-  let run (key, _, factory) n m updates txns seed json =
-    let spec =
-      {
-        Workload.Spec.n_keys = 100;
-        key_skew = 0.6;
-        update_ratio = updates;
-        ops_per_txn = 1;
-        txns_per_client = txns;
-        think_time = Sim.Simtime.of_ms 1;
-      }
+  let run (entry : Protocols.Registry.entry) directives n m updates txns seed
+      json =
+    let cfg, factory = Cli.resolve entry directives in
+    let spec = Workload.Builder.spec ~updates ~txns () in
+    let builder =
+      Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ()
     in
-    let result =
-      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m ~spec
-        (fun net ~replicas ~clients -> factory net ~replicas ~clients)
-    in
+    let result = Workload.Builder.run builder factory in
     if json then begin
       print_endline
-        (Workload.Report.header_json ~seed ~technique:key ~n_replicas:n ());
+        (Workload.Report.header_json
+           ~config:(Cli.config_pairs entry cfg)
+           ~seed ~technique:entry.key ~n_replicas:n ());
       print_endline (Sim.Metrics.snapshot_to_json result.Workload.Runner.metrics)
     end
     else begin
-      Fmt.pr "technique : %s@." key;
+      Fmt.pr "technique : %s@." entry.key;
       Fmt.pr "result    : %a@.@." Workload.Runner.pp_result result;
-      Workload.Report.phases_to_csv Fmt.stdout [ (key, result) ];
+      Workload.Report.phases_to_csv Fmt.stdout [ (entry.key, result) ];
       Fmt.pr "@.";
       Sim.Metrics.pp_snapshot Fmt.stdout result.Workload.Runner.metrics
     end
   in
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
-      const run $ technique_arg $ replicas $ clients $ updates $ txns $ seed
-      $ json)
+      const run $ Cli.technique_arg $ Cli.directives_term
+      $ Cli.replicas_arg () $ Cli.clients_arg () $ Cli.updates_arg
+      $ Cli.txns_arg () $ Cli.seed_arg () $ json)
 
 (* ---- timeline ------------------------------------------------------- *)
 
@@ -873,20 +720,6 @@ let timeline_cmd =
                 healthy run."
                scenario_names))
   in
-  let replicas =
-    Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count.")
-  in
-  let clients =
-    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"M" ~doc:"Client count.")
-  in
-  let txns =
-    Arg.(
-      value & opt int 25
-      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
-  in
-  let seed =
-    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-  in
   let interval =
     Arg.(
       value & opt int 5
@@ -917,8 +750,9 @@ let timeline_cmd =
              window, or a partition scenario shows no backlog \
              build-up/drain.")
   in
-  let run (key, _, factory) scenario_sel n m txns seed interval_ms until_ms
-      format check =
+  let run (entry : Protocols.Registry.entry) directives scenario_sel n m txns
+      seed interval_ms until_ms format check =
+    let cfg, factory = Cli.resolve entry directives in
     let scenario =
       match scenario_sel with
       | "none" -> None
@@ -926,9 +760,8 @@ let timeline_cmd =
           match Workload.Scenario.find name with
           | Some s -> Some s
           | None ->
-              Fmt.epr "unknown scenario %S (known: %s, none)@." name
-                scenario_names;
-              exit 2)
+              Cli.fail "unknown scenario %S (known: %s, none)" name
+                scenario_names)
     in
     let events =
       match scenario with Some s -> s.Workload.Scenario.events | None -> []
@@ -936,20 +769,18 @@ let timeline_cmd =
     let spec =
       { Workload.Scenario.default_spec with txns_per_client = txns }
     in
-    let result =
-      Workload.Runner.run ~seed ~n_replicas:n ~n_clients:m
-        ~tune:(fun net ~replicas:_ ~clients:_ ->
-          match scenario with
-          | Some s -> Workload.Scenario.apply s net
-          | None -> ())
+    let builder =
+      Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ?scenario
         ~deadline:(Sim.Simtime.of_ms until_ms)
-        ~sample:(Sim.Simtime.of_ms interval_ms) ~spec
-        (fun net ~replicas ~clients -> factory net ~replicas ~clients)
+        ~sample:(Sim.Simtime.of_ms interval_ms)
+        ()
     in
+    let result = Workload.Builder.run builder factory in
     let series = result.Workload.Runner.series in
     let findings = Sim.Saturation.analyze series in
     let header =
-      Workload.Report.header_json ~seed ~technique:key ~n_replicas:n
+      Workload.Report.header_json ~seed ~technique:entry.key ~n_replicas:n
+        ~config:(Cli.config_pairs entry cfg)
         ~extra:
           [
             ("scenario", Printf.sprintf "%S" scenario_sel);
@@ -991,8 +822,8 @@ let timeline_cmd =
               | [] -> acc)
             1 series
         in
-        Fmt.pr "technique : %s   scenario : %s   seed : %d@." key scenario_sel
-          seed;
+        Fmt.pr "technique : %s   scenario : %s   seed : %d@." entry.key
+          scenario_sel seed;
         Fmt.pr "result    : %a@." Workload.Runner.pp_result result;
         Fmt.pr "axis      : 0 .. %.0f ms, sampled every %d ms@."
           (float_of_int t_end /. 1000.)
@@ -1047,8 +878,10 @@ let timeline_cmd =
   in
   Cmd.v (Cmd.info "timeline" ~doc)
     Term.(
-      const run $ technique_arg $ scenario_arg $ replicas $ clients $ txns
-      $ seed $ interval $ until $ format $ check)
+      const run $ Cli.technique_arg $ Cli.directives_term $ scenario_arg
+      $ Cli.replicas_arg () $ Cli.clients_arg ~default:2 ()
+      $ Cli.txns_arg ~default:25 () $ Cli.seed_arg () $ interval $ until
+      $ format $ check)
 
 (* ---- bench-check ---------------------------------------------------- *)
 
@@ -1090,6 +923,7 @@ let () =
        (Cmd.group info
           [
             list_cmd;
+            config_cmd;
             run_cmd;
             trace_cmd;
             explain_cmd;

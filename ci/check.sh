@@ -28,9 +28,22 @@ dune exec bin/replisim.exe -- campaign --scenario crash-recover \
 
 # §5 conformance: every technique's measured message count and
 # communication-step depth (from causally-linked message spans) must
-# match its declared expectation; exits non-zero on deviation.
+# match its declared expectation; exits non-zero on deviation. The
+# expectations describe the unbatched default configuration, so this
+# gate runs without --set.
 echo "== message-cost matrix =="
 dune exec bin/replisim.exe -- explain --check --format csv
+
+# Runtime configuration smoke: non-default technique parameters applied
+# from the command line, without recompilation — the consensus-based
+# ordering engine under certification, and sequencer batching under
+# active replication — plus the schema printer.
+echo "== runtime configuration smoke =="
+dune exec bin/replisim.exe -- run -t certification \
+  --set certification.abcast_impl=consensus --txns 10 > /dev/null
+dune exec bin/replisim.exe -- run -t active \
+  --set active.batch_window=5ms --txns 10 > /dev/null
+dune exec bin/replisim.exe -- config active > /dev/null
 
 # Resource-timeline smoke: sample two techniques through the
 # partition-heal scenario; --check exits non-zero if any saturation
@@ -45,6 +58,7 @@ dune exec bin/replisim.exe -- timeline -t eager-ue-locking --check
 echo "== bench output schema =="
 dune exec bench/main.exe -- perf1 > /dev/null
 dune exec bench/main.exe -- perf13 > /dev/null
+dune exec bench/main.exe -- perf14 > /dev/null
 dune exec bin/replisim.exe -- bench-check BENCH_perf*.json
 
 echo "== ci: OK =="

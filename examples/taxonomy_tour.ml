@@ -6,6 +6,14 @@
      dune exec examples/taxonomy_tour.exe
 *)
 
+(* Tuple view of the registry under default configuration, for the
+   sweeps below. *)
+let registry_entries =
+  List.map
+    (fun (e : Protocols.Registry.entry) ->
+      (e.Protocols.Registry.key, e.info, Protocols.Registry.default_factory e))
+    Protocols.Registry.all
+
 let () =
   let spec =
     {
@@ -30,7 +38,7 @@ let () =
         result.Workload.Runner.latency_ms.Workload.Stats.mean
         result.Workload.Runner.aborted result.Workload.Runner.messages_per_txn
         result.Workload.Runner.converged result.Workload.Runner.serializable)
-    Protocols.Registry.all;
+    registry_entries;
   Fmt.pr
     "@.(msgs/txn here includes failure-detector heartbeats and channel acks;@.\
      bench perf5 reports the protocol-only message pattern.)@."

@@ -3,11 +3,16 @@ type impl = Sequencer | Consensus_based
 type t = Seq of Abcast_seq.t | Ct of Abcast_ct.t
 type group = Gseq of Abcast_seq.group | Gct of Abcast_ct.group
 
+(* [batch_window] only concerns the sequencer engine: the consensus
+   engine already batches naturally (every consensus instance decides on
+   the full set of pending messages). *)
 let create_group net ~members ?clients ?(impl = Sequencer) ?fd ?rto
-    ?passthrough () =
+    ?passthrough ?batch_window () =
   match impl with
   | Sequencer ->
-      Gseq (Abcast_seq.create_group net ~members ?clients ?fd ?rto ?passthrough ())
+      Gseq
+        (Abcast_seq.create_group net ~members ?clients ?fd ?rto ?passthrough
+           ?batch_window ())
   | Consensus_based ->
       Gct (Abcast_ct.create_group net ~members ?clients ?fd ?rto ?passthrough ())
 

@@ -10,6 +10,9 @@ type impl = Sequencer | Consensus_based
 type t
 type group
 
+(** [batch_window] (default 0): sequencer-side request batching — see
+    {!Abcast_seq.create_group}. Ignored by the consensus engine, which
+    already batches per instance. *)
 val create_group :
   Sim.Network.t ->
   members:int list ->
@@ -18,6 +21,7 @@ val create_group :
   ?fd:Fd.group ->
   ?rto:Sim.Simtime.t ->
   ?passthrough:bool ->
+  ?batch_window:Sim.Simtime.t ->
   unit ->
   group
 

@@ -6,15 +6,17 @@ type id = int * int (* origin node, per-origin seq; origin -1 = no-op filler *)
 
 type Msg.t +=
   | Inject of { gid : int; id : id; payload : Msg.t }
-  | Order of { gid : int; epoch : int; seq : int; id : id }
+  | Order of { gid : int; epoch : int; seq : int; ids : id list }
   | Fetch of { gid : int; id : id }
   | Fetch_reply of { gid : int; id : id; payload : Msg.t }
-  | Order_ack of { gid : int; seq : int; id : id; from : int }
+  | Order_ack of { gid : int; seq : int; ids : id list; from : int }
 
 let () =
   Msg.register_printer (function
     | Inject { payload; _ } -> Some ("Inject(" ^ Msg.name payload ^ ")")
     | Fetch_reply { payload; _ } -> Some ("Fetch_reply(" ^ Msg.name payload ^ ")")
+    | Order { ids; _ } when List.length ids > 1 ->
+        Some (Printf.sprintf "Order[%d]" (List.length ids))
     | _ -> None)
 
 type t = {
@@ -24,6 +26,7 @@ type t = {
   members : int list;
   fd : Fd.t;
   chan : Rchan.t;
+  batch_window : Simtime.t;
   mutable epoch : int;
   mutable next_send : int; (* per-origin seq for our own broadcasts *)
   mutable next_order : int; (* as leader: next global slot *)
@@ -31,11 +34,13 @@ type t = {
   mutable ack_floor : int; (* slots below this are acked by every member *)
   known : (id, Msg.t) Hashtbl.t;
   pending : (id, unit) Hashtbl.t; (* known, not yet ordered under cur epoch *)
-  slots : (int, id * int) Hashtbl.t; (* seq -> (id, epoch) *)
-  acks : (int * id, Iset.t ref) Hashtbl.t;
+  slots : (int, id list * int) Hashtbl.t; (* seq -> (ids, epoch) *)
+  acks : (int * id list, Iset.t ref) Hashtbl.t;
   delivered_set : (id, unit) Hashtbl.t;
   mutable delivered_rev : id list;
   mutable noop_seq : int;
+  mutable batch_rev : id list; (* leader: injects awaiting the window flush *)
+  mutable batch_armed : bool;
   mutable deliver_cbs : (origin:int -> Msg.t -> unit) list;
   mutable opt_deliver_cbs : (origin:int -> Msg.t -> unit) list;
   mutable opt_delivered_rev : id list;
@@ -60,12 +65,12 @@ let opt_delivered t = List.rev t.opt_delivered_rev
 
 let mcast t msg = Rchan.mcast t.chan ~dsts:t.members msg
 
-let ack_set t seq id =
-  match Hashtbl.find_opt t.acks (seq, id) with
+let ack_set t seq ids =
+  match Hashtbl.find_opt t.acks (seq, ids) with
   | Some s -> s
   | None ->
       let s = ref Iset.empty in
-      Hashtbl.replace t.acks (seq, id) s;
+      Hashtbl.replace t.acks (seq, ids) s;
       s
 
 (* A member that suspects a majority of the group is far more likely to be
@@ -75,44 +80,86 @@ let ack_set t seq id =
    it deliver in an order the majority never agreed on. *)
 let quorate t = 2 * List.length (Fd.trusted t.fd) > List.length t.members
 
-let stable t seq id =
-  let ackers = !(ack_set t seq id) in
+let stable t seq ids =
+  let ackers = !(ack_set t seq ids) in
   if quorate t then
     List.for_all
       (fun m -> Iset.mem m ackers || Fd.suspected t.fd m)
       t.members
   else List.for_all (fun m -> Iset.mem m ackers) t.members
 
+(* Is [id] already assigned to some slot? Batched slots hold several. *)
+let slotted t id =
+  Hashtbl.fold
+    (fun _ (slot_ids, _) acc -> acc || List.mem id slot_ids)
+    t.slots false
+
 let rec try_deliver t =
   match Hashtbl.find_opt t.slots t.next_deliver with
   | None -> ()
-  | Some (((origin, _) as id), _epoch) ->
-      if stable t t.next_deliver id then begin
-        let payload_ready =
-          origin = -1 (* no-op filler: deliver nothing *)
+  | Some (ids, _epoch) ->
+      if stable t t.next_deliver ids then begin
+        let payload_ready id =
+          fst id = -1 (* no-op filler: deliver nothing *)
           || Hashtbl.mem t.delivered_set id
           || Hashtbl.mem t.known id
         in
-        if payload_ready then begin
-          if origin <> -1 && not (Hashtbl.mem t.delivered_set id) then begin
-            Hashtbl.replace t.delivered_set id ();
-            t.delivered_rev <- id :: t.delivered_rev;
-            let payload = Hashtbl.find t.known id in
-            List.iter (fun f -> f ~origin payload) (List.rev t.deliver_cbs)
-          end;
-          Hashtbl.remove t.pending id;
+        if List.for_all payload_ready ids then begin
+          (* One slot may hold a whole batch: deliver its messages in
+             batch order, each exactly once. *)
+          List.iter
+            (fun ((origin, _) as id) ->
+              if origin <> -1 && not (Hashtbl.mem t.delivered_set id) then begin
+                Hashtbl.replace t.delivered_set id ();
+                t.delivered_rev <- id :: t.delivered_rev;
+                let payload = Hashtbl.find t.known id in
+                List.iter (fun f -> f ~origin payload) (List.rev t.deliver_cbs)
+              end;
+              Hashtbl.remove t.pending id)
+            ids;
           t.next_deliver <- t.next_deliver + 1;
           try_deliver t
         end
         else
-          (* Stable slot but payload missing: ask the group. *)
-          mcast t (Fetch { gid = t.gid; id })
+          (* Stable slot but a payload missing: ask the group. *)
+          List.iter
+            (fun id ->
+              if not (payload_ready id) then mcast t (Fetch { gid = t.gid; id }))
+            ids
       end
 
-let assign t id =
+let assign t ids =
   let seq = t.next_order in
   t.next_order <- t.next_order + 1;
-  mcast t (Order { gid = t.gid; epoch = t.epoch; seq; id })
+  mcast t (Order { gid = t.gid; epoch = t.epoch; seq; ids })
+
+(* Batched ordering: instead of assigning each injected message its own
+   slot (one Order + one all-to-all ack wave per request), the leader
+   buffers injects for [batch_window] of virtual time and assigns the
+   whole buffer to a single slot — one ordering round amortised over the
+   batch (the sequencer-side mirror of {!Abcast_ct}'s per-instance
+   batches). *)
+let flush_batch t =
+  t.batch_armed <- false;
+  let ids =
+    List.rev t.batch_rev
+    |> List.filter (fun id ->
+           Hashtbl.mem t.pending id && not (slotted t id))
+  in
+  t.batch_rev <- [];
+  if ids <> [] && is_leader t && quorate t then assign t ids
+
+let enqueue_for_order t id =
+  if Simtime.equal t.batch_window Simtime.zero then assign t [ id ]
+  else begin
+    t.batch_rev <- id :: t.batch_rev;
+    if not t.batch_armed then begin
+      t.batch_armed <- true;
+      ignore
+        (Engine.schedule (Network.engine t.net) ~after:t.batch_window
+           (Network.guard t.net t.me (fun () -> flush_batch t)))
+    end
+  end
 
 (* As the new leader of [epoch]: re-announce everything we know, fill the
    holes with no-ops, then order any pending messages. *)
@@ -120,14 +167,14 @@ let takeover t =
   let max_seq = Hashtbl.fold (fun seq _ acc -> max seq acc) t.slots (-1) in
   for seq = 0 to max_seq do
     match Hashtbl.find_opt t.slots seq with
-    | Some (id, _) -> mcast t (Order { gid = t.gid; epoch = t.epoch; seq; id })
+    | Some (ids, _) -> mcast t (Order { gid = t.gid; epoch = t.epoch; seq; ids })
     | None ->
         t.noop_seq <- t.noop_seq + 1;
         mcast t
-          (Order { gid = t.gid; epoch = t.epoch; seq; id = (-1, t.noop_seq) })
+          (Order { gid = t.gid; epoch = t.epoch; seq; ids = [ (-1, t.noop_seq) ] })
   done;
   t.next_order <- max_seq + 1;
-  Hashtbl.iter (fun id () -> assign t id) t.pending
+  Hashtbl.iter (fun id () -> if not (slotted t id) then assign t [ id ]) t.pending
 
 let adopt_epoch t e =
   if e > t.epoch then begin
@@ -159,8 +206,8 @@ let anti_entropy t =
     let all_acked seq =
       match Hashtbl.find_opt t.slots seq with
       | None -> false
-      | Some (id, _) ->
-          let ackers = !(ack_set t seq id) in
+      | Some (ids, _) ->
+          let ackers = !(ack_set t seq ids) in
           List.for_all (fun m -> Iset.mem m ackers) t.members
     in
     while t.ack_floor < t.next_order && all_acked t.ack_floor do
@@ -171,8 +218,8 @@ let anti_entropy t =
     let s = ref (min t.ack_floor t.next_deliver) in
     while !resent < 20 && !s <= horizon do
       (match Hashtbl.find_opt t.slots !s with
-      | Some (id, epoch) ->
-          let ackers = !(ack_set t !s id) in
+      | Some (ids, epoch) ->
+          let ackers = !(ack_set t !s ids) in
           let missing =
             List.exists
               (fun m -> (not (Iset.mem m ackers)) && not (Fd.suspected t.fd m))
@@ -180,10 +227,13 @@ let anti_entropy t =
           in
           if missing then begin
             incr resent;
-            mcast t (Order { gid = t.gid; epoch; seq = !s; id });
-            match Hashtbl.find_opt t.known id with
-            | Some payload -> mcast t (Inject { gid = t.gid; id; payload })
-            | None -> ()
+            mcast t (Order { gid = t.gid; epoch; seq = !s; ids });
+            List.iter
+              (fun id ->
+                match Hashtbl.find_opt t.known id with
+                | Some payload -> mcast t (Inject { gid = t.gid; id; payload })
+                | None -> ())
+              ids
           end
       | None -> ());
       incr s
@@ -208,15 +258,9 @@ let inject t id payload =
       (List.rev t.opt_deliver_cbs);
     if not (Hashtbl.mem t.delivered_set id) then begin
       Hashtbl.replace t.pending id ();
-      if is_leader t && quorate t then begin
+      if is_leader t && quorate t then
         (* Order it unless some slot already holds it. *)
-        let already =
-          Hashtbl.fold
-            (fun _ (slot_id, _) acc -> acc || slot_id = id)
-            t.slots false
-        in
-        if not already then assign t id
-      end
+        if not (slotted t id) then enqueue_for_order t id
     end;
     try_deliver t
   end
@@ -229,16 +273,21 @@ let broadcast t msg =
 let handle_msg t msg =
   match msg with
   | Inject { gid; id; payload } when gid = t.gid -> inject t id payload
-  | Order { gid; epoch; seq; id } when gid = t.gid ->
+  | Order { gid; epoch; seq; ids } when gid = t.gid ->
       if epoch >= t.epoch then begin
         adopt_epoch t epoch;
         if seq >= t.next_deliver then begin
           (match Hashtbl.find_opt t.slots seq with
-          | Some (old_id, old_epoch) when old_epoch < epoch && old_id <> id ->
-              (* Overridden assignment: the old message must be re-ordered. *)
-              if
-                (not (Hashtbl.mem t.delivered_set old_id)) && fst old_id <> -1
-              then Hashtbl.replace t.pending old_id ()
+          | Some (old_ids, old_epoch) when old_epoch < epoch && old_ids <> ids
+            ->
+              (* Overridden assignment: the old messages must be re-ordered. *)
+              List.iter
+                (fun old_id ->
+                  if
+                    (not (Hashtbl.mem t.delivered_set old_id))
+                    && fst old_id <> -1
+                  then Hashtbl.replace t.pending old_id ())
+                old_ids
           | _ -> ());
           let accept =
             match Hashtbl.find_opt t.slots seq with
@@ -246,8 +295,8 @@ let handle_msg t msg =
             | None -> true
           in
           if accept then begin
-            Hashtbl.replace t.slots seq (id, epoch);
-            mcast t (Order_ack { gid = t.gid; seq; id; from = t.me })
+            Hashtbl.replace t.slots seq (ids, epoch);
+            mcast t (Order_ack { gid = t.gid; seq; ids; from = t.me })
           end
         end
         else begin
@@ -256,14 +305,14 @@ let handle_msg t msg =
              reach stability, and everyone who was present when it first
              stabilised has long stopped talking about it. *)
           match Hashtbl.find_opt t.slots seq with
-          | Some (sid, _) when sid = id ->
-              mcast t (Order_ack { gid = t.gid; seq; id; from = t.me })
+          | Some (sids, _) when sids = ids ->
+              mcast t (Order_ack { gid = t.gid; seq; ids; from = t.me })
           | _ -> ()
         end;
         try_deliver t
       end
-  | Order_ack { gid; seq; id; from } when gid = t.gid ->
-      let s = ack_set t seq id in
+  | Order_ack { gid; seq; ids; from } when gid = t.gid ->
+      let s = ack_set t seq ids in
       s := Iset.add from !s;
       try_deliver t
   | Fetch { gid; id } when gid = t.gid -> (
@@ -293,7 +342,8 @@ let broadcast_from group ~src msg =
   Rchan.mcast chan ~dsts:group.g_members
     (Inject { gid = group.g_gid; id; payload = msg })
 
-let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
+let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough
+    ?(batch_window = Simtime.zero) () =
   incr next_gid;
   let gid = !next_gid in
   let fd_group =
@@ -313,6 +363,7 @@ let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
           members;
           fd = Fd.handle fd_group ~me;
           chan = Rchan.handle chan_group ~me;
+          batch_window;
           epoch = 0;
           next_send = 0;
           next_order = 0;
@@ -325,6 +376,8 @@ let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
           delivered_set = Hashtbl.create 64;
           delivered_rev = [];
           noop_seq = 0;
+          batch_rev = [];
+          batch_armed = false;
           deliver_cbs = [];
           opt_deliver_cbs = [];
           opt_delivered_rev = [];

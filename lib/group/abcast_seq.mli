@@ -14,7 +14,15 @@
     model of paper §2.1); with wrong suspicions the consensus-based engine
     ({!Abcast_ct}) must be used instead. This engine exists because it is
     the latency-optimal common case (2 message delays) and serves as the
-    ablation baseline against consensus-based ordering. *)
+    ablation baseline against consensus-based ordering.
+
+    With a non-zero [batch_window], the leader coalesces every message
+    injected within that virtual-time window into a single ordering round
+    (one sequence slot holding the whole batch): the Order message and
+    its all-to-all stability acks are paid once per batch instead of once
+    per message — the sequencer-side mirror of {!Abcast_ct}'s
+    per-instance batches. [batch_window = 0] (the default) orders each
+    message immediately, preserving the latency-optimal §5 behaviour. *)
 
 type t
 type group
@@ -26,6 +34,7 @@ val create_group :
   ?fd:Fd.group ->
   ?rto:Sim.Simtime.t ->
   ?passthrough:bool ->
+  ?batch_window:Sim.Simtime.t ->
   unit ->
   group
 

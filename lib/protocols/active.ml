@@ -13,10 +13,39 @@ type config = {
   abcast_impl : Group.Abcast.impl;
   passthrough : bool;
   local_reads : bool;
+  batch_window : Sim.Simtime.t;
 }
 
 let default_config =
-  { abcast_impl = Group.Abcast.Sequencer; passthrough = false; local_reads = false }
+  {
+    abcast_impl = Group.Abcast.Sequencer;
+    passthrough = false;
+    local_reads = false;
+    batch_window = Sim.Simtime.zero;
+  }
+
+let schema : Config.schema =
+  [
+    Config.abcast_impl_key;
+    Config.passthrough_key;
+    {
+      Config.name = "local_reads";
+      ty = Config.TBool;
+      default = Config.Bool false;
+      doc =
+        "serve read-only requests from the client's local replica without \
+         ordering (sequentially consistent, not linearizable)";
+    };
+    Config.batch_window_key;
+  ]
+
+let config_of cfg =
+  {
+    abcast_impl = Config.abcast_impl_of_enum (Config.get_enum cfg "abcast_impl");
+    passthrough = Config.get_bool cfg "passthrough";
+    local_reads = Config.get_bool cfg "local_reads";
+    batch_window = Config.get_time cfg "batch_window";
+  }
 
 let info =
   {
@@ -43,7 +72,8 @@ let create net ~replicas ~clients ?(config = default_config) () =
   let ctx = Common.make net ~replicas ~clients in
   let ab =
     Group.Abcast.create_group net ~members:replicas ~clients
-      ~impl:config.abcast_impl ~passthrough:config.passthrough ()
+      ~impl:config.abcast_impl ~passthrough:config.passthrough
+      ~batch_window:config.batch_window ()
   in
   let chan_group =
     Group.Rchan.create_group net ~nodes:(replicas @ clients)

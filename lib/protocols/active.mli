@@ -22,9 +22,19 @@ type config = {
           distinction ("sequential consistency allows, under some
           conditions, to read old values"). Default [false]
           (linearizable). *)
+  batch_window : Sim.Simtime.t;
+      (** sequencer-side request batching window (0 = off); see
+          {!Group.Abcast_seq.create_group} *)
 }
 
 val default_config : config
+
+(** Declarative key/type/default/doc descriptors for every [config]
+    field, resolved by the CLI's [--set active.key=value]. *)
+val schema : Config.schema
+
+(** Build the record from a resolved configuration. *)
+val config_of : Config.t -> config
 
 val create :
   Sim.Network.t ->

@@ -22,6 +22,7 @@ type config = {
       (* start certifying at optimistic delivery (KPAS99a): if the
          tentative check is still valid when the total order arrives, the
          transaction terminates without paying [certify_time] again *)
+  batch_window : Simtime.t;
 }
 
 let default_config =
@@ -31,6 +32,40 @@ let default_config =
     passthrough = false;
     certify_time = Simtime.zero;
     optimistic = false;
+    batch_window = Simtime.zero;
+  }
+
+let schema : Config.schema =
+  [
+    Config.abcast_impl_key;
+    Config.client_retry_key ~default:(Simtime.of_ms 500);
+    Config.passthrough_key;
+    {
+      Config.name = "certify_time";
+      ty = Config.TTime;
+      default = Config.Time Simtime.zero;
+      doc = "simulated cost of the certification test at each replica";
+    };
+    {
+      Config.name = "optimistic";
+      ty = Config.TBool;
+      default = Config.Bool false;
+      doc =
+        "certify at optimistic delivery (KPAS99a): the test overlaps the \
+         ordering protocol and is not re-paid when the spontaneous order \
+         holds";
+    };
+    Config.batch_window_key;
+  ]
+
+let config_of cfg =
+  {
+    abcast_impl = Config.abcast_impl_of_enum (Config.get_enum cfg "abcast_impl");
+    client_retry = Config.get_time cfg "client_retry";
+    passthrough = Config.get_bool cfg "passthrough";
+    certify_time = Config.get_time cfg "certify_time";
+    optimistic = Config.get_bool cfg "optimistic";
+    batch_window = Config.get_time cfg "batch_window";
   }
 
 let info =
@@ -67,7 +102,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
   let ctx = Common.make net ~replicas ~clients in
   let ab =
     Group.Abcast.create_group net ~members:replicas ~impl:config.abcast_impl
-      ~passthrough:config.passthrough ()
+      ~passthrough:config.passthrough ~batch_window:config.batch_window ()
   in
   let chan_group =
     Group.Rchan.create_group net ~nodes:(replicas @ clients)

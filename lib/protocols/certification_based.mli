@@ -25,9 +25,13 @@ type config = {
           terminates without paying [certify_time] after delivery. The
           verdict is always computed against the definitive order, so
           correctness is unaffected — only latency. *)
+  batch_window : Sim.Simtime.t;
+      (** sequencer-side request batching window (0 = off) *)
 }
 
 val default_config : config
+val schema : Config.schema
+val config_of : Config.t -> config
 
 val create :
   Sim.Network.t ->

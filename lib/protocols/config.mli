@@ -1,0 +1,86 @@
+(** Typed technique configuration.
+
+    Every protocol declares a {!schema}: one {!key} per field of its
+    [config] record, with a type, a default and a doc string. The CLI
+    resolves [--set technique.key=value] directives (and config-file
+    lines of the same shape) against the schema, so every
+    behaviour-defining parameter can be changed without recompilation,
+    and the resolved configuration is echoed into each export's header
+    record. Values round-trip through their string form. *)
+
+type value =
+  | Bool of bool
+  | Float of float
+  | Time of Sim.Simtime.t
+  | Enum of string
+  | Opt_int of int option
+
+type ty = TBool | TFloat | TTime | TEnum of string list | TOpt_int
+
+type key = { name : string; ty : ty; default : value; doc : string }
+type schema = key list
+
+(** A resolved configuration: every schema key bound to a value. *)
+type t = (string * value) list
+
+val ty_to_string : ty -> string
+val value_to_string : value -> string
+
+(** [parse_value ty s] — parse [s] according to [ty]. Times accept
+    [500us] / [5ms] / [1.5s] and bare-integer milliseconds. *)
+val parse_value : ty -> string -> (value, string) result
+
+val find_key : schema -> string -> key option
+val keys : schema -> string list
+
+(** Every key bound to its declared default. *)
+val defaults : schema -> t
+
+(** [set schema t ~key ~value] rebinds [key] to the parsed [value]; an
+    unknown key fails with a message listing the schema's valid keys. *)
+val set : schema -> t -> key:string -> value:string -> (t, string) result
+
+(** [apply schema pairs] — defaults overridden by [pairs], left to
+    right. *)
+val apply : schema -> (string * string) list -> (t, string) result
+
+(** Typed accessors; raise [Invalid_argument] on a key/type mismatch
+    (the schema and the protocol's [config_of] always agree). *)
+
+val get_bool : t -> string -> bool
+val get_float : t -> string -> float
+val get_time : t -> string -> Sim.Simtime.t
+val get_enum : t -> string -> string
+val get_opt_int : t -> string -> int option
+
+(** ["sequencer"]/["consensus"] to the {!Group.Abcast.impl} it names. *)
+val abcast_impl_of_enum : string -> Group.Abcast.impl
+
+(** Shared key descriptors (identical across techniques). *)
+
+val abcast_impl_key : key
+val passthrough_key : key
+val batch_window_key : key
+val client_retry_key : default:Sim.Simtime.t -> key
+
+(** String form of every binding, schema order. *)
+val to_strings : t -> (string * string) list
+
+(** The configuration as one JSON object (for export headers). *)
+val to_json : t -> string
+
+(** {2 CLI directives} *)
+
+type directive = { technique : string; key : string; value : string }
+
+(** Parse ["technique.key=value"]. *)
+val parse_directive : string -> (directive, string) result
+
+val directive_to_string : directive -> string
+
+(** Parse a config file: one directive per line, ['#'] comments and
+    blank lines ignored. *)
+val parse_file : string -> (directive list, string) result
+
+(** The [(key, value)] pairs of the directives naming [technique]. *)
+val pairs_for : technique:string -> directive list -> (string * string) list

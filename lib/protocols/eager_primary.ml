@@ -33,6 +33,41 @@ let default_config =
     passthrough = false;
   }
 
+let schema : Config.schema =
+  [
+    {
+      Config.name = "interactive";
+      ty = Config.TBool;
+      default = Config.Bool false;
+      doc =
+        "propagate each operation as it executes (statement-level \
+         interaction) instead of one deferred writeset";
+    };
+    {
+      Config.name = "nonblocking_commit";
+      ty = Config.TBool;
+      default = Config.Bool false;
+      doc = "terminate with 3PC instead of 2PC (non-blocking commitment)";
+    };
+    Config.client_retry_key ~default:(Simtime.of_ms 400);
+    {
+      Config.name = "abort_probability";
+      ty = Config.TFloat;
+      default = Config.Float 0.0;
+      doc = "probability that a site votes NO in the commitment phase";
+    };
+    Config.passthrough_key;
+  ]
+
+let config_of cfg =
+  {
+    interactive = Config.get_bool cfg "interactive";
+    nonblocking_commit = Config.get_bool cfg "nonblocking_commit";
+    client_retry = Config.get_time cfg "client_retry";
+    abort_probability = Config.get_float cfg "abort_probability";
+    passthrough = Config.get_bool cfg "passthrough";
+  }
+
 let info =
   {
     Core.Technique.name = "Eager primary copy";

@@ -32,6 +32,8 @@ type config = {
 }
 
 val default_config : config
+val schema : Config.schema
+val config_of : Config.t -> config
 
 val create :
   Sim.Network.t ->

@@ -14,6 +14,7 @@ type config = {
   abcast_impl : Group.Abcast.impl;
   client_retry : Simtime.t;
   passthrough : bool;
+  batch_window : Simtime.t;
 }
 
 let default_config =
@@ -21,6 +22,23 @@ let default_config =
     abcast_impl = Group.Abcast.Sequencer;
     client_retry = Simtime.of_ms 500;
     passthrough = false;
+    batch_window = Simtime.zero;
+  }
+
+let schema : Config.schema =
+  [
+    Config.abcast_impl_key;
+    Config.client_retry_key ~default:(Simtime.of_ms 500);
+    Config.passthrough_key;
+    Config.batch_window_key;
+  ]
+
+let config_of cfg =
+  {
+    abcast_impl = Config.abcast_impl_of_enum (Config.get_enum cfg "abcast_impl");
+    client_retry = Config.get_time cfg "client_retry";
+    passthrough = Config.get_bool cfg "passthrough";
+    batch_window = Config.get_time cfg "batch_window";
   }
 
 let info =
@@ -47,7 +65,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
   let ctx = Common.make net ~replicas ~clients in
   let ab =
     Group.Abcast.create_group net ~members:replicas ~impl:config.abcast_impl
-      ~passthrough:config.passthrough ()
+      ~passthrough:config.passthrough ~batch_window:config.batch_window ()
   in
   let chan_group =
     Group.Rchan.create_group net ~nodes:(replicas @ clients)

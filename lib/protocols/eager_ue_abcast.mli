@@ -13,9 +13,13 @@ type config = {
   abcast_impl : Group.Abcast.impl;
   client_retry : Sim.Simtime.t;
   passthrough : bool;
+  batch_window : Sim.Simtime.t;
+      (** sequencer-side request batching window (0 = off) *)
 }
 
 val default_config : config
+val schema : Config.schema
+val config_of : Config.t -> config
 
 val create :
   Sim.Network.t ->

@@ -61,6 +61,40 @@ let default_config =
     passthrough = false;
   }
 
+let schema : Config.schema =
+  [
+    {
+      Config.name = "read_one_write_all";
+      ty = Config.TBool;
+      default = Config.Bool false;
+      doc = "lock and execute reads at the delegate only (ROWA)";
+    };
+    {
+      Config.name = "lock_quorum";
+      ty = Config.TOpt_int;
+      default = Config.Opt_int None;
+      doc =
+        "grants needed before executing (quorum locking); none = all sites";
+    };
+    {
+      Config.name = "lock_timeout";
+      ty = Config.TTime;
+      default = Config.Time (Simtime.of_ms 250);
+      doc = "deadlock-avoidance timeout: abort and release after this wait";
+    };
+    Config.client_retry_key ~default:(Simtime.of_ms 600);
+    Config.passthrough_key;
+  ]
+
+let config_of cfg =
+  {
+    read_one_write_all = Config.get_bool cfg "read_one_write_all";
+    lock_quorum = Config.get_opt_int cfg "lock_quorum";
+    lock_timeout = Config.get_time cfg "lock_timeout";
+    client_retry = Config.get_time cfg "client_retry";
+    passthrough = Config.get_bool cfg "passthrough";
+  }
+
 let info =
   {
     Core.Technique.name = "Eager update everywhere (distributed locking)";

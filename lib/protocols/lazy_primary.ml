@@ -21,6 +21,28 @@ let default_config =
     passthrough = false;
   }
 
+let propagation_delay_key =
+  {
+    Config.name = "propagation_delay";
+    ty = Config.TTime;
+    default = Config.Time (Simtime.of_ms 5);
+    doc = "lazy refresh delay after the reply (the paper's §5.3 window)";
+  }
+
+let schema : Config.schema =
+  [
+    Config.client_retry_key ~default:(Simtime.of_ms 400);
+    propagation_delay_key;
+    Config.passthrough_key;
+  ]
+
+let config_of cfg =
+  {
+    client_retry = Config.get_time cfg "client_retry";
+    propagation_delay = Config.get_time cfg "propagation_delay";
+    passthrough = Config.get_bool cfg "passthrough";
+  }
+
 let info =
   {
     Core.Technique.name = "Lazy primary copy";

@@ -19,6 +19,8 @@ type config = {
 }
 
 val default_config : config
+val schema : Config.schema
+val config_of : Config.t -> config
 
 val create :
   Sim.Network.t ->

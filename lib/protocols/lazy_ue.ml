@@ -23,6 +23,29 @@ let default_config =
     passthrough = false;
   }
 
+let schema : Config.schema =
+  [
+    Config.abcast_impl_key;
+    Config.client_retry_key ~default:(Simtime.of_ms 400);
+    {
+      Config.name = "propagation_delay";
+      ty = Config.TTime;
+      default = Config.Time (Simtime.of_ms 5);
+      doc =
+        "delay before the writeset's reconciliation broadcast (the lazy \
+         window in which replicas diverge)";
+    };
+    Config.passthrough_key;
+  ]
+
+let config_of cfg =
+  {
+    abcast_impl = Config.abcast_impl_of_enum (Config.get_enum cfg "abcast_impl");
+    client_retry = Config.get_time cfg "client_retry";
+    propagation_delay = Config.get_time cfg "propagation_delay";
+    passthrough = Config.get_bool cfg "passthrough";
+  }
+
 let info =
   {
     Core.Technique.name = "Lazy update everywhere";

@@ -21,6 +21,15 @@ type config = { client_retry : Simtime.t; passthrough : bool }
 let default_config =
   { client_retry = Simtime.of_ms 400; passthrough = false }
 
+let schema : Config.schema =
+  [ Config.client_retry_key ~default:(Simtime.of_ms 400); Config.passthrough_key ]
+
+let config_of cfg =
+  {
+    client_retry = Config.get_time cfg "client_retry";
+    passthrough = Config.get_bool cfg "passthrough";
+  }
+
 let info =
   {
     Core.Technique.name = "Passive replication";

@@ -4,51 +4,133 @@
 type factory =
   Sim.Network.t -> replicas:int list -> clients:int list -> Core.Technique.instance
 
-(** [all] lists (key, info, factory) with default configurations. The key
-    is the CLI/bench identifier. *)
-let all : (string * Core.Technique.info * factory) list =
+type entry = {
+  key : string;
+  info : Core.Technique.info;
+  schema : Config.schema;
+  build : Config.t -> factory;
+}
+
+(* Every [build] resolves the technique's typed configuration into its
+   concrete [config] record and closes over it — the single construction
+   path shared by the CLI, the benches and the tests. *)
+let all : entry list =
   [
-    ( "active",
-      Active.info,
-      fun net ~replicas ~clients -> Active.create net ~replicas ~clients () );
-    ( "passive",
-      Passive.info,
-      fun net ~replicas ~clients -> Passive.create net ~replicas ~clients () );
-    ( "semi-active",
-      Semi_active.info,
-      fun net ~replicas ~clients -> Semi_active.create net ~replicas ~clients ()
-    );
-    ( "semi-passive",
-      Semi_passive.info,
-      fun net ~replicas ~clients ->
-        Semi_passive.create net ~replicas ~clients () );
-    ( "eager-primary",
-      Eager_primary.info,
-      fun net ~replicas ~clients ->
-        Eager_primary.create net ~replicas ~clients () );
-    ( "eager-ue-locking",
-      Eager_ue_locking.info,
-      fun net ~replicas ~clients ->
-        Eager_ue_locking.create net ~replicas ~clients () );
-    ( "eager-ue-abcast",
-      Eager_ue_abcast.info,
-      fun net ~replicas ~clients ->
-        Eager_ue_abcast.create net ~replicas ~clients () );
-    ( "lazy-primary",
-      Lazy_primary.info,
-      fun net ~replicas ~clients -> Lazy_primary.create net ~replicas ~clients ()
-    );
-    ( "lazy-ue",
-      Lazy_ue.info,
-      fun net ~replicas ~clients -> Lazy_ue.create net ~replicas ~clients () );
-    ( "certification",
-      Certification_based.info,
-      fun net ~replicas ~clients ->
-        Certification_based.create net ~replicas ~clients () );
+    {
+      key = "active";
+      info = Active.info;
+      schema = Active.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Active.create net ~replicas ~clients ~config:(Active.config_of cfg) ());
+    };
+    {
+      key = "passive";
+      info = Passive.info;
+      schema = Passive.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Passive.create net ~replicas ~clients ~config:(Passive.config_of cfg)
+            ());
+    };
+    {
+      key = "semi-active";
+      info = Semi_active.info;
+      schema = Semi_active.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Semi_active.create net ~replicas ~clients
+            ~config:(Semi_active.config_of cfg) ());
+    };
+    {
+      key = "semi-passive";
+      info = Semi_passive.info;
+      schema = Semi_passive.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Semi_passive.create net ~replicas ~clients
+            ~config:(Semi_passive.config_of cfg) ());
+    };
+    {
+      key = "eager-primary";
+      info = Eager_primary.info;
+      schema = Eager_primary.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Eager_primary.create net ~replicas ~clients
+            ~config:(Eager_primary.config_of cfg) ());
+    };
+    {
+      key = "eager-ue-locking";
+      info = Eager_ue_locking.info;
+      schema = Eager_ue_locking.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Eager_ue_locking.create net ~replicas ~clients
+            ~config:(Eager_ue_locking.config_of cfg) ());
+    };
+    {
+      key = "eager-ue-abcast";
+      info = Eager_ue_abcast.info;
+      schema = Eager_ue_abcast.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Eager_ue_abcast.create net ~replicas ~clients
+            ~config:(Eager_ue_abcast.config_of cfg) ());
+    };
+    {
+      key = "lazy-primary";
+      info = Lazy_primary.info;
+      schema = Lazy_primary.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Lazy_primary.create net ~replicas ~clients
+            ~config:(Lazy_primary.config_of cfg) ());
+    };
+    {
+      key = "lazy-ue";
+      info = Lazy_ue.info;
+      schema = Lazy_ue.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Lazy_ue.create net ~replicas ~clients ~config:(Lazy_ue.config_of cfg)
+            ());
+    };
+    {
+      key = "certification";
+      info = Certification_based.info;
+      schema = Certification_based.schema;
+      build =
+        (fun cfg net ~replicas ~clients ->
+          Certification_based.create net ~replicas ~clients
+            ~config:(Certification_based.config_of cfg) ());
+    };
   ]
 
-let find key =
-  List.find_opt (fun (k, _, _) -> String.equal k key) all
+let keys = List.map (fun e -> e.key) all
+let infos = List.map (fun e -> e.info) all
 
-let keys = List.map (fun (k, _, _) -> k) all
-let infos = List.map (fun (_, i, _) -> i) all
+let find key = List.find_opt (fun e -> String.equal e.key key) all
+
+(* Unknown techniques must name the alternatives, exactly like unknown
+   config keys do. *)
+let find_res key =
+  match find key with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf "unknown technique %S (valid techniques: %s)" key
+           (String.concat ", " keys))
+
+let default_config e = Config.defaults e.schema
+let default_factory e = e.build (default_config e)
+
+let configure e pairs =
+  match Config.apply e.schema pairs with
+  | Ok cfg -> Ok (cfg, e.build cfg)
+  | Error msg -> Error (Printf.sprintf "technique %s: %s" e.key msg)
+
+let configure_exn e pairs =
+  match configure e pairs with
+  | Ok (_, factory) -> factory
+  | Error msg -> invalid_arg msg

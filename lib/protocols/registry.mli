@@ -7,10 +7,37 @@ type factory =
   clients:int list ->
   Core.Technique.instance
 
-(** (cli key, classification metadata, constructor with default
-    configuration), one entry per technique. *)
-val all : (string * Core.Technique.info * factory) list
+(** One technique: CLI key, classification metadata, configuration
+    schema, and a constructor taking a resolved configuration. *)
+type entry = {
+  key : string;
+  info : Core.Technique.info;
+  schema : Config.schema;
+  build : Config.t -> factory;
+}
 
-val find : string -> (string * Core.Technique.info * factory) option
+val all : entry list
 val keys : string list
 val infos : Core.Technique.info list
+
+val find : string -> entry option
+
+(** Like {!find}, but an unknown key's error message lists the valid
+    technique keys. *)
+val find_res : string -> (entry, string) result
+
+(** The entry's schema defaults, resolved. *)
+val default_config : entry -> Config.t
+
+(** Constructor under the schema defaults. *)
+val default_factory : entry -> factory
+
+(** [configure e pairs] resolves raw [key=value] pairs against the
+    entry's schema (unknown keys fail, listing the valid ones) and
+    returns the resolved configuration together with the constructor. *)
+val configure :
+  entry -> (string * string) list -> (Config.t * factory, string) result
+
+(** [configure] for static sweeps whose settings are known valid;
+    raises [Invalid_argument] otherwise. *)
+val configure_exn : entry -> (string * string) list -> factory

@@ -4,9 +4,28 @@ type Msg.t +=
   | Req of { cid : int; client : int; request : Store.Operation.request }
   | Choice of { cid : int; rid : int; choices : (Store.Operation.key * int) list }
 
-type config = { abcast_impl : Group.Abcast.impl; passthrough : bool }
+type config = {
+  abcast_impl : Group.Abcast.impl;
+  passthrough : bool;
+  batch_window : Sim.Simtime.t;
+}
 
-let default_config = { abcast_impl = Group.Abcast.Sequencer; passthrough = false }
+let default_config =
+  {
+    abcast_impl = Group.Abcast.Sequencer;
+    passthrough = false;
+    batch_window = Sim.Simtime.zero;
+  }
+
+let schema : Config.schema =
+  [ Config.abcast_impl_key; Config.passthrough_key; Config.batch_window_key ]
+
+let config_of cfg =
+  {
+    abcast_impl = Config.abcast_impl_of_enum (Config.get_enum cfg "abcast_impl");
+    passthrough = Config.get_bool cfg "passthrough";
+    batch_window = Config.get_time cfg "batch_window";
+  }
 
 let info =
   {
@@ -50,7 +69,8 @@ let create net ~replicas ~clients ?(config = default_config) () =
   let ctx = Common.make net ~replicas ~clients in
   let ab =
     Group.Abcast.create_group net ~members:replicas ~clients
-      ~impl:config.abcast_impl ~passthrough:config.passthrough ()
+      ~impl:config.abcast_impl ~passthrough:config.passthrough
+      ~batch_window:config.batch_window ()
   in
   let vs_group =
     Group.Vscast.create_group net ~members:replicas

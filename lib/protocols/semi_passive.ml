@@ -17,6 +17,10 @@ type config = { passthrough : bool }
 
 let default_config = { passthrough = false }
 
+let schema : Config.schema = [ Config.passthrough_key ]
+
+let config_of cfg = { passthrough = Config.get_bool cfg "passthrough" }
+
 let info =
   {
     Core.Technique.name = "Semi-passive replication";

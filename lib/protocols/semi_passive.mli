@@ -16,6 +16,8 @@
 type config = { passthrough : bool }
 
 val default_config : config
+val schema : Config.schema
+val config_of : Config.t -> config
 
 val create :
   Sim.Network.t ->

@@ -17,10 +17,14 @@ type t = {
   bench : string;
   seed : int;
   n_replicas : int;
+  config : (string * string) list;
+      (* non-default technique settings the bench ran under, echoed into
+         the header so the file names the configuration that produced it *)
   mutable rows_rev : row list;
 }
 
-let create ~bench ~seed ~n_replicas = { bench; seed; n_replicas; rows_rev = [] }
+let create ?(config = []) ~bench ~seed ~n_replicas () =
+  { bench; seed; n_replicas; config; rows_rev = [] }
 
 let add t ~metric ~technique ?(unit_ = "") ?(params = []) value =
   t.rows_rev <- { metric; technique; unit_; params; value } :: t.rows_rev
@@ -39,9 +43,20 @@ let row_to_json r =
     (esc r.metric) (esc r.technique) (esc r.unit_) params (jf r.value)
 
 let to_json t =
+  let config =
+    match t.config with
+    | [] -> ""
+    | kvs ->
+        ",\"config\":{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v))
+               kvs)
+        ^ "}"
+  in
   Printf.sprintf
-    "{\"type\":\"bench\",\"version\":\"%s\",\"bench\":\"%s\",\"seed\":%d,\"n_replicas\":%d,\"results\":[%s]}"
-    Report.version (esc t.bench) t.seed t.n_replicas
+    "{\"type\":\"bench\",\"version\":\"%s\",\"bench\":\"%s\",\"seed\":%d,\"n_replicas\":%d%s,\"results\":[%s]}"
+    Report.version (esc t.bench) t.seed t.n_replicas config
     (String.concat "," (List.rev_map row_to_json t.rows_rev |> List.rev))
 
 let filename t = "BENCH_" ^ t.bench ^ ".json"

@@ -15,7 +15,11 @@
 
 type t
 
-val create : bench:string -> seed:int -> n_replicas:int -> t
+(** [config] (default empty): non-default technique settings the bench
+    ran under, echoed as a ["config"] object in the file header. *)
+val create :
+  ?config:(string * string) list ->
+  bench:string -> seed:int -> n_replicas:int -> unit -> t
 
 val add :
   t ->

@@ -3,18 +3,34 @@ let version = "1.1.0"
 
 (* Every JSONL export (run, campaign, metrics, explain, timeline) opens
    with this header record so a file is self-describing: which tool
-   version, seed and cluster shape produced it. *)
-let header_json ?(extra = []) ~seed ~technique ~n_replicas () =
+   version, seed, cluster shape — and, when any technique parameter was
+   set, exactly which configuration — produced it. [config] is a list of
+   (key, value) strings, e.g. the resolved technique configuration or
+   the applied --set directives. *)
+let header_json ?(extra = []) ?(config = []) ~seed ~technique ~n_replicas () =
   let extra =
     extra
     |> List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" (Sim.Metrics.json_escape k) v)
     |> String.concat ""
   in
+  let config =
+    match config with
+    | [] -> ""
+    | kvs ->
+        ",\"config\":{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "\"%s\":\"%s\"" (Sim.Metrics.json_escape k)
+                   (Sim.Metrics.json_escape v))
+               kvs)
+        ^ "}"
+  in
   Printf.sprintf
-    "{\"type\":\"header\",\"version\":\"%s\",\"seed\":%d,\"technique\":\"%s\",\"n_replicas\":%d%s}"
+    "{\"type\":\"header\",\"version\":\"%s\",\"seed\":%d,\"technique\":\"%s\",\"n_replicas\":%d%s%s}"
     version seed
     (Sim.Metrics.json_escape technique)
-    n_replicas extra
+    n_replicas config extra
 
 (* RFC 4180-style quoting: labels like "active,n=3,upd=0.5" must not
    break the column count, so any field containing a comma, quote or

@@ -6,9 +6,12 @@ val version : string
 
 (** The common JSONL header record ([{"type":"header",...}]) every
     machine-readable export opens with. [extra] appends pre-rendered
-    JSON values under additional keys. *)
+    JSON values under additional keys; [config] (when non-empty) is
+    rendered as a ["config"] object of key/value strings naming the
+    exact technique configuration that produced the export. *)
 val header_json :
   ?extra:(string * string) list ->
+  ?config:(string * string) list ->
   seed:int -> technique:string -> n_replicas:int -> unit -> string
 
 (** Quote a field RFC 4180-style when it contains a comma, double quote

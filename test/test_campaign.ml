@@ -10,6 +10,14 @@ let scenario name =
   | Some s -> s
   | None -> Alcotest.failf "unknown scenario %s" name
 
+(* Tuple view of the registry under default configuration, for the
+   sweeps below. *)
+let registry_entries =
+  List.map
+    (fun (e : Protocols.Registry.entry) ->
+      (e.Protocols.Registry.key, e.info, Protocols.Registry.default_factory e))
+    Protocols.Registry.all
+
 let conformance () =
   let scenarios =
     List.map scenario [ "crash"; "crash-recover"; "partition-heal"; "loss" ]
@@ -29,11 +37,11 @@ let conformance () =
                 true v.ok)
             outcome.Workload.Scenario.verdicts)
         scenarios)
-    Protocols.Registry.all
+    registry_entries
 
 let passive_factory () =
   match Protocols.Registry.find "passive" with
-  | Some (_, _, factory) -> factory
+  | Some entry -> Protocols.Registry.default_factory entry
   | None -> Alcotest.fail "passive not registered"
 
 let spec =

@@ -3,9 +3,17 @@
    behind `replisim explain`: constant 1 ms links, one client, one
    update transaction, everything measured from message spans. *)
 
+(* Tuple view of the registry under default configuration, for the
+   sweeps below. *)
+let registry_entries =
+  List.map
+    (fun (e : Protocols.Registry.entry) ->
+      (e.Protocols.Registry.key, e.info, Protocols.Registry.default_factory e))
+    Protocols.Registry.all
+
 let run_one ?(n = 3) ?(seed = 7) ?(drop = 0.0) key =
   let _, info, factory =
-    List.find (fun (k, _, _) -> k = key) Protocols.Registry.all
+    List.find (fun (k, _, _) -> k = key) registry_entries
   in
   let engine = Sim.Engine.create ~seed () in
   let config =
@@ -84,7 +92,7 @@ let test_matrix () =
           Alcotest.(check int)
             (Printf.sprintf "%s n=%d steps" key n)
             info.Core.Technique.expected_steps s.Sim.Msg_dag.steps)
-        Protocols.Registry.all)
+        registry_entries)
     [ 3; 4 ]
 
 (* Property: whatever the seed, technique and loss rate, the message DAG
@@ -95,10 +103,10 @@ let prop_causally_sound =
   QCheck.Test.make ~count:40 ~name:"message DAG causally sound"
     QCheck.(
       triple (int_bound 9999)
-        (int_bound (List.length Protocols.Registry.all - 1))
+        (int_bound (List.length registry_entries - 1))
         (int_bound 25))
     (fun (seed, ti, drop_pct) ->
-      let key, _, _ = List.nth Protocols.Registry.all ti in
+      let key, _, _ = List.nth registry_entries ti in
       let drop = float_of_int drop_pct /. 100. in
       let _, collector, rid, s = run_one ~seed ~drop key in
       Sim.Msg_dag.causally_sound collector ~trace:rid

@@ -6,6 +6,14 @@
 
 open Sim
 
+(* Tuple view of the registry under default configuration, for the
+   sweeps below. *)
+let registry_entries =
+  List.map
+    (fun (e : Protocols.Registry.entry) ->
+      (e.Protocols.Registry.key, e.info, Protocols.Registry.default_factory e))
+    Protocols.Registry.all
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let phase = Alcotest.testable Core.Phase.pp Core.Phase.equal
@@ -1146,7 +1154,7 @@ let crash_fuzz_suite =
           ]
       then Some (QCheck_alcotest.to_alcotest (prop_crash_fuzz entry))
       else None)
-    Protocols.Registry.all
+    registry_entries
 
 
 let test_eager_primary_3pc () =
@@ -1437,7 +1445,10 @@ let replace_all ~sub ~by s =
   Buffer.contents buf
 
 let export_one_txn key =
-  let _, _, factory = Option.get (Protocols.Registry.find key) in
+  let factory =
+    Protocols.Registry.default_factory
+      (Option.get (Protocols.Registry.find key))
+  in
   let h = setup factory in
   let client = List.hd h.clients in
   let slot =
@@ -1525,7 +1536,7 @@ let generic_suite =
         tc (key ^ ": multi-op transactions") (test_multi_op_transactions entry);
         tc (key ^ ": span conformance") (test_span_conformance entry);
       ])
-    Protocols.Registry.all
+    registry_entries
 
 let observability_suite =
   [
@@ -1540,7 +1551,7 @@ let observability_suite =
 let property_suite =
   List.map
     (fun entry -> QCheck_alcotest.to_alcotest (prop_strong_technique entry))
-    Protocols.Registry.all
+    registry_entries
 
 let () =
   Alcotest.run "protocols"
