@@ -1018,6 +1018,126 @@ let batching () =
      holds a single request and only adds its width to the latency.@.";
   ignore (Workload.Bench_out.write out)
 
+(* --- perf15: simulator self-throughput (meta-benchmark) ----------------- *)
+
+(* The only perf* experiment whose subject is the simulator itself: a
+   large run (>= 1e5 transactions by default, n=32) with the engine
+   profiler attached, once with tracing off (the headline events/s and
+   txns/s the scale roadmap depends on) and once with tracing on (the
+   measured cost of the observability stack — the lazy-span gate's
+   before/after). Post-run oracles are skipped ([analyze:false]): at this
+   size their cost would dwarf the engine's. The tracing-on leg runs a
+   fraction of the transactions — span memory is O(txns) — and the
+   comparison uses events/s, which is size-independent.
+
+   PERF15_TXNS overrides the total transaction count (CI smoke runs use
+   a small value; the floor gate in ci/check.sh re-runs bench-check
+   against whatever this wrote). *)
+let simulator_throughput () =
+  let total =
+    match Option.bind (Sys.getenv_opt "PERF15_TXNS") int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> 100_000
+  in
+  let n = 32 and clients = 8 in
+  let technique_name = "lazy-primary" in
+  section
+    (Printf.sprintf
+       "perf15 — Simulator self-throughput: events/s and txns/s of wall \
+        time, tracing off vs on (n=%d, %s, 10%% updates, %d txns)"
+       n technique_name total);
+  let spec txns =
+    {
+      Workload.Spec.default with
+      update_ratio = 0.1;
+      txns_per_client = txns;
+      n_keys = 1_000;
+    }
+  in
+  let leg ~tracing ~txns =
+    let profiler = Sim.Profiler.create () in
+    let builder =
+      Workload.Builder.make ~seed:11 ~replicas:n ~clients ~spec:(spec txns)
+        ~profiler ~tracing ~analyze:false
+        ~deadline:(Simtime.of_sec 3600.)
+        ()
+    in
+    let result = Workload.Builder.run builder (technique technique_name) in
+    (Sim.Profiler.report profiler, result)
+  in
+  let out =
+    Workload.Bench_out.create
+      ~config:[ ("update_ratio", "0.1"); ("passthrough", "true") ]
+      ~bench:"perf15" ~seed:11 ~n_replicas:n ()
+  in
+  Fmt.pr "%-10s %10s %10s %12s %12s %14s %10s@." "tracing" "txns" "events"
+    "events/s" "txns/s" "heap peak (w)" "spans";
+  let record label (report : Sim.Profiler.report)
+      (result : Workload.Runner.result) txns =
+    let wall = result.Workload.Runner.wall_s in
+    let txps =
+      if wall > 0. then float_of_int result.Workload.Runner.committed /. wall
+      else 0.
+    in
+    let params = [ ("tracing", label); ("txns", string_of_int txns) ] in
+    Workload.Bench_out.add out ~metric:"events_per_sec"
+      ~technique:technique_name ~unit_:"events/s" ~params
+      report.Sim.Profiler.p_events_per_sec;
+    Workload.Bench_out.add out ~metric:"txns_per_sec"
+      ~technique:technique_name ~unit_:"txn/s" ~params txps;
+    Workload.Bench_out.add out ~metric:"peak_heap_words"
+      ~technique:technique_name ~unit_:"words" ~params
+      (float_of_int report.Sim.Profiler.p_heap_peak_words);
+    Workload.Bench_out.add out ~metric:"events" ~technique:technique_name
+      ~unit_:"events" ~params
+      (float_of_int report.Sim.Profiler.p_events);
+    Workload.Bench_out.add out ~metric:"spans_created"
+      ~technique:technique_name ~unit_:"spans" ~params
+      (float_of_int report.Sim.Profiler.p_spans_created);
+    List.iter
+      (fun (r : Sim.Profiler.row) ->
+        Workload.Bench_out.add out ~metric:"bucket_wall_share"
+          ~technique:technique_name ~unit_:"share"
+          ~params:(params @ [ ("label", r.r_label) ])
+          r.r_wall_share)
+      report.Sim.Profiler.p_buckets;
+    Fmt.pr "%-10s %10d %10d %12.0f %12.0f %14d %10d@." label
+      (result.Workload.Runner.committed + result.Workload.Runner.aborted)
+      report.Sim.Profiler.p_events report.Sim.Profiler.p_events_per_sec txps
+      report.Sim.Profiler.p_heap_peak_words
+      report.Sim.Profiler.p_spans_created;
+    txps
+  in
+  let txns_off = max 1 (total / clients) in
+  let txns_on = max 1 (total / clients / 20) in
+  let report_off, result_off = leg ~tracing:false ~txns:txns_off in
+  let report_on, result_on = leg ~tracing:true ~txns:txns_on in
+  ignore (record "off" report_off result_off (txns_off * clients));
+  ignore (record "on" report_on result_on (txns_on * clients));
+  let evps_off = report_off.Sim.Profiler.p_events_per_sec in
+  let evps_on = report_on.Sim.Profiler.p_events_per_sec in
+  let overhead_pct =
+    if evps_on > 0. then 100. *. (evps_off /. evps_on -. 1.) else 0.
+  in
+  Workload.Bench_out.add out ~metric:"tracing_overhead_pct"
+    ~technique:technique_name ~unit_:"%" ~params:[] overhead_pct;
+  Fmt.pr
+    "@.verdict: tracing off runs %.0f%% faster per event than tracing on@."
+    overhead_pct;
+  Fmt.pr "top buckets (tracing off, by self time):@.";
+  List.iteri
+    (fun i r -> if i < 5 then Fmt.pr "  %a@." Sim.Profiler.pp_row r)
+    (List.sort
+       (fun (a : Sim.Profiler.row) b -> compare b.r_wall_ms a.r_wall_ms)
+       report_off.Sim.Profiler.p_buckets);
+  Fmt.pr
+    "@.Reading: with the tracing gate off, span records are never@.\
+     materialised (Network.set_tracing short-circuits message spans and@.\
+     phase marks), so the off-leg's events/s is the engine's raw speed@.\
+     and the on/off gap is the full, measured price of the observability@.\
+     stack at this workload.@.";
+  ignore (Workload.Bench_out.write out)
+
 let all =
   [
     ("perf1", latency_vs_replicas);
@@ -1034,4 +1154,5 @@ let all =
     ("perf12", tail_latency);
     ("perf13", resource_trajectory);
     ("perf14", batching);
+    ("perf15", simulator_throughput);
   ]

@@ -114,6 +114,7 @@ let run_cmd =
           (String.concat " "
              (List.map (fun (k, v) -> k ^ "=" ^ v) pairs)));
     Fmt.pr "result    : %a@." Workload.Runner.pp_result result;
+    Fmt.pr "engine    : %s@." (Workload.Report.engine_summary result);
     Fmt.pr "latencies : all [%a]@." Workload.Stats.pp_summary
       result.Workload.Runner.latency_ms;
     Fmt.pr "            upd [%a]@." Workload.Stats.pp_summary
@@ -883,6 +884,187 @@ let timeline_cmd =
       $ Cli.txns_arg ~default:25 () $ Cli.seed_arg () $ interval $ until
       $ format $ check)
 
+(* ---- profile -------------------------------------------------------- *)
+
+let profile_csv_header =
+  "label,events,wall_ms,wall_share,alloc_words,alloc_share"
+
+let profile_cmd =
+  let doc =
+    "Profile the simulator itself: run a workload with the engine's \
+     self-profiler attached and report where the simulator's wall time and \
+     allocation go, per handler label (network delivery, client arrivals, \
+     protocol timers, sampling), plus event-loop statistics and the \
+     measured cost of the observability stack (spans, samples, trace \
+     bytes)."
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show the top N buckets by self time (text format only).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text) (top-N table), $(b,json) (one profile \
+             object) or $(b,csv) (one row per bucket).")
+  in
+  let no_tracing =
+    Arg.(
+      value & flag
+      & info [ "no-tracing" ]
+          ~doc:
+            "Switch span/trace recording off for the run — profiles the \
+             bare engine; compare against a default run to price the \
+             observability stack.")
+  in
+  let sample =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample" ] ~docv:"MS"
+          ~doc:"Also run the resource sampler at this virtual-ms interval.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Self-test: re-parse the profile JSON, verify per-bucket event \
+             counts sum to the events executed and that wall/alloc shares \
+             sum to ~1.0; exit 1 on failure.")
+  in
+  let run (entry : Protocols.Registry.entry) directives n m updates txns seed
+      top format no_tracing sample check =
+    let _cfg, factory = Cli.resolve entry directives in
+    let spec = Workload.Builder.spec ~updates ~txns () in
+    let profiler = Sim.Profiler.create () in
+    let builder =
+      Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ~profiler
+        ~tracing:(not no_tracing)
+        ?sample:(Option.map Sim.Simtime.of_ms sample)
+        ()
+    in
+    let result, inst = Workload.Builder.run_with_instance builder factory in
+    (* Price the trace export itself (only meaningful with tracing on):
+       the serialized bytes count into the profile's meta counters and
+       the export wall/alloc cost lands in its own bucket. *)
+    if not no_tracing then begin
+      let jsonl =
+        Sim.Profiler.measure profiler ~label:"trace:export" (fun () ->
+            Sim.Trace_export.to_jsonl
+              (Core.Phase_span.collector inst.Core.Technique.spans))
+      in
+      Sim.Profiler.add_trace_bytes profiler (String.length jsonl)
+    end;
+    let report = Sim.Profiler.report profiler in
+    let json () =
+      Sim.Profiler.report_to_json
+        ~extra:
+          [
+            ("technique", Printf.sprintf "%S" entry.key);
+            ("seed", string_of_int seed);
+            ("n_replicas", string_of_int n);
+            ("tracing", string_of_bool (not no_tracing));
+          ]
+        report
+    in
+    (match format with
+    | `Json -> print_endline (json ())
+    | `Csv ->
+        print_endline profile_csv_header;
+        List.iter
+          (fun (r : Sim.Profiler.row) ->
+            Printf.printf "%s,%d,%.3f,%.4f,%.0f,%.4f\n"
+              (Workload.Report.csv_escape r.r_label)
+              r.r_events r.r_wall_ms r.r_wall_share r.r_alloc_w r.r_alloc_share)
+          report.Sim.Profiler.p_buckets
+    | `Text ->
+        Fmt.pr "technique : %s   seed : %d   n : %d   tracing : %b@." entry.key
+          seed n (not no_tracing);
+        Fmt.pr "result    : %a@." Workload.Runner.pp_result result;
+        Fmt.pr "engine    : %s@." (Workload.Report.engine_summary result);
+        Fmt.pr
+          "loop      : %d scheduled, %d cancelled-discarded, queue peak %d@."
+          report.Sim.Profiler.p_scheduled report.Sim.Profiler.p_cancelled
+          report.Sim.Profiler.p_queue_peak;
+        Fmt.pr
+          "memory    : %.0f words allocated in events, heap peak %d words@."
+          report.Sim.Profiler.p_alloc_words
+          report.Sim.Profiler.p_heap_peak_words;
+        Fmt.pr "meta      : %d spans, %d samples, %d trace bytes@."
+          report.Sim.Profiler.p_spans_created
+          report.Sim.Profiler.p_samples_taken report.Sim.Profiler.p_trace_bytes;
+        let by_wall =
+          List.sort
+            (fun (a : Sim.Profiler.row) (b : Sim.Profiler.row) ->
+              compare b.r_wall_ms a.r_wall_ms)
+            report.Sim.Profiler.p_buckets
+        in
+        Fmt.pr "@.top %d of %d buckets by self time:@." top
+          (List.length by_wall);
+        Fmt.pr "%-18s %12s %13s %6s %14s %6s@." "label" "events" "wall" "" ""
+          "alloc";
+        List.iteri
+          (fun i r ->
+            if i < top then Fmt.pr "%a@." Sim.Profiler.pp_row r)
+          by_wall);
+    if check then begin
+      let parsed = Workload.Bench_out.parse (json ()) in
+      let fail msg =
+        Fmt.epr "profile --check: %s@." msg;
+        exit 1
+      in
+      match parsed with
+      | Error e -> fail ("profile JSON does not parse: " ^ e)
+      | Ok _ ->
+          (* The trace:export bucket is an off-loop [measure], not an
+             engine event — the executed-events identity excludes it. *)
+          let bucket_events =
+            List.fold_left
+              (fun acc (r : Sim.Profiler.row) ->
+                if r.r_label = "trace:export" then acc else acc + r.r_events)
+              0 report.Sim.Profiler.p_buckets
+          in
+          if bucket_events <> report.Sim.Profiler.p_events then
+            fail
+              (Printf.sprintf "bucket events %d <> events executed %d"
+                 bucket_events report.Sim.Profiler.p_events);
+          let share_sum f =
+            List.fold_left
+              (fun acc r -> acc +. f r)
+              0. report.Sim.Profiler.p_buckets
+          in
+          let wall_sum = share_sum (fun r -> r.Sim.Profiler.r_wall_share) in
+          let alloc_sum = share_sum (fun r -> r.Sim.Profiler.r_alloc_share) in
+          let ok_sum label total sum =
+            (* All-zero shares are legitimate when nothing of that
+               resource was measured (sub-microsecond runs). *)
+            if total <= 0. then ()
+            else if Float.abs (sum -. 1.0) > 0.02 then
+              fail (Printf.sprintf "%s shares sum to %.4f, not ~1.0" label sum)
+          in
+          ok_sum "wall" report.Sim.Profiler.p_self_wall_s wall_sum;
+          ok_sum "alloc" report.Sim.Profiler.p_alloc_words alloc_sum;
+          (* stderr: --check must not pollute machine-readable stdout. *)
+          Fmt.epr
+            "profile --check: OK (%d buckets, %d events attributed, shares \
+             wall=%.3f alloc=%.3f)@."
+            (List.length report.Sim.Profiler.p_buckets)
+            report.Sim.Profiler.p_events wall_sum alloc_sum
+    end
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ Cli.technique_arg $ Cli.directives_term
+      $ Cli.replicas_arg () $ Cli.clients_arg () $ Cli.updates_arg
+      $ Cli.txns_arg () $ Cli.seed_arg () $ top $ format $ no_tracing
+      $ sample $ check)
+
 (* ---- bench-check ---------------------------------------------------- *)
 
 let bench_check_cmd =
@@ -897,19 +1079,70 @@ let bench_check_cmd =
       non_empty & pos_all file []
       & info [] ~docv:"FILE" ~doc:"BENCH_*.json files to validate.")
   in
-  let run files =
+  (* BENCH:METRIC:MIN, e.g. perf15:events_per_sec:50000 *)
+  let floor_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ bench; metric; min_s ] -> (
+          match float_of_string_opt min_s with
+          | Some min_value when bench <> "" && metric <> "" ->
+              Ok (bench, metric, min_value)
+          | _ -> Error (`Msg "expected BENCH:METRIC:MIN with numeric MIN")
+      )
+      | _ -> Error (`Msg "expected BENCH:METRIC:MIN, e.g. perf15:events_per_sec:50000")
+    in
+    let print ppf (b, m, v) = Format.fprintf ppf "%s:%s:%g" b m v in
+    Arg.conv (parse, print)
+  in
+  let floors =
+    Arg.(
+      value & opt_all floor_conv []
+      & info [ "floor" ] ~docv:"BENCH:METRIC:MIN"
+          ~doc:
+            "Require the best value of METRIC in BENCH's file to be at \
+             least MIN (repeatable) — the CI throughput gate, e.g. \
+             $(b,--floor perf15:events_per_sec:50000).")
+  in
+  let run files floors =
     let bad = ref 0 in
     List.iter
       (fun path ->
         match Workload.Bench_out.validate_file path with
-        | Ok () -> Fmt.pr "bench-check: %s OK@." path
         | Error msg ->
             incr bad;
-            Fmt.epr "bench-check: %s: %s@." path msg)
+            Fmt.epr "bench-check: %s: %s@." path msg
+        | Ok () -> (
+            Fmt.pr "bench-check: %s OK@." path;
+            let contents = In_channel.with_open_bin path In_channel.input_all in
+            match Workload.Bench_out.parse (String.trim contents) with
+            | Error _ -> () (* already validated; unreachable *)
+            | Ok doc ->
+                let bench =
+                  match doc with
+                  | Workload.Bench_out.Obj fields -> (
+                      match List.assoc_opt "bench" fields with
+                      | Some (Workload.Bench_out.Str b) -> b
+                      | _ -> "")
+                  | _ -> ""
+                in
+                List.iter
+                  (fun (b, metric, min_value) ->
+                    if b = bench then
+                      match
+                        Workload.Bench_out.check_floor doc ~metric ~min_value
+                      with
+                      | Ok best ->
+                          Fmt.pr
+                            "bench-check: %s floor %s>=%g OK (best %g)@."
+                            path metric min_value best
+                      | Error msg ->
+                          incr bad;
+                          Fmt.epr "bench-check: %s: %s@." path msg)
+                  floors))
       files;
     if !bad > 0 then exit 1
   in
-  Cmd.v (Cmd.info "bench-check" ~doc) Term.(const run $ files)
+  Cmd.v (Cmd.info "bench-check" ~doc) Term.(const run $ files $ floors)
 
 let () =
   let doc =
@@ -930,5 +1163,6 @@ let () =
             metrics_cmd;
             campaign_cmd;
             timeline_cmd;
+            profile_cmd;
             bench_check_cmd;
           ]))

@@ -61,4 +61,24 @@ dune exec bench/main.exe -- perf13 > /dev/null
 dune exec bench/main.exe -- perf14 > /dev/null
 dune exec bin/replisim.exe -- bench-check BENCH_perf*.json
 
+# Engine self-profile smoke: --check enforces the profiler's internal
+# identities on a live run (per-bucket event counts sum back to the
+# engine's executed-event counter; wall and allocation shares each sum
+# to ~1.0) and the JSON output must parse. Run with tracing on and off
+# so both sides of the lazy-span gate stay exercised.
+echo "== profile smoke =="
+dune exec bin/replisim.exe -- profile -t active --txns 20 \
+  --format json --check > /dev/null
+dune exec bin/replisim.exe -- profile -t lazy-primary --no-tracing --txns 20 \
+  --format json --check > /dev/null
+
+# Simulator-throughput gate: perf15 at a CI-sized transaction count,
+# then a floor roughly 20x below the measured baseline (~190k events/s
+# with tracing off at the full 1e5-txn size) so only order-of-magnitude
+# engine regressions trip it, not machine noise.
+echo "== simulator throughput floor =="
+PERF15_TXNS=4000 dune exec bench/main.exe -- perf15 > /dev/null
+dune exec bin/replisim.exe -- bench-check BENCH_perf15.json \
+  --floor perf15:events_per_sec:10000
+
 echo "== ci: OK =="

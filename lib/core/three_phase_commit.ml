@@ -272,7 +272,7 @@ let create_group net ~nodes ?fd ?rto ?passthrough
           ignore src;
           handle_msg group t msg);
       ignore
-        (Engine.periodic (Network.engine net) ~every:decision_timeout
+        (Engine.periodic (Network.engine net) ~label:"commit:timer" ~every:decision_timeout
            (Network.guard net me (fun () -> poll group t)));
       Hashtbl.replace group.handles me t)
     nodes;

@@ -148,7 +148,7 @@ let create_group net ~nodes ?rto ?passthrough ?participant_timeout ~vote ~learn
       Option.iter
         (fun delay ->
           ignore
-            (Engine.periodic (Network.engine net) ~every:delay
+            (Engine.periodic (Network.engine net) ~label:"commit:timer" ~every:delay
                (Network.guard net me (fun () ->
                     Hashtbl.iter
                       (fun txn coordinator ->
@@ -167,7 +167,7 @@ let start group ~coordinator ~participants ~txn ~on_complete =
     | None -> None
     | Some delay ->
         Some
-          (Engine.schedule (Network.engine group.net) ~after:delay (fun () ->
+          (Engine.schedule (Network.engine group.net) ~label:"commit:timer" ~after:delay (fun () ->
                match Hashtbl.find_opt t.rounds txn with
                | Some round when round.decided = None ->
                    (* Presumed abort: missing votes count as NO. *)

@@ -188,7 +188,7 @@ let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough () =
           Hashtbl.replace t.decided_log instance batch;
           apply_decisions t);
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 100)
+        (Engine.periodic (Network.engine net) ~label:"abcast:poll" ~every:(Simtime.of_ms 100)
            (Network.guard net me (fun () ->
                 Rchan.mcast t.chan ~dsts:t.members
                   (Progress { gid = t.gid; next_inst = t.next_inst; from = t.me }))));

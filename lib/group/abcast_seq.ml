@@ -156,7 +156,7 @@ let enqueue_for_order t id =
     if not t.batch_armed then begin
       t.batch_armed <- true;
       ignore
-        (Engine.schedule (Network.engine t.net) ~after:t.batch_window
+        (Engine.schedule (Network.engine t.net) ~label:"abcast:batch" ~after:t.batch_window
            (Network.guard t.net t.me (fun () -> flush_batch t)))
     end
   end
@@ -399,7 +399,7 @@ let create_group net ~members ?(clients = []) ?fd ?rto ?passthrough
           ignore src;
           handle_msg t msg);
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 25)
+        (Engine.periodic (Network.engine net) ~label:"abcast:poll" ~every:(Simtime.of_ms 25)
            (Network.guard net me (fun () -> poll t)));
       Hashtbl.replace handles me t)
     members;

@@ -289,7 +289,7 @@ struct
             ignore src;
             handle_msg t msg);
         ignore
-          (Engine.periodic (Network.engine net) ~every:poll_every
+          (Engine.periodic (Network.engine net) ~label:"consensus:poll" ~every:poll_every
              (Network.guard net me (fun () -> poll t)));
         Hashtbl.replace handles me t)
       members;

@@ -74,9 +74,9 @@ let create_member net ~gid ~members ~heartbeat_every ~timeout me =
           Network.send net ~src:me ~dst:peer (Heartbeat { gid; from = me }))
       members
   in
-  ignore (Engine.periodic engine ~every:heartbeat_every (Network.guard net me beat));
+  ignore (Engine.periodic engine ~label:"fd:heartbeat" ~every:heartbeat_every (Network.guard net me beat));
   ignore
-    (Engine.periodic engine ~every:heartbeat_every
+    (Engine.periodic engine ~label:"fd:check" ~every:heartbeat_every
        (Network.guard net me (fun () -> check t)));
   (* Recovery voids the detector's timing assumptions: every peer looks
      silent for the whole outage. Restart the deadlines and trust everyone

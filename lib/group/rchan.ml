@@ -47,11 +47,11 @@ let send t ~dst msg =
         incr retries;
         Network.send t.net ~src:t.me ~dst packet;
         timer :=
-          Some (Engine.schedule engine ~after:t.rto (Network.guard t.net t.me retransmit))
+          Some (Engine.schedule engine ~label:"rchan:retransmit" ~after:t.rto (Network.guard t.net t.me retransmit))
       end
     in
     timer :=
-      Some (Engine.schedule engine ~after:t.rto (Network.guard t.net t.me retransmit));
+      Some (Engine.schedule engine ~label:"rchan:retransmit" ~after:t.rto (Network.guard t.net t.me retransmit));
     Hashtbl.replace t.unacked seq (fun () ->
         cancelled := true;
         match !timer with Some tm -> Engine.cancel tm | None -> ())

@@ -393,7 +393,7 @@ let create_group net ~members ?fd ?rto ?passthrough () =
           Hashtbl.replace t.pending_views instance flush;
           apply_pending_views t);
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 30)
+        (Engine.periodic (Network.engine net) ~label:"vscast:poll" ~every:(Simtime.of_ms 30)
            (Network.guard net me (fun () -> poll t)));
       Hashtbl.replace handles me t)
     members;

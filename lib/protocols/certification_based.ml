@@ -205,7 +205,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
               if Simtime.(finish <= now) then decide ()
               else
                 ignore
-                  (Engine.schedule_at engine ~at:finish
+                  (Engine.schedule_at engine ~label:"proto:decide" ~at:finish
                      (Network.guard net r decide))
           | _ -> ());
       let chan = Group.Rchan.handle chan_group ~me:r in

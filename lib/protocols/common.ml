@@ -42,11 +42,16 @@ let store ctx replica = Hashtbl.find ctx.stores replica
 (** Mark the start of a functional-model phase: feeds both the flat mark
     log ({!Core.Phase_trace}) and the structured span recorder
     ({!Core.Phase_span}). Every phase transition in a protocol is a span
-    boundary. *)
+    boundary. A no-op while tracing is switched off
+    ({!Sim.Network.set_tracing}) — marks never influence the event
+    schedule, so skipping them is behaviour-preserving and is the main
+    saving of a tracing-off run. *)
 let phase_begin ctx ~rid ?replica ?note phase =
-  let at = now ctx in
-  Core.Phase_trace.mark ctx.phases ~rid ?replica ?note phase at;
-  Core.Phase_span.mark ctx.spans ~rid ?replica ?note phase at
+  if Network.tracing ctx.net then begin
+    let at = now ctx in
+    Core.Phase_trace.mark ctx.phases ~rid ?replica ?note phase at;
+    Core.Phase_span.mark ctx.spans ~rid ?replica ?note phase at
+  end
 
 (** Bump a counter in the instance's metrics registry. *)
 let count ctx ?labels ?by name = Metrics.incr ctx.metrics ?labels ?by name
@@ -202,7 +207,7 @@ let retry_until_replied ctx ~rid ~timeout ~target ~send =
   let engine = Network.engine ctx.net in
   let rec arm attempt =
     ignore
-      (Engine.schedule engine ~after:timeout (fun () ->
+      (Engine.schedule engine ~label:"client:retry" ~after:timeout (fun () ->
            if Hashtbl.mem ctx.reply_cbs rid then begin
              count ctx "resubmissions_total";
              phase_begin ctx ~rid ~note:"resubmission after timeout"

@@ -397,7 +397,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                 if not (st.synced && Network.alive net r) then ()
                 else if Core.Two_phase_commit.in_doubt tpc ~me:r > 0 then
                   ignore
-                    (Engine.schedule (Network.engine net)
+                    (Engine.schedule (Network.engine net) ~label:"commit:indoubt"
                        ~after:(Simtime.of_ms 50)
                        (Network.guard net r answer))
                 else begin

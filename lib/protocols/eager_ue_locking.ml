@@ -481,7 +481,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
          termination protocol in [Core.Two_phase_commit] resolves it once
          the coordinator is reachable again). *)
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 100)
+        (Engine.periodic (Network.engine net) ~label:"proto:lock-sweep" ~every:(Simtime.of_ms 100)
            (Network.guard net r (fun () ->
                 let stale =
                   Hashtbl.fold
@@ -508,7 +508,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                 if not (st.synced && Network.alive net r) then ()
                 else if Core.Two_phase_commit.in_doubt tpc ~me:r > 0 then
                   ignore
-                    (Engine.schedule (Network.engine net)
+                    (Engine.schedule (Network.engine net) ~label:"commit:indoubt"
                        ~after:(Simtime.of_ms 50)
                        (Network.guard net r answer))
                 else begin
@@ -574,7 +574,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                     Hashtbl.replace st.txns rid txn;
                     (* Lock timeout resolves distributed deadlocks. *)
                     ignore
-                      (Engine.schedule (Network.engine net)
+                      (Engine.schedule (Network.engine net) ~label:"proto:lock-timeout"
                          ~after:config.lock_timeout
                          (Network.guard net r (fun () ->
                               match Hashtbl.find_opt st.txns rid with

@@ -136,7 +136,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                       ~committed:true ~value;
                     (* ... and propagate afterwards (END before AC). *)
                     ignore
-                      (Engine.schedule (Network.engine net)
+                      (Engine.schedule (Network.engine net) ~label:"proto:propagate"
                          ~after:config.propagation_delay
                          (Network.guard net r (fun () ->
                               Common.count ctx "propagations_total";

@@ -172,7 +172,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
                       ~writes:result.Store.Apply.writes;
                     Hashtbl.replace unsent rid result.Store.Apply.writes;
                     ignore
-                      (Engine.schedule (Network.engine net)
+                      (Engine.schedule (Network.engine net) ~label:"proto:propagate"
                          ~after:config.propagation_delay
                          (Network.guard net r (fun () ->
                               Hashtbl.remove unsent rid;

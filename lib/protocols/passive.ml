@@ -150,7 +150,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           else if st.synced && joiners <> [] then
             List.iter (fun dst -> send_sync st ~dst) joiners);
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 150)
+        (Engine.periodic (Network.engine net) ~label:"proto:rejoin" ~every:(Simtime.of_ms 150)
            (Network.guard net r (fun () ->
                 if not (Group.Vscast.in_view vs) then
                   Group.Vscast.request_join vs)));
@@ -160,7 +160,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
          membership), so an unsynced member asks for the database itself
          until some synced member answers. *)
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 150)
+        (Engine.periodic (Network.engine net) ~label:"proto:rejoin" ~every:(Simtime.of_ms 150)
            (Network.guard net r (fun () ->
                 if (not st.synced) && Group.Vscast.in_view vs then
                   let chan = Group.Rchan.handle chan_group ~me:r in

@@ -171,7 +171,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
       (* A leader crash before sending its choice stalls the head request:
          re-pump periodically so the next leader takes over. *)
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 50)
+        (Engine.periodic (Network.engine net) ~label:"proto:pump" ~every:(Simtime.of_ms 50)
            (Network.guard net r (fun () -> pump r))))
     replicas;
   let submit ~client request cb =

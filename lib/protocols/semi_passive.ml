@@ -176,7 +176,7 @@ let create net ~replicas ~clients ?(config = default_config) () =
           Hashtbl.replace st.decisions instance decision;
           apply_decisions ());
       ignore
-        (Engine.periodic (Network.engine net) ~every:(Simtime.of_ms 50)
+        (Engine.periodic (Network.engine net) ~label:"proto:pump" ~every:(Simtime.of_ms 50)
            (Network.guard net r (fun () -> maybe_propose r))))
     replicas;
   let submit ~client request cb =

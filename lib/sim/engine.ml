@@ -9,6 +9,10 @@ type timer = {
   (* Causal context captured when the timer was scheduled; reinstalled
      around the action so trace attribution survives asynchrony. *)
   t_ctx : ctx option;
+  (* Profiling label supplied by the scheduler ("net:deliver",
+     "client:arrival", ...); self time and allocation of the action are
+     attributed to this bucket when a profiler is attached. *)
+  t_label : string;
 }
 
 type t = {
@@ -17,6 +21,13 @@ type t = {
   queue : timer Heap.t;
   root_rng : Rng.t;
   mutable cur_ctx : ctx option;
+  mutable profiler : Profiler.t option;
+  (* Deterministic event-loop statistics (kept even without a profiler —
+     the bookkeeping is a handful of int ops per event). *)
+  mutable executed : int;
+  mutable scheduled : int;
+  mutable cancelled_seen : int; (* cancelled timers discarded at the head *)
+  mutable queue_peak : int;
 }
 
 let compare_timer a b =
@@ -31,44 +42,71 @@ let create ?(seed = 0xC0FFEE) () =
     queue = Heap.create ~cmp:compare_timer;
     root_rng = Rng.create ~seed;
     cur_ctx = None;
+    profiler = None;
+    executed = 0;
+    scheduled = 0;
+    cancelled_seen = 0;
+    queue_peak = 0;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
 let ctx t = t.cur_ctx
 let set_ctx t c = t.cur_ctx <- c
+let set_profiler t p = t.profiler <- p
+let profiler t = t.profiler
+let events_executed t = t.executed
+let timers_scheduled t = t.scheduled
+let timers_cancelled t = t.cancelled_seen
+let queue_peak t = t.queue_peak
 
 let with_ctx t c f =
   let saved = t.cur_ctx in
   t.cur_ctx <- c;
   Fun.protect ~finally:(fun () -> t.cur_ctx <- saved) f
 
-let schedule_at t ~at f =
+let schedule_at t ?(label = "timer") ~at f =
   let at = Simtime.max at t.clock in
   let timer =
-    { time = at; seq = t.next_seq; action = Some f; t_ctx = t.cur_ctx }
+    {
+      time = at;
+      seq = t.next_seq;
+      action = Some f;
+      t_ctx = t.cur_ctx;
+      t_label = label;
+    }
   in
   t.next_seq <- t.next_seq + 1;
+  t.scheduled <- t.scheduled + 1;
   Heap.push t.queue timer;
+  let depth = Heap.length t.queue in
+  if depth > t.queue_peak then t.queue_peak <- depth;
   timer
 
-let schedule t ~after f = schedule_at t ~at:(Simtime.add t.clock after) f
+let schedule t ?label ~after f =
+  schedule_at t ?label ~at:(Simtime.add t.clock after) f
 
-let periodic t ~every f =
+let periodic t ?label ~every f =
   let armed = ref None in
   let cancelled = ref false in
   let rec tick () =
     if not !cancelled then begin
       f ();
-      if not !cancelled then armed := Some (schedule t ~after:every tick)
+      if not !cancelled then armed := Some (schedule t ?label ~after:every tick)
     end
   in
-  armed := Some (schedule t ~after:every tick);
+  armed := Some (schedule t ?label ~after:every tick);
   let cancel_now () =
     cancelled := true;
     match !armed with Some tm -> tm.action <- None | None -> ()
   in
-  { time = t.clock; seq = -1; action = Some cancel_now; t_ctx = None }
+  {
+    time = t.clock;
+    seq = -1;
+    action = Some cancel_now;
+    t_ctx = None;
+    t_label = "timer";
+  }
 
 let cancel timer =
   if timer.seq = -1 then begin
@@ -82,17 +120,43 @@ let pending t =
   Heap.iter t.queue (fun tm -> if tm.action <> None then incr n);
   !n
 
+(* Run one action with the timer's context installed, attributing its
+   self time and allocation to the timer's label when profiling. The
+   context save/restore is inlined (no [Fun.protect] closure) — this is
+   the single hottest edge in the simulator. *)
+let dispatch t tm f =
+  let saved = t.cur_ctx in
+  t.cur_ctx <- tm.t_ctx;
+  (match t.profiler with
+  | None -> (
+      try f ()
+      with e ->
+        t.cur_ctx <- saved;
+        raise e)
+  | Some p -> (
+      let m = Profiler.mark () in
+      match f () with
+      | () -> Profiler.attribute p ~label:tm.t_label m
+      | exception e ->
+          t.cur_ctx <- saved;
+          Profiler.attribute p ~label:tm.t_label m;
+          raise e));
+  t.cur_ctx <- saved;
+  t.executed <- t.executed + 1
+
 let step t =
   let rec next () =
     match Heap.pop t.queue with
     | None -> false
     | Some tm -> (
         match tm.action with
-        | None -> next ()
+        | None ->
+            t.cancelled_seen <- t.cancelled_seen + 1;
+            next ()
         | Some f ->
             tm.action <- None;
             t.clock <- tm.time;
-            with_ctx t tm.t_ctx f;
+            dispatch t tm f;
             true)
   in
   next ()
@@ -105,11 +169,15 @@ let rec peek_live t =
   | Some tm ->
       if tm.action = None then begin
         ignore (Heap.pop t.queue);
+        t.cancelled_seen <- t.cancelled_seen + 1;
         peek_live t
       end
       else Some tm
 
 let run ?(until = Simtime.infinity) ?(max_events = max_int) t =
+  let wall0 =
+    match t.profiler with None -> 0. | Some _ -> Unix.gettimeofday ()
+  in
   let executed = ref 0 in
   let continue = ref true in
   while !continue && !executed < max_events do
@@ -120,4 +188,7 @@ let run ?(until = Simtime.infinity) ?(max_events = max_int) t =
         else if step t then incr executed
         else continue := false
   done;
+  (match t.profiler with
+  | None -> ()
+  | Some p -> Profiler.add_run_wall p (Unix.gettimeofday () -. wall0));
   !executed

@@ -35,14 +35,17 @@ val set_ctx : t -> ctx option -> unit
     context afterwards (exception-safe). *)
 val with_ctx : t -> ctx option -> (unit -> unit) -> unit
 
-(** [schedule t ~after f] runs [f] at [now t + after]. *)
-val schedule : t -> after:Simtime.t -> (unit -> unit) -> timer
+(** [schedule t ~after f] runs [f] at [now t + after]. [label] names the
+    profiling bucket the action's self time is attributed to (default
+    ["timer"]); it has no effect on scheduling. *)
+val schedule : t -> ?label:string -> after:Simtime.t -> (unit -> unit) -> timer
 
 (** [schedule_at t ~at f] runs [f] at absolute time [at] (clamped to now). *)
-val schedule_at : t -> at:Simtime.t -> (unit -> unit) -> timer
+val schedule_at :
+  t -> ?label:string -> at:Simtime.t -> (unit -> unit) -> timer
 
 (** [periodic t ~every f] runs [f] every [every] until cancelled. *)
-val periodic : t -> every:Simtime.t -> (unit -> unit) -> timer
+val periodic : t -> ?label:string -> every:Simtime.t -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
 
@@ -55,3 +58,32 @@ val step : t -> bool
 (** [run t] drains the event queue, stopping early when [until] (virtual
     time) or [max_events] is reached. Returns the number of events run. *)
 val run : ?until:Simtime.t -> ?max_events:int -> t -> int
+
+(** {2 Profiling}
+
+    When a profiler is attached, {!step} wraps every dispatched action
+    with a wall-clock/allocation stamp attributed to its schedule label.
+    Without one, dispatch takes the unstamped path (no extra cost beyond
+    the deterministic counters below). *)
+
+val set_profiler : t -> Profiler.t option -> unit
+val profiler : t -> Profiler.t option
+
+(** {2 Deterministic event-loop statistics}
+
+    Maintained unconditionally (a few int ops per event); exactly
+    reproducible across same-seed runs. *)
+
+(** Actions actually executed by {!step}/{!run}. *)
+val events_executed : t -> int
+
+(** Timers ever scheduled ({!schedule}/{!schedule_at}, incl. periodic
+    re-arms). *)
+val timers_scheduled : t -> int
+
+(** Cancelled timers discarded from the queue head so far (an
+    undercount of cancellations until the queue drains). *)
+val timers_cancelled : t -> int
+
+(** High-water mark of the timer-queue depth. *)
+val queue_peak : t -> int

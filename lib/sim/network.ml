@@ -28,6 +28,9 @@ type t = {
   mutable drop_probability : float;
   mutable msg_spans : Span.t option;
       (** collector for per-message spans; [None] = don't record *)
+  mutable tracing : bool;
+      (** master switch for span/trace recording; spans never influence
+          the event schedule, so flipping this is behaviour-preserving *)
   mutable timeseries : Timeseries.t option;
       (** sampler resource gauges register into; [None] = don't sample *)
   in_flight : int array;  (** scheduled-not-yet-delivered, per destination *)
@@ -52,6 +55,7 @@ let create engine ~n (config : config) =
     latency = config.latency;
     drop_probability = config.drop_probability;
     msg_spans = None;
+    tracing = true;
     timeseries = None;
     in_flight = Array.make n 0;
     handlers = Array.make n [];
@@ -71,6 +75,8 @@ let engine t = t.engine
 let size t = t.n
 let rng t = t.rng
 let set_msg_spans t spans = t.msg_spans <- Some spans
+let set_tracing t on = t.tracing <- on
+let tracing t = t.tracing
 let timeseries t = t.timeseries
 
 (* Installing a sampler also registers the network's own gauges: the
@@ -122,6 +128,8 @@ let reachable t src dst = t.group_of.(src) = t.group_of.(dst)
    submit time). Context-free traffic — maintenance timers armed at
    setup — is deliberately unattributed. *)
 let open_msg_span t ~src msg =
+  if not t.tracing then None
+  else
   match (t.msg_spans, Engine.ctx t.engine) with
   | Some spans, Some { Engine.trace; span = parent } ->
       let at = Engine.now t.engine in
@@ -191,7 +199,7 @@ let send t ~src ~dst msg =
       let delay = if src = dst then Simtime.zero else draw_latency t ~src ~dst in
       t.in_flight.(dst) <- t.in_flight.(dst) + 1;
       ignore
-        (Engine.schedule t.engine ~after:delay (fun () ->
+        (Engine.schedule t.engine ~label:"net:deliver" ~after:delay (fun () ->
              t.in_flight.(dst) <- t.in_flight.(dst) - 1;
              deliver t ~src ~dst ~span msg))
     end

@@ -48,6 +48,15 @@ val rng : t -> Rng.t
     message spans and phase spans share one id space). *)
 val set_msg_spans : t -> Span.t -> unit
 
+(** Master tracing switch (default on). When off, message spans are not
+    materialised and protocol instrumentation built on the network
+    ({!Core.Phase_span}, {!Core.Phase_trace} via [Protocols.Common])
+    skips its recording work. Spans never influence the event schedule,
+    so the switch is behaviour-preserving: same seed, same results. *)
+val set_tracing : t -> bool -> unit
+
+val tracing : t -> bool
+
 (** Install a {!Timeseries} sampler. The network registers its own
     gauges immediately ([net_in_flight] per endpoint, the
     [net_dropped_total] level); subsystems created afterwards discover

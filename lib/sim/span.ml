@@ -44,6 +44,7 @@ let finish t id stop =
       | None -> span.stop <- Some stop
       | Some prev -> if Simtime.(stop > prev) then span.stop <- Some stop)
 
+let count t = t.next_id
 let spans t = List.rev t.rev_spans
 let events span = List.rev span.rev_events
 

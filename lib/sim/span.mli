@@ -39,6 +39,9 @@ val finish : t -> id -> Simtime.t -> unit
 
 val find : t -> id -> span option
 
+(** Number of spans ever recorded (deterministic for a given seed). *)
+val count : t -> int
+
 (** All spans in start order. *)
 val spans : t -> span list
 

@@ -33,6 +33,7 @@ type t = {
   table : (string * int, series) Hashtbl.t;
   mutable order : (string * int) list; (* registration order, reversed *)
   max_points : int;
+  mutable total_points : int; (* points recorded across all series *)
 }
 
 let interval t = t.interval
@@ -64,21 +65,34 @@ let sample_once t =
           if s.n_points < t.max_points then begin
             let v = List.fold_left (fun acc f -> acc +. f ()) 0. s.thunks in
             s.points_rev <- { at; value = v } :: s.points_rev;
-            s.n_points <- s.n_points + 1
+            s.n_points <- s.n_points + 1;
+            t.total_points <- t.total_points + 1
           end)
     (List.rev t.order)
 
 let create ?(interval = Simtime.of_ms 5) ?(max_points = 50_000) engine =
   let t =
-    { engine; interval; table = Hashtbl.create 32; order = []; max_points }
+    {
+      engine;
+      interval;
+      table = Hashtbl.create 32;
+      order = [];
+      max_points;
+      total_points = 0;
+    }
   in
   (* Take a sample at t=0 too, so series start at the origin; periodic
      timers first fire one interval in. *)
-  ignore (Engine.schedule engine ~after:Simtime.zero (fun () -> sample_once t));
-  ignore (Engine.periodic engine ~every:interval (fun () -> sample_once t));
+  ignore
+    (Engine.schedule engine ~label:"sim:sample" ~after:Simtime.zero (fun () ->
+         sample_once t));
+  ignore
+    (Engine.periodic engine ~label:"sim:sample" ~every:interval (fun () ->
+         sample_once t));
   t
 
 let points s = List.rev s.points_rev
+let total_points t = t.total_points
 
 let series t =
   t.order |> List.rev

@@ -54,6 +54,10 @@ val find : t -> name:string -> replica:int -> series option
 (** Points in chronological order. *)
 val points : series -> point list
 
+(** Points recorded across all series so far (deterministic; feeds the
+    profiler's samples-taken meta counter). *)
+val total_points : t -> int
+
 val max_value : series -> float
 
 (** One JSON object per series; points as [[sim_us, value]] pairs

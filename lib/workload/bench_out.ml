@@ -197,6 +197,17 @@ let parse s =
 
 let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 
+(* Benches whose files must carry specific metrics: a meta-benchmark
+   that stops emitting its headline numbers should fail bench-check, not
+   silently thin out. *)
+let required_metrics = function
+  | "perf15" -> [ "events_per_sec"; "txns_per_sec"; "peak_heap_words" ]
+  | _ -> []
+
+let row_metric row = match member "metric" row with Some (Str m) -> Some m | _ -> None
+
+let row_value row = match member "value" row with Some (Num v) -> Some v | _ -> None
+
 (* Schema check for one BENCH_*.json document. *)
 let validate_json doc =
   let require_str k j =
@@ -223,17 +234,59 @@ let validate_json doc =
   | Some (Arr rows) ->
       if rows = [] then Error "\"results\" is empty"
       else
+        let* () =
+          List.fold_left
+            (fun acc row ->
+              let* () = acc in
+              let* () = require_str "metric" row in
+              let* () = require_str "technique" row in
+              let* () = require_str "unit" row in
+              let* () = require_num "value" row in
+              match member "params" row with
+              | Some (Obj _) -> Ok ()
+              | _ -> Error "result row missing \"params\" object")
+            (Ok ()) rows
+        in
+        let bench =
+          match member "bench" doc with Some (Str b) -> b | _ -> ""
+        in
+        let metrics = List.filter_map row_metric rows in
+        List.fold_left
+          (fun acc required ->
+            let* () = acc in
+            if List.mem required metrics then Ok ()
+            else
+              Error
+                (Printf.sprintf "bench %S must report metric %S" bench
+                   required))
+          (Ok ())
+          (required_metrics bench)
+  | _ -> Error "missing \"results\" array"
+
+(* Throughput floor: the best (max) value of [metric] in the document
+   must be at least [min]. Max, not mean — a bench may report the same
+   metric for several configurations (tracing on/off) and the floor
+   gates the headline number. *)
+let check_floor doc ~metric ~min_value =
+  match member "results" doc with
+  | Some (Arr rows) -> (
+      let best =
         List.fold_left
           (fun acc row ->
-            let* () = acc in
-            let* () = require_str "metric" row in
-            let* () = require_str "technique" row in
-            let* () = require_str "unit" row in
-            let* () = require_num "value" row in
-            match member "params" row with
-            | Some (Obj _) -> Ok ()
-            | _ -> Error "result row missing \"params\" object")
-          (Ok ()) rows
+            match (row_metric row, row_value row) with
+            | Some m, Some v when m = metric -> (
+                match acc with Some b -> Some (Float.max b v) | None -> Some v)
+            | _ -> acc)
+          None rows
+      in
+      match best with
+      | None -> Error (Printf.sprintf "no rows with metric %S" metric)
+      | Some best ->
+          if best >= min_value then Ok best
+          else
+            Error
+              (Printf.sprintf "metric %S best value %g is below floor %g"
+                 metric best min_value))
   | _ -> Error "missing \"results\" array"
 
 let validate_file path =

@@ -48,5 +48,17 @@ type json =
   | Obj of (string * json) list
 
 val parse : string -> (json, string) result
+
+(** Metrics a given bench's file must report (e.g. perf15 must carry
+    [events_per_sec], [txns_per_sec] and [peak_heap_words]); empty for
+    benches without extra requirements. Enforced by {!validate_json}. *)
+val required_metrics : string -> string list
+
 val validate_json : json -> (unit, string) result
 val validate_file : string -> (unit, string) result
+
+(** [check_floor doc ~metric ~min_value] succeeds with the best (max)
+    value of [metric] across the result rows when it is at least
+    [min_value] — the CI throughput gate. *)
+val check_floor :
+  json -> metric:string -> min_value:float -> (float, string) result

@@ -20,11 +20,15 @@ type t = {
   scenario : Scenario.t option;
   deadline : Simtime.t;
   sample : Simtime.t option;
+  profiler : Profiler.t option;
+  tracing : bool;
+  analyze : bool;
 }
 
 let make ?(seed = 11) ?(replicas = 3) ?(clients = 4) ?(spec = Spec.default)
     ?(net = Network.default_config) ?(arrival = `Closed) ?(failures = [])
-    ?(partitions = []) ?scenario ?(deadline = Simtime.of_sec 120.) ?sample () =
+    ?(partitions = []) ?scenario ?(deadline = Simtime.of_sec 120.) ?sample
+    ?profiler ?(tracing = true) ?(analyze = true) () =
   {
     seed;
     n_replicas = replicas;
@@ -37,6 +41,9 @@ let make ?(seed = 11) ?(replicas = 3) ?(clients = 4) ?(spec = Spec.default)
     scenario;
     deadline;
     sample;
+    profiler;
+    tracing;
+    analyze;
   }
 
 let spec ?(keys = 100) ?(skew = 0.6) ?(updates = 0.5) ?(ops = 1) ?(txns = 50)
@@ -95,7 +102,8 @@ let run_with_instance t factory =
   Runner.run_with_instance ~seed:t.seed ~n_replicas:t.n_replicas
     ~n_clients:t.n_clients ~net:t.net ?tune ~arrival:t.arrival
     ~failures:t.failures ~partitions:t.partitions ~deadline:t.deadline
-    ?sample:t.sample ~spec:t.spec factory
+    ?sample:t.sample ?profiler:t.profiler ~tracing:t.tracing
+    ~analyze:t.analyze ~spec:t.spec factory
 
 let run t factory = fst (run_with_instance t factory)
 

@@ -21,6 +21,11 @@ type t = {
   scenario : Scenario.t option;  (** applied to the network before the run *)
   deadline : Sim.Simtime.t;
   sample : Sim.Simtime.t option;  (** resource-sampler interval *)
+  profiler : Sim.Profiler.t option;  (** attached to the engine when set *)
+  tracing : bool;  (** span/trace recording master switch (default on) *)
+  analyze : bool;
+      (** run the post-run convergence/serializability oracles
+          (default on; see {!Runner.run_with_instance}) *)
 }
 
 val make :
@@ -35,6 +40,9 @@ val make :
   ?scenario:Scenario.t ->
   ?deadline:Sim.Simtime.t ->
   ?sample:Sim.Simtime.t ->
+  ?profiler:Sim.Profiler.t ->
+  ?tracing:bool ->
+  ?analyze:bool ->
   unit ->
   t
 

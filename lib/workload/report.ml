@@ -1,5 +1,5 @@
 (* Tool version, stamped into every machine-readable export. *)
-let version = "1.1.0"
+let version = "1.2.0"
 
 (* Every JSONL export (run, campaign, metrics, explain, timeline) opens
    with this header record so a file is self-describing: which tool
@@ -66,6 +66,16 @@ let csv_row ~label (r : Runner.result) =
     r.messages r.messages_per_txn
     (Sim.Simtime.to_ms r.max_response_gap)
     r.converged r.serializable
+
+(* One-line wall-clock summary for `replisim run`. Sub-millisecond runs
+   have no meaningful rate at gettimeofday resolution — report "n/a"
+   rather than divide by (near-)zero. Wall time is deliberately absent
+   from the CSV/JSONL exports, which must stay byte-deterministic. *)
+let engine_summary (r : Runner.result) =
+  if r.wall_s > 0.000_5 then
+    Printf.sprintf "%d events in %.3f s wall (%.0f events/s)" r.events r.wall_s
+      (float_of_int r.events /. r.wall_s)
+  else Printf.sprintf "%d events (wall n/a)" r.events
 
 let to_csv ppf rows =
   Format.fprintf ppf "%s@." csv_header;

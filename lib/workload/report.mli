@@ -28,6 +28,12 @@ val csv_row : label:string -> Runner.result -> string
 (** Print header + rows to a formatter. *)
 val to_csv : Format.formatter -> (string * Runner.result) list -> unit
 
+(** One-line engine summary ("N events in S s wall (R events/s)") for
+    the human-facing run report; sub-millisecond wall times report "n/a"
+    instead of a nonsense rate. Never part of machine-readable
+    (byte-deterministic) exports. *)
+val engine_summary : Runner.result -> string
+
 (** {2 Per-phase latency table}
 
     One row per paper phase the technique entered, derived from the

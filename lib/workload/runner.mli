@@ -64,6 +64,12 @@ type result = {
   series : Sim.Timeseries.series list;
       (** sampled resource time-series — empty unless [?sample] was
           given *)
+  events : int;
+      (** engine events executed — deterministic for a given seed *)
+  wall_s : float;
+      (** wall-clock seconds spent inside the event loop —
+          {e non-deterministic}; zero it (or use a normalizer) before
+          structural byte-determinism comparisons *)
 }
 
 val run :
@@ -77,13 +83,26 @@ val run :
   ?partitions:partition list ->
   ?deadline:Sim.Simtime.t ->
   ?sample:Sim.Simtime.t ->
+  ?profiler:Sim.Profiler.t ->
+  ?tracing:bool ->
+  ?analyze:bool ->
   spec:Spec.t ->
   factory ->
   result
 
 (** Like {!run}, but also returns the instance that ran, for post-hoc
     oracles that need its spans, history, or stores. [result] itself
-    stays plain data (structurally comparable). *)
+    stays plain data (structurally comparable).
+
+    [profiler] attaches a {!Sim.Profiler} to the engine (self-time /
+    allocation attribution; its engine stats and meta counters are
+    filled in at the end of the run). [tracing] (default [true]) is the
+    master span/trace switch ({!Sim.Network.set_tracing}) — switching it
+    off skips span materialisation without changing the event schedule.
+    [analyze] (default [true]): when [false], the post-run convergence
+    and serializability oracles are skipped and both fields report
+    [true] vacuously — for throughput benchmarks where the oracle cost
+    would dwarf the run itself. *)
 val run_with_instance :
   ?seed:int ->
   ?n_replicas:int ->
@@ -95,6 +114,9 @@ val run_with_instance :
   ?partitions:partition list ->
   ?deadline:Sim.Simtime.t ->
   ?sample:Sim.Simtime.t ->
+  ?profiler:Sim.Profiler.t ->
+  ?tracing:bool ->
+  ?analyze:bool ->
   spec:Spec.t ->
   factory ->
   result * Core.Technique.instance

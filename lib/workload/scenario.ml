@@ -16,23 +16,23 @@ let apply t net =
       match event with
       | Crash { at; replica } ->
           ignore
-            (Engine.schedule_at engine ~at (fun () -> Network.crash net replica))
+            (Engine.schedule_at engine ~label:"fault" ~at (fun () -> Network.crash net replica))
       | Recover { at; replica } ->
           ignore
-            (Engine.schedule_at engine ~at (fun () ->
+            (Engine.schedule_at engine ~label:"fault" ~at (fun () ->
                  Network.recover net replica))
       | Partition { at; group; heal_at } ->
           ignore
-            (Engine.schedule_at engine ~at (fun () ->
+            (Engine.schedule_at engine ~label:"fault" ~at (fun () ->
                  Network.partition net group));
           ignore
-            (Engine.schedule_at engine ~at:heal_at (fun () -> Network.heal net))
+            (Engine.schedule_at engine ~label:"fault" ~at:heal_at (fun () -> Network.heal net))
       | Loss { at; probability; until } ->
           ignore
-            (Engine.schedule_at engine ~at (fun () ->
+            (Engine.schedule_at engine ~label:"fault" ~at (fun () ->
                  Network.set_drop_probability net probability));
           ignore
-            (Engine.schedule_at engine ~at:until (fun () ->
+            (Engine.schedule_at engine ~label:"fault" ~at:until (fun () ->
                  Network.set_drop_probability net baseline)))
     t.events
 

@@ -566,6 +566,133 @@ let test_metrics_diff () =
   Alcotest.(check int) "no-change diff is empty" 0
     (List.length (Metrics.diff ~before:s1 ~after:s2))
 
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bucket report label =
+  List.find_opt
+    (fun (r : Profiler.row) -> r.Profiler.r_label = label)
+    report.Profiler.p_buckets
+
+let test_profiler_attribute () =
+  let p = Profiler.create () in
+  Profiler.measure p ~label:"a" (fun () -> Sys.opaque_identity (String.make 64 'x'))
+  |> ignore;
+  Profiler.measure p ~label:"a" (fun () -> ()) |> ignore;
+  Profiler.measure p ~label:"b" (fun () -> ()) |> ignore;
+  let r = Profiler.report p in
+  Alcotest.(check int) "two buckets" 2 (List.length r.Profiler.p_buckets);
+  (match bucket r "a" with
+  | None -> Alcotest.fail "bucket a missing"
+  | Some a ->
+      Alcotest.(check int) "a measured twice" 2 a.Profiler.r_events;
+      Alcotest.(check bool) "a allocated" true (a.Profiler.r_alloc_w > 0.);
+      Alcotest.(check bool) "a wall non-negative" true (a.Profiler.r_wall_ms >= 0.));
+  (* First-seen order is deterministic. *)
+  Alcotest.(check (list string)) "bucket order" [ "a"; "b" ]
+    (List.map (fun (r : Profiler.row) -> r.Profiler.r_label) r.Profiler.p_buckets)
+
+let test_profiler_measure_exn () =
+  let p = Profiler.create () in
+  (try Profiler.measure p ~label:"boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  match bucket (Profiler.report p) "boom" with
+  | Some b -> Alcotest.(check int) "attributed despite raise" 1 b.Profiler.r_events
+  | None -> Alcotest.fail "bucket missing after exception"
+
+let test_profiler_engine_labels () =
+  let e = Engine.create () in
+  let p = Profiler.create () in
+  Engine.set_profiler e (Some p);
+  for _ = 1 to 3 do
+    ignore
+      (Engine.schedule e ~label:"tick" ~after:(Simtime.of_ms 1) (fun () -> ()))
+  done;
+  ignore (Engine.schedule e ~after:(Simtime.of_ms 2) (fun () -> ()));
+  ignore (Engine.run ~until:(Simtime.of_ms 10) e);
+  let r = Profiler.report p in
+  (match bucket r "tick" with
+  | Some b -> Alcotest.(check int) "3 ticks attributed" 3 b.Profiler.r_events
+  | None -> Alcotest.fail "tick bucket missing");
+  (match bucket r "timer" with
+  | Some b ->
+      Alcotest.(check int) "unlabelled goes to default bucket" 1
+        b.Profiler.r_events
+  | None -> Alcotest.fail "default timer bucket missing")
+
+let test_engine_deterministic_counters () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for _ = 1 to 5 do
+    ignore (Engine.schedule e ~after:(Simtime.of_ms 1) (fun () -> incr fired))
+  done;
+  let tm = Engine.schedule e ~after:(Simtime.of_ms 2) (fun () -> incr fired) in
+  Engine.cancel tm;
+  ignore (Engine.run ~until:(Simtime.of_ms 10) e);
+  Alcotest.(check int) "executed" 5 (Engine.events_executed e);
+  Alcotest.(check int) "scheduled" 6 (Engine.timers_scheduled e);
+  Alcotest.(check int) "cancelled discarded" 1 (Engine.timers_cancelled e);
+  Alcotest.(check int) "queue peak" 6 (Engine.queue_peak e);
+  Alcotest.(check int) "handlers all ran" 5 !fired
+
+let test_profiler_normalize () =
+  let json =
+    "{\"type\":\"profile\",\"events\":42,\"wall_ms\":13.25,\"events_per_sec\":123456.7,\
+     \"alloc_words\":99,\"heap_peak_words\":1024,\"buckets\":[{\"label\":\"x\",\
+     \"events\":42,\"wall_ms\":13.25,\"wall_share\":1,\"self_wall_ms\":13.25,\
+     \"alloc_words\":99,\"alloc_share\":1,\"trace_bytes\":5}]}"
+  in
+  let n = Profiler.normalize_json json in
+  (* Deterministic fields survive; wall/alloc-derived ones become 0. *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i =
+      if i + nl > hl then false
+      else if String.sub hay i nl = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "events kept" true (contains "\"events\":42" n);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " zeroed") false
+        (contains (Printf.sprintf "\"%s\":%s" f "13.25") n
+        || contains (Printf.sprintf "\"%s\":%s" f "123456.7") n
+        || contains (Printf.sprintf "\"%s\":%s" f "99") n
+        || contains (Printf.sprintf "\"%s\":%s" f "1024") n
+        || contains (Printf.sprintf "\"%s\":%s" f "5") n))
+    Profiler.nondeterministic_fields;
+  (* Idempotent. *)
+  Alcotest.(check string) "idempotent" n (Profiler.normalize_json n)
+
+let test_profiler_json_fields () =
+  let p = Profiler.create () in
+  Profiler.set_engine_stats p ~events:7 ~scheduled:9 ~cancelled:1 ~queue_peak:4;
+  Profiler.set_meta p ~spans_created:3 ~samples_taken:2 ();
+  Profiler.add_trace_bytes p 128;
+  let json = Profiler.report_to_json (Profiler.report p) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (let nl = String.length needle and hl = String.length json in
+         let rec scan i =
+           if i + nl > hl then false
+           else if String.sub json i nl = needle then true
+           else scan (i + 1)
+         in
+         scan 0))
+    [
+      "\"events\":7";
+      "\"scheduled\":9";
+      "\"cancelled\":1";
+      "\"queue_peak\":4";
+      "\"spans_created\":3";
+      "\"samples_taken\":2";
+      "\"trace_bytes\":128";
+    ]
+
 let () =
   Alcotest.run "sim"
     [
@@ -627,5 +754,14 @@ let () =
           tc "counters+gauges" test_metrics_counters;
           tc "histogram" test_metrics_histogram;
           tc "snapshot diff" test_metrics_diff;
+        ] );
+      ( "profiler",
+        [
+          tc "attribute accounting" test_profiler_attribute;
+          tc "measure exception-safe" test_profiler_measure_exn;
+          tc "engine dispatch labels" test_profiler_engine_labels;
+          tc "engine counters" test_engine_deterministic_counters;
+          tc "normalize json" test_profiler_normalize;
+          tc "report json round-trips fields" test_profiler_json_fields;
         ] );
     ]

@@ -127,10 +127,15 @@ let test_runner_completes () =
   Alcotest.(check int) "latency count = committed" 20
     result.Workload.Runner.latency_ms.Workload.Stats.count
 
+(* Every field except wall-clock time is deterministic per seed; zero
+   the one nondeterministic field before structural comparison. *)
+let zero_wall (r : Workload.Runner.result) = { r with wall_s = 0. }
+
 let test_runner_deterministic () =
   let run () = Workload.Runner.run ~seed:77 ~spec:small_spec active_factory in
   let a = run () and b = run () in
-  Alcotest.(check bool) "identical results for identical seeds" true (a = b);
+  Alcotest.(check bool) "identical results for identical seeds" true
+    (zero_wall a = zero_wall b);
   let c = Workload.Runner.run ~seed:78 ~spec:small_spec active_factory in
   Alcotest.(check bool) "different seed differs" true
     (a.Workload.Runner.latency_ms <> c.Workload.Runner.latency_ms)
@@ -199,7 +204,143 @@ let test_runner_poisson_arrivals () =
     Workload.Runner.run ~n_clients:2 ~spec:small_spec
       ~arrival:(`Poisson 200.) active_factory
   in
-  Alcotest.(check bool) "deterministic" true (result = again)
+  Alcotest.(check bool) "deterministic" true (zero_wall result = zero_wall again)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_profiled ?(tracing = true) () =
+  let profiler = Sim.Profiler.create () in
+  let builder =
+    Workload.Builder.make ~seed:21 ~replicas:3 ~clients:2 ~spec:small_spec
+      ~profiler ~tracing ()
+  in
+  let result = Workload.Builder.run builder active_factory in
+  (result, Sim.Profiler.report profiler)
+
+let test_profiler_counters_match () =
+  let result, report = run_profiled () in
+  (* The deterministic counters the profiler carries are the engine's. *)
+  Alcotest.(check int) "events = result.events" result.Workload.Runner.events
+    report.Sim.Profiler.p_events;
+  (* Every executed event was dispatched through exactly one labelled
+     bucket, so the independently-accumulated per-bucket counts must sum
+     back to the engine's total. *)
+  let bucket_events =
+    List.fold_left
+      (fun acc (r : Sim.Profiler.row) -> acc + r.Sim.Profiler.r_events)
+      0 report.Sim.Profiler.p_buckets
+  in
+  Alcotest.(check int) "bucket events sum to events executed"
+    report.Sim.Profiler.p_events bucket_events;
+  Alcotest.(check bool) "scheduled >= executed" true
+    (report.Sim.Profiler.p_scheduled >= report.Sim.Profiler.p_events);
+  Alcotest.(check bool) "queue peak positive" true
+    (report.Sim.Profiler.p_queue_peak > 0);
+  Alcotest.(check bool) "spans recorded with tracing on" true
+    (report.Sim.Profiler.p_spans_created > 0)
+
+let test_profiler_gc_accounting () =
+  let _, report = run_profiled () in
+  (* Gc-delta attribution: no bucket may go negative, and the per-bucket
+     deltas must sum to the profiler's total (same additions, grouped). *)
+  List.iter
+    (fun (r : Sim.Profiler.row) ->
+      Alcotest.(check bool)
+        (r.Sim.Profiler.r_label ^ " alloc non-negative")
+        true
+        (r.Sim.Profiler.r_alloc_w >= 0.);
+      Alcotest.(check bool)
+        (r.Sim.Profiler.r_label ^ " wall non-negative")
+        true
+        (r.Sim.Profiler.r_wall_ms >= 0.))
+    report.Sim.Profiler.p_buckets;
+  let bucket_alloc =
+    List.fold_left
+      (fun acc (r : Sim.Profiler.row) -> acc +. r.Sim.Profiler.r_alloc_w)
+      0. report.Sim.Profiler.p_buckets
+  in
+  let total = report.Sim.Profiler.p_alloc_words in
+  Alcotest.(check bool) "bucket alloc sums to total" true
+    (abs_float (bucket_alloc -. total) <= 1e-6 *. (1. +. total));
+  (* Shares over any measured quantity sum to ~1. *)
+  let share_sum f =
+    List.fold_left (fun acc r -> acc +. f r) 0. report.Sim.Profiler.p_buckets
+  in
+  if total > 0. then
+    Alcotest.(check (float 0.001)) "alloc shares sum to 1" 1.
+      (share_sum (fun r -> r.Sim.Profiler.r_alloc_share))
+
+let test_profiler_disabled_identical () =
+  (* Attaching no profiler must not perturb the simulation: same seed
+     with and without one agrees on every deterministic field. *)
+  let bare =
+    Workload.Builder.run
+      (Workload.Builder.make ~seed:21 ~replicas:3 ~clients:2 ~spec:small_spec ())
+      active_factory
+  in
+  let profiled, _ = run_profiled () in
+  Alcotest.(check bool) "profiler leaves results identical" true
+    (zero_wall bare = zero_wall profiled)
+
+let test_tracing_off_preserves_schedule () =
+  (* The tracing gate only suppresses span materialisation — it must not
+     change what the simulation computes. Span-derived fields (phase_ms,
+     span metrics) legitimately differ; everything the paper's numbers
+     come from must not. *)
+  let on, on_rep = run_profiled ~tracing:true () in
+  let off, off_rep = run_profiled ~tracing:false () in
+  Alcotest.(check int) "committed" on.Workload.Runner.committed
+    off.Workload.Runner.committed;
+  Alcotest.(check int) "messages" on.Workload.Runner.messages
+    off.Workload.Runner.messages;
+  Alcotest.(check int) "events executed" on.Workload.Runner.events
+    off.Workload.Runner.events;
+  Alcotest.(check bool) "latencies identical" true
+    (on.Workload.Runner.latency_ms = off.Workload.Runner.latency_ms);
+  Alcotest.(check int) "no spans with tracing off" 0
+    off_rep.Sim.Profiler.p_spans_created;
+  Alcotest.(check bool) "spans with tracing on" true
+    (on_rep.Sim.Profiler.p_spans_created > 0)
+
+let test_profile_json_normalized_deterministic () =
+  (* Same seed twice: raw profile JSON may differ in timing fields, but
+     after normalization the two must be byte-identical. *)
+  let json () =
+    let _, report = run_profiled () in
+    Sim.Profiler.report_to_json report
+  in
+  let a = json () and b = json () in
+  let na = Sim.Profiler.normalize_json a
+  and nb = Sim.Profiler.normalize_json b in
+  Alcotest.(check string) "normalized profiles byte-identical" na nb;
+  (match Workload.Bench_out.parse na with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "normalized profile not valid JSON: %s" e);
+  (* Normalization really did clear the wall-derived fields. *)
+  List.iter
+    (fun field ->
+      let re = Printf.sprintf "\"%s\":0" field in
+      Alcotest.(check bool) (field ^ " zeroed") true
+        (let len = String.length na and plen = String.length re in
+         let rec scan i =
+           if i + plen > len then false
+           else if String.sub na i plen = re then true
+           else scan (i + 1)
+         in
+         scan 0))
+    Sim.Profiler.nondeterministic_fields
+
+let test_engine_summary_wall () =
+  let result, _ = run_profiled () in
+  let with_wall = { result with Workload.Runner.wall_s = 2.0; events = 1000 } in
+  Alcotest.(check string) "events/s summary"
+    "1000 events in 2.000 s wall (500 events/s)"
+    (Workload.Report.engine_summary with_wall);
+  let no_wall = { result with Workload.Runner.wall_s = 0.; events = 42 } in
+  Alcotest.(check string) "n/a on zero wall" "42 events (wall n/a)"
+    (Workload.Report.engine_summary no_wall)
 
 let () =
   Alcotest.run "workload"
@@ -226,5 +367,16 @@ let () =
           tc "latency split" test_runner_latency_split;
           tc "poisson arrivals" test_runner_poisson_arrivals;
         ] );
-      ("report", [ tc "csv" test_report_csv ]);
+      ( "report",
+        [ tc "csv" test_report_csv; tc "engine summary" test_engine_summary_wall ]
+      );
+      ( "profiler",
+        [
+          tc "counters match engine" test_profiler_counters_match;
+          tc "gc accounting" test_profiler_gc_accounting;
+          tc "disabled is identical" test_profiler_disabled_identical;
+          tc "tracing off preserves schedule" test_tracing_off_preserves_schedule;
+          tc "normalized json deterministic"
+            test_profile_json_normalized_deterministic;
+        ] );
     ]
