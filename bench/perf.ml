@@ -1138,6 +1138,153 @@ let simulator_throughput () =
      stack at this workload.@.";
   ignore (Workload.Bench_out.write out)
 
+(* --- perf16: sharded replication groups -------------------------------- *)
+
+(* Partial replication's scaling claim (Sutra & Shapiro's "genuine
+   partial replication" criterion): the coordination cost of a
+   transaction should depend on the replicas that hold its data, not on
+   the total cluster size.
+
+   Part A measures it directly: the causal message count of one
+   single-shard transaction (the [replisim explain] measurement — probe
+   traffic only, background heartbeats excluded) at n = 16/32/64 with
+   the shard count scaled to hold the group size at 4 replicas. Sharded,
+   the count must be flat across n; unsharded (shards=1, the same §5
+   protocol over the full cluster) it grows with n.
+
+   Part B prices the other half of the bargain: a fixed cluster
+   (n = 32, 8 groups of 4) under a rising cross-shard ratio, where every
+   crossing transaction adds a 2PC round across the concerned groups
+   plus one sub-transaction per group touched.
+
+   PERF16_TXNS overrides Part B's per-client transaction count (CI
+   smoke). *)
+let sharding () =
+  section
+    "perf16 — Sharded replication groups: single-shard message cost vs \
+     cluster size (group size 4), and throughput/p95 vs cross-shard ratio \
+     (n=32, 8 shards, 2 ops/txn, passthrough)";
+  let out =
+    Workload.Bench_out.create
+      ~config:[ ("passthrough", "true") ]
+      ~bench:"perf16" ~seed:11 ~n_replicas:32 ()
+  in
+  let group_size = 4 in
+  let ns = [ 16; 32; 64 ] in
+  let part_a_techniques = [ "active"; "certification"; "eager-primary" ] in
+  let probe_msgs entry ~n ~shards =
+    let factory =
+      Protocols.Registry.configure_exn entry
+        [ ("passthrough", "true"); ("shards", string_of_int shards) ]
+    in
+    let p = Workload.Builder.probe ~seed:7 ~n factory in
+    let _, _, s = Workload.Builder.probe_summary p in
+    s.Sim.Msg_dag.messages
+  in
+  Fmt.pr "single-shard txn, causal messages (sharded: group size %d | \
+          unsharded: full cluster)@."
+    group_size;
+  Fmt.pr "%-18s" "technique";
+  List.iter (fun n -> Fmt.pr "%14s" (Printf.sprintf "n=%d" n)) ns;
+  Fmt.pr "@.";
+  let flat =
+    List.for_all
+      (fun name ->
+        let entry = Option.get (Protocols.Registry.find name) in
+        Fmt.pr "%-18s" name;
+        let sharded =
+          List.map
+            (fun n ->
+              let shards = n / group_size in
+              let m_sharded = probe_msgs entry ~n ~shards in
+              let m_full = probe_msgs entry ~n ~shards:1 in
+              let params =
+                [ ("n", string_of_int n); ("shards", string_of_int shards) ]
+              in
+              Workload.Bench_out.add out ~metric:"probe_messages"
+                ~technique:name ~unit_:"msgs" ~params
+                (float_of_int m_sharded);
+              Workload.Bench_out.add out ~metric:"probe_messages"
+                ~technique:name ~unit_:"msgs"
+                ~params:[ ("n", string_of_int n); ("shards", "1") ]
+                (float_of_int m_full);
+              Fmt.pr "%8d |%4d" m_sharded m_full;
+              m_sharded)
+            ns
+        in
+        Fmt.pr "@.";
+        match sharded with
+        | first :: rest -> List.for_all (Int.equal first) rest
+        | [] -> true)
+      part_a_techniques
+  in
+  Fmt.pr
+    "@.verdict: single-shard message cost %s of cluster size at fixed \
+     group size@."
+    (if flat then "is independent" else "DEPENDS — regression");
+  (* Machine-checkable form of the verdict: ci/check.sh floor-gates
+     probe_flat at 1. *)
+  Workload.Bench_out.add out ~metric:"probe_flat" ~technique:"all"
+    ~unit_:"bool" (if flat then 1. else 0.);
+  (* Part B: cross-shard ratio sweep on a fixed sharded cluster. *)
+  let txns =
+    match Option.bind (Sys.getenv_opt "PERF16_TXNS") int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> 40
+  in
+  let n = 32 and shards = 8 and clients = 4 in
+  let entry = Option.get (Protocols.Registry.find "active") in
+  let factory =
+    Protocols.Registry.configure_exn entry
+      [ ("passthrough", "true"); ("shards", string_of_int shards) ]
+  in
+  Fmt.pr "@.%-10s %10s %12s %10s %10s %12s@." "cross" "committed"
+    "msgs/txn" "tput/s" "p95(ms)" "2PC commits";
+  List.iter
+    (fun cross ->
+      let spec =
+        Workload.Builder.spec ~updates:0.5 ~ops:2 ~txns ~keys:200 ~shards
+          ~cross ()
+      in
+      let builder =
+        Workload.Builder.make ~seed:11 ~replicas:n ~clients ~spec ()
+      in
+      let result = Workload.Builder.run builder factory in
+      let cross_commits =
+        Option.value ~default:0
+          (Sim.Metrics.counter_value result.Workload.Runner.metrics
+             "cross_shard_commit_total")
+      in
+      let params = [ ("cross", Printf.sprintf "%.2f" cross) ] in
+      Workload.Bench_out.add out ~metric:"throughput" ~technique:"active"
+        ~unit_:"txn/s" ~params result.Workload.Runner.throughput;
+      Workload.Bench_out.add out ~metric:"latency_p95" ~technique:"active"
+        ~unit_:"ms" ~params
+        result.Workload.Runner.latency_ms.Workload.Stats.p95;
+      Workload.Bench_out.add out ~metric:"messages_per_txn"
+        ~technique:"active" ~unit_:"msgs" ~params
+        result.Workload.Runner.messages_per_txn;
+      Workload.Bench_out.add out ~metric:"cross_commits" ~technique:"active"
+        ~unit_:"txns" ~params (float_of_int cross_commits);
+      Fmt.pr "%-10.2f %10d %12.1f %10.1f %10.2f %12d@." cross
+        result.Workload.Runner.committed
+        result.Workload.Runner.messages_per_txn
+        result.Workload.Runner.throughput
+        result.Workload.Runner.latency_ms.Workload.Stats.p95 cross_commits)
+    [ 0.0; 0.1; 0.3; 1.0 ];
+  Fmt.pr
+    "@.Reading: Part A is the partial-replication bargain — a \
+     transaction@.\
+     confined to one group pays the §5 protocol at the group size, \
+     however@.\
+     large the cluster grows. Part B is its price: every cross-shard@.\
+     transaction adds a 2PC round over the concerned groups' delegates \
+     and@.\
+     splits into one sub-transaction per group, so message cost and tail@.\
+     latency climb with the crossing ratio while single-shard traffic is@.\
+     untouched.@.";
+  ignore (Workload.Bench_out.write out)
+
 let all =
   [
     ("perf1", latency_vs_replicas);
@@ -1155,4 +1302,5 @@ let all =
     ("perf13", resource_trajectory);
     ("perf14", batching);
     ("perf15", simulator_throughput);
+    ("perf16", sharding);
   ]

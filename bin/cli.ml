@@ -137,6 +137,15 @@ let ops_arg =
 let keys_arg =
   Arg.(value & opt int 100 & info [ "keys" ] ~docv:"K" ~doc:"Database size.")
 
+let cross_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "cross" ] ~docv:"RATIO"
+        ~doc:
+          "Fraction of multi-op transactions forced to span two shards \
+           (needs a sharded technique, e.g. $(b,--set active.shards=4), and \
+           $(b,--ops) >= 2; the rest stay within one shard).")
+
 let skew_arg =
   Arg.(
     value & opt float 0.6
@@ -223,6 +232,23 @@ let resolve (entry : Protocols.Registry.entry) directives =
   match Protocols.Registry.configure entry pairs with
   | Ok (cfg, factory) -> (cfg, factory)
   | Error msg -> fail "%s" msg
+
+(* Shard count bound in a resolved configuration (every technique's
+   schema carries the shared [shards] key; 1 = unsharded). *)
+let shards_of (cfg : Protocols.Config.t) =
+  match List.assoc_opt "shards" cfg with
+  | Some (Protocols.Config.Int k) -> k
+  | _ -> 1
+
+(* Fail with a flag-level message before the factory would raise: each
+   replication group needs at least one replica. *)
+let check_shards ~n cfg =
+  let shards = shards_of cfg in
+  if shards > n then
+    fail "%d shards need at least %d replicas (got -n %d); raise -n or lower \
+          shards"
+      shards shards n;
+  shards
 
 (* Header [config] pairs: only the non-default bindings, so an export of
    a default run stays byte-identical to pre-configuration versions. *)

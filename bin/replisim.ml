@@ -84,8 +84,15 @@ let run_cmd =
       & info [ "csv" ] ~doc:"Emit the result as a CSV row (with header).")
   in
   let run (entry : Protocols.Registry.entry) directives n m updates txns ops
-      keys skew seed crashes recoveries csv =
+      keys skew cross seed crashes recoveries csv =
     let cfg, factory = Cli.resolve entry directives in
+    let shards = Cli.check_shards ~n cfg in
+    if cross > 0. && shards <= 1 then
+      Cli.fail
+        "--cross needs a sharded technique; add --set %s.shards=K (K >= 2)"
+        entry.key;
+    if cross > 0. && ops < 2 then
+      Cli.fail "--cross needs multi-op transactions; add --ops 2 (or more)";
     let failures =
       match
         Workload.Builder.crash_schedule ~crashes:(List.concat crashes)
@@ -94,7 +101,9 @@ let run_cmd =
       | Ok failures -> failures
       | Error msg -> Cli.fail "%s" msg
     in
-    let spec = Workload.Builder.spec ~keys ~skew ~updates ~ops ~txns () in
+    let spec =
+      Workload.Builder.spec ~keys ~skew ~updates ~ops ~txns ~shards ~cross ()
+    in
     let builder =
       Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ~failures ()
     in
@@ -107,6 +116,11 @@ let run_cmd =
       exit 0
     end;
     Fmt.pr "workload  : %a@." Workload.Spec.pp spec;
+    if shards > 1 then
+      Fmt.pr "sharding  : %d groups over %d replicas (group size <= %d), \
+              cross-shard via 2PC@."
+        shards n
+        (Protocols.Sharded.probe_group_size ~n ~shards);
     (match Cli.config_pairs entry cfg with
     | [] -> ()
     | pairs ->
@@ -138,7 +152,8 @@ let run_cmd =
       const run $ Cli.technique_arg $ Cli.directives_term
       $ Cli.replicas_arg () $ Cli.clients_arg () $ Cli.updates_arg
       $ Cli.txns_arg () $ Cli.ops_arg $ Cli.keys_arg $ Cli.skew_arg
-      $ Cli.seed_arg () $ Cli.crashes_arg $ Cli.recoveries_arg $ csv)
+      $ Cli.cross_arg $ Cli.seed_arg () $ Cli.crashes_arg
+      $ Cli.recoveries_arg $ csv)
 
 (* ---- trace ---------------------------------------------------------- *)
 
@@ -216,13 +231,20 @@ let explain_matches (info : Core.Technique.info) ~n
 let pp_endpoint ~n ppf e =
   if e >= n then Fmt.pf ppf "c%d" (e - n) else Fmt.pf ppf "r%d" e
 
-let explain_pretty ~n key (info : Core.Technique.info)
+let explain_pretty ~n ~shards key (info : Core.Technique.info)
     (msgs : Sim.Msg_dag.msg list) (s : Sim.Msg_dag.summary) =
   let on_path =
     List.map (fun m -> m.Sim.Msg_dag.span.Sim.Span.id) s.critical_path
   in
   Fmt.pr "technique : %s (%s, paper §%s)@." info.name key info.section;
   Fmt.pr "replicas  : %d (+1 client), constant 1 ms links@." n;
+  if shards > 1 then
+    Fmt.pr
+      "sharding  : %d groups — single-shard txn runs in one group of <= %d \
+       replicas, so the expectation below is the §5 cost at n=%d@."
+      shards
+      (Protocols.Sharded.probe_group_size ~n ~shards)
+      (Protocols.Sharded.probe_group_size ~n ~shards);
   Fmt.pr "messages  : %d observed / %d expected   (+%d transport acks, %d self)@."
     s.messages (info.expected_messages ~n) s.transport_acks s.self_sends;
   Fmt.pr "steps     : %d observed / %d expected@." s.steps info.expected_steps;
@@ -253,12 +275,12 @@ let explain_pretty ~n key (info : Core.Technique.info)
        (List.map (fun (m : Sim.Msg_dag.msg) -> m.Sim.Msg_dag.label)
           s.critical_path))
 
-let explain_json ~n ~seed key (info : Core.Technique.info)
+let explain_json ~n ~shards ~seed key (info : Core.Technique.info)
     (s : Sim.Msg_dag.summary) =
   Printf.sprintf
-    {|{"technique":%S,"n":%d,"seed":%d,"observed":{"messages":%d,"steps":%d,"transport_acks":%d,"self_sends":%d,"sends":%d,"dropped":%d,"replied":%b},"expected":{"messages":%d,"steps":%d},"critical_path":[%s],"match":%b}|}
-    key n seed s.Sim.Msg_dag.messages s.steps s.transport_acks s.self_sends
-    s.sends s.dropped s.replied (info.expected_messages ~n)
+    {|{"technique":%S,"n":%d,"shards":%d,"seed":%d,"observed":{"messages":%d,"steps":%d,"transport_acks":%d,"self_sends":%d,"sends":%d,"dropped":%d,"replied":%b},"expected":{"messages":%d,"steps":%d},"critical_path":[%s],"match":%b}|}
+    key n shards seed s.Sim.Msg_dag.messages s.steps s.transport_acks
+    s.self_sends s.sends s.dropped s.replied (info.expected_messages ~n)
     info.expected_steps
     (String.concat ","
        (List.map
@@ -268,11 +290,11 @@ let explain_json ~n ~seed key (info : Core.Technique.info)
     (explain_matches info ~n s)
 
 let explain_csv_header =
-  "technique,n,seed,messages,expected_messages,steps,expected_steps,transport_acks,self_sends,sends,dropped,replied,match"
+  "technique,n,shards,seed,messages,expected_messages,steps,expected_steps,transport_acks,self_sends,sends,dropped,replied,match"
 
-let explain_csv_row ~n ~seed key (info : Core.Technique.info)
+let explain_csv_row ~n ~shards ~seed key (info : Core.Technique.info)
     (s : Sim.Msg_dag.summary) =
-  Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%b" key n seed
+  Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%b" key n shards seed
     s.Sim.Msg_dag.messages (info.expected_messages ~n) s.steps
     info.expected_steps s.transport_acks s.self_sends s.sends s.dropped
     s.replied (explain_matches info ~n s)
@@ -318,18 +340,32 @@ let explain_cmd =
     let results =
       List.map
         (fun (entry : Protocols.Registry.entry) ->
-          let _cfg, factory = Cli.resolve entry directives in
+          let cfg, factory = Cli.resolve entry directives in
+          let shards = Cli.check_shards ~n cfg in
+          (* A single-shard probe transaction runs entirely inside one
+             replication group, so the §5 expectation applies at the group
+             size, not the cluster size. *)
+          let info =
+            if shards <= 1 then entry.info
+            else
+              let g = Protocols.Sharded.probe_group_size ~n ~shards in
+              {
+                entry.info with
+                Core.Technique.expected_messages =
+                  (fun ~n:_ -> entry.info.Core.Technique.expected_messages ~n:g);
+              }
+          in
           let p = Workload.Builder.probe ~seed ~n factory in
           let msgs, sound, summary = Workload.Builder.probe_summary p in
-          (entry.key, entry.info, msgs, sound, summary))
+          (entry.key, info, shards, msgs, sound, summary))
         selected
     in
     (match format with
     | `Csv ->
         print_endline explain_csv_header;
         List.iter
-          (fun (key, info, _, _, s) ->
-            print_endline (explain_csv_row ~n ~seed key info s))
+          (fun (key, info, shards, _, _, s) ->
+            print_endline (explain_csv_row ~n ~shards ~seed key info s))
           results
     | `Json ->
         let technique_label, config =
@@ -348,24 +384,24 @@ let explain_cmd =
           (Workload.Report.header_json ~config ~seed
              ~technique:technique_label ~n_replicas:n ());
         List.iter
-          (fun (key, info, _, _, s) ->
-            print_endline (explain_json ~n ~seed key info s))
+          (fun (key, info, shards, _, _, s) ->
+            print_endline (explain_json ~n ~shards ~seed key info s))
           results
     | `Pretty ->
         List.iteri
-          (fun i (key, info, msgs, _, s) ->
+          (fun i (key, info, shards, msgs, _, s) ->
             if i > 0 then Fmt.pr "@.";
-            explain_pretty ~n key info msgs s)
+            explain_pretty ~n ~shards key info msgs s)
           results);
     if check then begin
       let bad =
         List.filter
-          (fun (_, info, _, sound, s) ->
+          (fun (_, info, _, _, sound, s) ->
             not (sound && explain_matches info ~n s))
           results
       in
       List.iter
-        (fun (key, (info : Core.Technique.info), _, sound, s) ->
+        (fun (key, (info : Core.Technique.info), _, _, sound, s) ->
           Fmt.epr
             "explain --check: %s deviates: %d/%d messages, %d/%d steps \
              (observed/expected)%s@."
@@ -437,7 +473,8 @@ let campaign_cmd =
             "Also write one JSON object per run (counters + oracle \
              verdicts) to FILE ($(b,-) for stdout).")
   in
-  let run scenario_sel technique_sel directives seeds txns csv jsonl =
+  let run scenario_sel technique_sel directives seeds n_replicas txns ops csv
+      jsonl =
     let scenarios =
       match scenario_sel with
       | "all" -> Workload.Scenario.builtins
@@ -462,13 +499,20 @@ let campaign_cmd =
               | Error msg -> Cli.fail "%s" msg)
             (String.split_on_char ',' keys)
     in
-    let spec = { Workload.Scenario.default_spec with txns_per_client = txns } in
+    let spec =
+      {
+        Workload.Scenario.default_spec with
+        txns_per_client = txns;
+        ops_per_txn = ops;
+      }
+    in
     let outcomes =
-      Workload.Scenario.run_campaign ~seeds ~spec
+      Workload.Scenario.run_campaign ~seeds ~n_replicas ~spec
         ~techniques:
           (List.map
              (fun (entry : Protocols.Registry.entry) ->
-               let _cfg, factory = Cli.resolve entry directives in
+               let cfg, factory = Cli.resolve entry directives in
+               ignore (Cli.check_shards ~n:n_replicas cfg);
                (entry.key, entry.info, factory))
              techniques)
         ~scenarios ()
@@ -476,7 +520,7 @@ let campaign_cmd =
     let campaign_header =
       Workload.Report.header_json
         ~seed:(match seeds with s :: _ -> s | [] -> 11)
-        ~technique:technique_sel ~n_replicas:3
+        ~technique:technique_sel ~n_replicas
         ~config:
           (List.map
              (fun (d : Protocols.Config.directive) ->
@@ -523,7 +567,8 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ scenarios_arg $ techniques_arg $ Cli.directives_term
-      $ seeds_arg $ Cli.txns_arg ~default:25 () $ csv $ jsonl)
+      $ seeds_arg $ Cli.replicas_arg () $ Cli.txns_arg ~default:25 ()
+      $ Cli.ops_arg $ csv $ jsonl)
 
 (* ---- metrics -------------------------------------------------------- *)
 
@@ -540,7 +585,8 @@ let metrics_cmd =
   let run (entry : Protocols.Registry.entry) directives n m updates txns seed
       json =
     let cfg, factory = Cli.resolve entry directives in
-    let spec = Workload.Builder.spec ~updates ~txns () in
+    let shards = Cli.check_shards ~n cfg in
+    let spec = Workload.Builder.spec ~updates ~txns ~shards () in
     let builder =
       Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ()
     in

@@ -45,6 +45,19 @@ dune exec bin/replisim.exe -- run -t active \
   --set active.batch_window=5ms --txns 10 > /dev/null
 dune exec bin/replisim.exe -- config active > /dev/null
 
+# Sharded-operation smoke: a sharded campaign (4 groups of 2 through
+# crash-recover, every oracle judged per group), the §5 message-cost
+# check against a sharded configuration (the expectation applies at the
+# group size, not the cluster size), and one cross-shard run exercising
+# the 2PC commit path.
+echo "== sharded smoke =="
+dune exec bin/replisim.exe -- campaign --scenario crash-recover \
+  --techniques active --replicas 8 --set active.shards=4 --seeds 11
+dune exec bin/replisim.exe -- explain --check -t active -n 8 \
+  --set active.shards=4 > /dev/null
+dune exec bin/replisim.exe -- run -t active -n 8 --set active.shards=4 \
+  --ops 2 --cross 0.3 --txns 10 > /dev/null
+
 # Resource-timeline smoke: sample two techniques through the
 # partition-heal scenario; --check exits non-zero if any saturation
 # finding falls outside a fault window or the group-stack backlog fails
@@ -80,5 +93,16 @@ echo "== simulator throughput floor =="
 PERF15_TXNS=4000 dune exec bench/main.exe -- perf15 > /dev/null
 dune exec bin/replisim.exe -- bench-check BENCH_perf15.json \
   --floor perf15:events_per_sec:10000
+
+# Sharding gate: perf16 at a CI-sized transaction count. probe_flat=1
+# is Part A's verdict (single-shard message cost flat across cluster
+# sizes at fixed group size); the throughput floor keeps the sharded
+# cluster's simulated throughput from collapsing (cross=0 measures
+# ~800 txn/s).
+echo "== sharding bench =="
+PERF16_TXNS=10 dune exec bench/main.exe -- perf16 > /dev/null
+dune exec bin/replisim.exe -- bench-check BENCH_perf16.json \
+  --floor perf16:probe_flat:1 \
+  --floor perf16:throughput:200
 
 echo "== ci: OK =="

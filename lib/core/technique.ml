@@ -58,6 +58,12 @@ type instance = {
   spans : Phase_span.t;  (** structured per-transaction phase spans *)
   metrics : Sim.Metrics.t;  (** the instance's metrics registry *)
   replicas : int list;
+  groups : int list list;
+      (** replication groups: each inner list is the replica set holding
+          one copy of (a partition of) the database, so convergence is
+          judged within a group, never across groups. Full replication
+          is the single group [[replicas]]; a sharded instance has one
+          group per shard. *)
 }
 
 let pp_info ppf i =

@@ -36,6 +36,47 @@ type ctx = {
 
 let next_cid = ref 0
 
+(** Observability objects that several contexts can share. A sharded
+    technique builds one sub-instance per replication group; the groups
+    must report into {e one} span collector, phase log, metrics registry
+    and history so the run reads as a single system (and so message
+    spans — routed through {!Sim.Network.set_msg_spans}, which keeps
+    only the last collector installed — land in the collector every
+    group uses). *)
+type shared = {
+  s_phases : Core.Phase_trace.t;
+  s_spans : Core.Phase_span.t;
+  s_metrics : Metrics.t;
+  s_history : Store.History.t;
+}
+
+let spans_feeding metrics =
+  Core.Phase_span.create
+    ~on_phase_close:(fun ~phase ~replica:_ dur_ms ->
+      let labels = [ ("phase", Core.Phase.code phase) ] in
+      Metrics.observe metrics ~labels "phase_ms" dur_ms;
+      Metrics.incr metrics ~labels "phase_spans_total")
+    ()
+
+let fresh_shared () =
+  let s_metrics = Metrics.create () in
+  {
+    s_phases = Core.Phase_trace.create ();
+    s_spans = spans_feeding s_metrics;
+    s_metrics;
+    s_history = Store.History.create ();
+  }
+
+let ambient_shared : shared option ref = ref None
+
+(** [with_shared s f] — every {!make} during [f] adopts [s]'s phase
+    trace, spans, metrics and history instead of creating its own
+    (each context still gets a fresh cid, stores and reply routing). *)
+let with_shared s f =
+  let saved = !ambient_shared in
+  ambient_shared := Some s;
+  Fun.protect ~finally:(fun () -> ambient_shared := saved) f
+
 let now ctx = Engine.now (Network.engine ctx.net)
 let store ctx replica = Hashtbl.find ctx.stores replica
 
@@ -65,14 +106,8 @@ let observe_ms ctx ?labels name v = Metrics.observe ctx.metrics ?labels name v
 let make net ~replicas ~clients =
   incr next_cid;
   let cid = !next_cid in
-  let metrics = Metrics.create () in
-  let spans =
-    Core.Phase_span.create
-      ~on_phase_close:(fun ~phase ~replica:_ dur_ms ->
-        let labels = [ ("phase", Core.Phase.code phase) ] in
-        Metrics.observe metrics ~labels "phase_ms" dur_ms;
-        Metrics.incr metrics ~labels "phase_spans_total")
-      ()
+  let shared =
+    match !ambient_shared with Some s -> s | None -> fresh_shared ()
   in
   let ctx =
     {
@@ -80,10 +115,10 @@ let make net ~replicas ~clients =
       net;
       replicas;
       clients;
-      phases = Core.Phase_trace.create ();
-      spans;
-      metrics;
-      history = Store.History.create ();
+      phases = shared.s_phases;
+      spans = shared.s_spans;
+      metrics = shared.s_metrics;
+      history = shared.s_history;
       stores = Hashtbl.create 8;
       reply_cbs = Hashtbl.create 64;
       recorded = Hashtbl.create 64;
@@ -93,7 +128,7 @@ let make net ~replicas ~clients =
   in
   (* Message spans share the phase-span collector: one id space per
      transaction, so message spans parent to phase spans and vice versa. *)
-  Network.set_msg_spans net (Core.Phase_span.collector spans);
+  Network.set_msg_spans net (Core.Phase_span.collector ctx.spans);
   List.iter
     (fun r -> Hashtbl.replace ctx.stores r (Store.Kv.create ()))
     replicas;
@@ -243,4 +278,5 @@ let instance ctx ~info ~submit =
     spans = ctx.spans;
     metrics = ctx.metrics;
     replicas = ctx.replicas;
+    groups = [ ctx.replicas ];
   }

@@ -6,12 +6,13 @@
 
 type value =
   | Bool of bool
+  | Int of int
   | Float of float
   | Time of Sim.Simtime.t
   | Enum of string
   | Opt_int of int option
 
-type ty = TBool | TFloat | TTime | TEnum of string list | TOpt_int
+type ty = TBool | TInt | TFloat | TTime | TEnum of string list | TOpt_int
 
 type key = { name : string; ty : ty; default : value; doc : string }
 type schema = key list
@@ -21,6 +22,7 @@ type t = (string * value) list
 
 let ty_to_string = function
   | TBool -> "bool"
+  | TInt -> "int"
   | TFloat -> "float"
   | TTime -> "time"
   | TEnum choices -> "enum(" ^ String.concat "|" choices ^ ")"
@@ -46,6 +48,7 @@ let time_to_string t =
 
 let value_to_string = function
   | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
   | Float f -> Printf.sprintf "%g" f
   | Time t -> time_to_string t
   | Enum s -> s
@@ -59,6 +62,10 @@ let parse_value ty s =
       match bool_of_string_opt s with
       | Some b -> Ok (Bool b)
       | None -> Error (Printf.sprintf "expected true or false, got %S" s))
+  | TInt -> (
+      match int_of_string_opt s with
+      | Some i -> Ok (Int i)
+      | None -> Error (Printf.sprintf "expected an integer, got %S" s))
   | TFloat -> (
       match float_of_string_opt s with
       | Some f -> Ok (Float f)
@@ -124,6 +131,11 @@ let get_bool t name =
   | Bool b -> b
   | _ -> invalid_arg (Printf.sprintf "Config.get_bool: %S is not a bool" name)
 
+let get_int t name =
+  match get name t with
+  | Int i -> i
+  | _ -> invalid_arg (Printf.sprintf "Config.get_int: %S is not an int" name)
+
 let get_float t name =
   match get name t with
   | Float f -> f
@@ -175,6 +187,18 @@ let batch_window_key =
     doc =
       "sequencer batching: coalesce requests injected within this virtual-time \
        window into one ordering round (0 = order each request immediately)";
+  }
+
+let shards_key =
+  {
+    name = "shards";
+    ty = TInt;
+    default = Int 1;
+    doc =
+      "partition the keyspace into this many replication groups, each running \
+       its own instance of the technique over a disjoint replica subset; \
+       cross-shard transactions commit via 2PC across the concerned groups \
+       (1 = full replication, byte-identical to the unsharded protocol)";
   }
 
 let client_retry_key ~default =

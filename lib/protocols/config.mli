@@ -10,12 +10,13 @@
 
 type value =
   | Bool of bool
+  | Int of int
   | Float of float
   | Time of Sim.Simtime.t
   | Enum of string
   | Opt_int of int option
 
-type ty = TBool | TFloat | TTime | TEnum of string list | TOpt_int
+type ty = TBool | TInt | TFloat | TTime | TEnum of string list | TOpt_int
 
 type key = { name : string; ty : ty; default : value; doc : string }
 type schema = key list
@@ -48,6 +49,7 @@ val apply : schema -> (string * string) list -> (t, string) result
     (the schema and the protocol's [config_of] always agree). *)
 
 val get_bool : t -> string -> bool
+val get_int : t -> string -> int
 val get_float : t -> string -> float
 val get_time : t -> string -> Sim.Simtime.t
 val get_enum : t -> string -> string
@@ -61,6 +63,7 @@ val abcast_impl_of_enum : string -> Group.Abcast.impl
 val abcast_impl_key : key
 val passthrough_key : key
 val batch_window_key : key
+val shards_key : key
 val client_retry_key : default:Sim.Simtime.t -> key
 
 (** String form of every binding, schema order. *)

@@ -11,10 +11,39 @@ type entry = {
   build : Config.t -> factory;
 }
 
+(* Every technique is shardable: its schema gains the shared [shards]
+   key, and a shard count above 1 interposes the {!Sharded} wrapper —
+   one instance of the technique per replication group, cross-group
+   commits via 2PC. With [shards = 1] (the default) the raw factory is
+   returned untouched, so an unsharded run is byte-identical to one
+   that never had the key: the invariant holds by construction, not by
+   testing alone. *)
+let shardable e =
+  {
+    e with
+    schema = e.schema @ [ Config.shards_key ];
+    build =
+      (fun cfg ->
+        let shards =
+          match List.assoc_opt "shards" cfg with
+          | Some (Config.Int k) -> k
+          | _ -> 1
+        in
+        let inner = e.build cfg in
+        if shards <= 1 then inner
+        else
+          let passthrough =
+            match List.assoc_opt "passthrough" cfg with
+            | Some (Config.Bool b) -> b
+            | _ -> false
+          in
+          Sharded.create ~shards ~info:e.info ~passthrough ~factory:inner);
+  }
+
 (* Every [build] resolves the technique's typed configuration into its
    concrete [config] record and closes over it — the single construction
    path shared by the CLI, the benches and the tests. *)
-let all : entry list =
+let raw : entry list =
   [
     {
       key = "active";
@@ -106,6 +135,8 @@ let all : entry list =
             ~config:(Certification_based.config_of cfg) ());
     };
   ]
+
+let all = List.map shardable raw
 
 let keys = List.map (fun e -> e.key) all
 let infos = List.map (fun e -> e.info) all

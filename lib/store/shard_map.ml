@@ -1,0 +1,84 @@
+(* Deterministic keyspace partitioning. Placement must be a pure
+   function of (map parameters, key bytes): the router, the workload
+   generator and the tests all recompute it independently and have to
+   agree, and a given seed must shard identically on every run. *)
+
+type strategy = Hash | Range of { space : int }
+
+type t = { k : int; strategy : strategy }
+
+let create ?(strategy = Hash) ~shards () =
+  if shards < 1 then
+    invalid_arg (Printf.sprintf "Shard_map.create: shards must be >= 1, got %d" shards);
+  (match strategy with
+  | Range { space } when space < 1 ->
+      invalid_arg
+        (Printf.sprintf "Shard_map.create: range space must be >= 1, got %d" space)
+  | _ -> ());
+  { k = shards; strategy }
+
+let shards t = t.k
+let strategy t = t.strategy
+
+(* FNV-1a, 32-bit: tiny, well distributed on short ASCII keys, and
+   specified byte-for-byte so the placement is stable across OCaml
+   versions (unlike [Hashtbl.hash]). *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x7fffffff)
+    s;
+  !h
+
+(* Trailing decimal suffix of a key ("k0042" -> 42), if any. *)
+let numeric_suffix key =
+  let n = String.length key in
+  let rec start i =
+    if i > 0 && key.[i - 1] >= '0' && key.[i - 1] <= '9' then start (i - 1)
+    else i
+  in
+  let s = start n in
+  if s = n then None else int_of_string_opt (String.sub key s (n - s))
+
+let shard_of_key t key =
+  if t.k = 1 then 0
+  else
+    match t.strategy with
+    | Hash -> fnv1a key mod t.k
+    | Range { space } -> (
+        match numeric_suffix key with
+        | Some i -> min (t.k - 1) (i * t.k / space)
+        | None -> fnv1a key mod t.k)
+
+let touched_shards t (r : Operation.request) =
+  List.concat_map
+    (fun op -> List.map (shard_of_key t) (Operation.read_keys op @ Operation.write_keys op))
+    r.Operation.ops
+  |> List.sort_uniq compare
+
+let shards_of_request t r =
+  match touched_shards t r with [] -> [ 0 ] | shards -> shards
+
+let split_request t (r : Operation.request) =
+  let shards = shards_of_request t r in
+  List.map
+    (fun s ->
+      ( s,
+        List.filter
+          (fun op ->
+            List.exists
+              (fun key -> shard_of_key t key = s)
+              (Operation.read_keys op @ Operation.write_keys op))
+          r.Operation.ops ))
+    shards
+  |> List.filter (fun (_, ops) -> ops <> [])
+
+let shard_of_last_read t (r : Operation.request) =
+  List.fold_left
+    (fun acc op ->
+      match Operation.read_keys op with
+      | key :: _ -> Some (shard_of_key t key)
+      | [] -> acc)
+    None r.Operation.ops

@@ -1,0 +1,48 @@
+(** Deterministic keyspace partitioning for sharded replication groups.
+
+    A shard map assigns every logical data item to exactly one of [k]
+    shards, so that each shard can be replicated by its own group of
+    replicas (partial replication: no replica outside the owning group
+    ever holds or coordinates on the item). Two placement strategies:
+
+    - {!Hash}: FNV-1a over the key string, modulo [k]. Spreads any key
+      population evenly; placement depends only on the key bytes, so it
+      is stable across runs, processes and cluster sizes.
+    - {!Range}: contiguous bands over a numeric keyspace. Keys carry
+      their index as a trailing decimal suffix (the workload generator's
+      ["k0042"] convention); key [i] of a [space]-key database lands in
+      shard [i * k / space]. Keys without a numeric suffix fall back to
+      hash placement.
+
+    The map also classifies transactions: {!shards_of_request} is the
+    set of shards a request touches (its {e concerned groups}), and
+    {!split_request} decomposes the operation list into per-shard
+    sub-lists preserving the original operation order within each
+    shard. *)
+
+type strategy = Hash | Range of { space : int }
+
+type t
+
+(** [create ?strategy ~shards ()] — [shards] must be >= 1 (raises
+    [Invalid_argument] otherwise). Default strategy: [Hash]. *)
+val create : ?strategy:strategy -> shards:int -> unit -> t
+
+val shards : t -> int
+val strategy : t -> strategy
+
+(** The shard owning [key], in [0 .. shards-1]. Deterministic: depends
+    only on the map parameters and the key bytes. *)
+val shard_of_key : t -> Operation.key -> int
+
+(** Distinct shards touched by the request's operations, ascending.
+    A request with no operations maps to shard 0. *)
+val shards_of_request : t -> Operation.request -> int list
+
+(** [(shard, ops)] for every concerned shard, ascending by shard, each
+    [ops] in the original relative order. *)
+val split_request : t -> Operation.request -> (int * Operation.op list) list
+
+(** The shard owning the last operation that reads (the one whose reply
+    value the client observes), when the request reads at all. *)
+val shard_of_last_read : t -> Operation.request -> int option

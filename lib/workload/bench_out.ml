@@ -202,6 +202,7 @@ let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
    silently thin out. *)
 let required_metrics = function
   | "perf15" -> [ "events_per_sec"; "txns_per_sec"; "peak_heap_words" ]
+  | "perf16" -> [ "probe_messages"; "throughput"; "latency_p95" ]
   | _ -> []
 
 let row_metric row = match member "metric" row with Some (Str m) -> Some m | _ -> None

@@ -47,7 +47,7 @@ let make ?(seed = 11) ?(replicas = 3) ?(clients = 4) ?(spec = Spec.default)
   }
 
 let spec ?(keys = 100) ?(skew = 0.6) ?(updates = 0.5) ?(ops = 1) ?(txns = 50)
-    ?(think = Simtime.of_ms 1) () =
+    ?(think = Simtime.of_ms 1) ?(shards = 1) ?(cross = 0.) () =
   {
     Spec.n_keys = keys;
     key_skew = skew;
@@ -55,6 +55,8 @@ let spec ?(keys = 100) ?(skew = 0.6) ?(updates = 0.5) ?(ops = 1) ?(txns = 50)
     ops_per_txn = ops;
     txns_per_client = txns;
     think_time = think;
+    shards;
+    cross_shard = cross;
   }
 
 (* Pair each recovery with the crash of the same replica; a recovery

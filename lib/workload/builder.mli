@@ -54,6 +54,8 @@ val spec :
   ?ops:int ->
   ?txns:int ->
   ?think:Sim.Simtime.t ->
+  ?shards:int ->
+  ?cross:float ->
   unit ->
   Spec.t
 

@@ -3,25 +3,76 @@
     real conflict on its item — the worst case the paper's techniques are
     designed around. *)
 
-type t = { spec : Spec.t; rng : Sim.Rng.t; sampler : Sim.Rng.Zipf.sampler }
+type t = {
+  spec : Spec.t;
+  rng : Sim.Rng.t;
+  sampler : Sim.Rng.Zipf.sampler;
+  shard_map : Store.Shard_map.t option;
+      (* present iff spec.shards > 1: the generator confines or spreads
+         a transaction's keys across shards; the placement function is
+         the same one the router uses, so "single-shard" here means
+         single-shard to the router too *)
+}
 
 let create ?(seed = 42) spec =
   {
     spec;
     rng = Sim.Rng.create ~seed;
     sampler = Sim.Rng.Zipf.make ~n:spec.Spec.n_keys ~theta:spec.Spec.key_skew;
+    shard_map =
+      (if spec.Spec.shards > 1 then
+         Some (Store.Shard_map.create ~shards:spec.Spec.shards ())
+       else None);
   }
 
 let key t = Printf.sprintf "k%04d" (Sim.Rng.Zipf.draw t.rng t.sampler)
 
-let operation t ~update =
-  if update then Store.Operation.Incr (key t, 1) else Store.Operation.Read (key t)
+let op_on ~update k =
+  if update then Store.Operation.Incr (k, 1) else Store.Operation.Read k
+
+let operation t ~update = op_on ~update (key t)
+
+(* Rejection-sample a key that [accept]s; a skewed draw can take a while
+   to leave a hot shard, so after a bounded number of tries fall back to
+   [fallback] (keeping the run deterministic and terminating — the
+   transaction then simply isn't spread as intended). *)
+let sample_key t ~accept ~fallback =
+  let rec go tries =
+    if tries >= 64 then fallback
+    else
+      let k = key t in
+      if accept k then k else go (tries + 1)
+  in
+  go 0
 
 (** One transaction for [client]. A transaction is all-update or all-read
     (the usual OLTP mix model). *)
 let request t ~client =
   let update = Sim.Rng.float t.rng 1.0 < t.spec.Spec.update_ratio in
+  let n = t.spec.Spec.ops_per_txn in
   let ops =
-    List.init t.spec.Spec.ops_per_txn (fun _ -> operation t ~update)
+    match t.shard_map with
+    | None -> List.init n (fun _ -> operation t ~update)
+    | Some map ->
+        (* Shard-aware choice: the first key anchors the transaction's
+           home shard; the rest either stay home (single-shard) or the
+           second op is pushed to a different shard (cross-shard). *)
+        let k0 = key t in
+        let home = Store.Shard_map.shard_of_key map k0 in
+        let cross =
+          n > 1 && Sim.Rng.float t.rng 1.0 < t.spec.Spec.cross_shard
+        in
+        let rest =
+          List.init (n - 1) (fun i ->
+              if cross && i = 0 then
+                sample_key t
+                  ~accept:(fun k -> Store.Shard_map.shard_of_key map k <> home)
+                  ~fallback:k0
+              else
+                sample_key t
+                  ~accept:(fun k -> Store.Shard_map.shard_of_key map k = home)
+                  ~fallback:k0)
+        in
+        List.map (op_on ~update) (k0 :: rest)
   in
   (update, Store.Operation.request ~client ops)

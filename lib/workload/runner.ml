@@ -154,13 +154,18 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
   (* Quiescence: let lazy propagation and retransmissions drain. *)
   ignore (Engine.run ~until:(Simtime.add (Engine.now engine) (Simtime.of_sec 10.)) engine);
   let wall_s = Unix.gettimeofday () -. wall0 in
-  let alive_stores =
-    List.filter_map
-      (fun r ->
-        if Network.alive network r then
-          Some (inst.Core.Technique.replica_store r)
-        else None)
-      replicas
+  (* Convergence is judged within each replication group: replicas in
+     different groups hold different keyspace partitions (sharding), so
+     comparing their stores across groups would be meaningless. Full
+     replication is the single group [replicas]. *)
+  let group_converged group =
+    Core.Convergence.converged
+      (List.filter_map
+         (fun r ->
+           if Network.alive network r then
+             Some (inst.Core.Technique.replica_store r)
+           else None)
+         group)
   in
   let makespan = !last_response in
   let throughput =
@@ -226,7 +231,9 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       max_response_gap = !max_gap;
       (* With [analyze:false] the O(txns)-and-worse post-run oracles are
          skipped and report vacuous truth — throughput benchmarks only. *)
-      converged = (not analyze) || Core.Convergence.converged alive_stores;
+      converged =
+        (not analyze)
+        || List.for_all group_converged inst.Core.Technique.groups;
       serializable =
         (not analyze)
         || (match Store.Serializability.check inst.Core.Technique.history with

@@ -336,10 +336,10 @@ let default_spec =
     think_time = Simtime.of_ms 2;
   }
 
-let run_one ?(seed = 11) ?(spec = default_spec)
+let run_one ?(seed = 11) ?(n_replicas = 3) ?(spec = default_spec)
     ?(deadline = Simtime.of_sec 120.) ~key ~info ~factory scenario =
   let result, inst =
-    Runner.run_with_instance ~seed ~n_replicas:3 ~n_clients:2 ~deadline ~spec
+    Runner.run_with_instance ~seed ~n_replicas ~n_clients:2 ~deadline ~spec
       ~tune:(fun net ~replicas:_ ~clients:_ -> apply scenario net)
       factory
   in
@@ -353,14 +353,16 @@ let run_one ?(seed = 11) ?(spec = default_spec)
     ok = List.for_all (fun (v : verdict) -> v.ok) verdicts;
   }
 
-let run_campaign ?(seeds = [ 11 ]) ?spec ?deadline ~techniques ~scenarios () =
+let run_campaign ?(seeds = [ 11 ]) ?n_replicas ?spec ?deadline ~techniques
+    ~scenarios () =
   List.concat_map
     (fun scenario ->
       List.concat_map
         (fun (key, info, factory) ->
           List.map
             (fun seed ->
-              run_one ~seed ?spec ?deadline ~key ~info ~factory scenario)
+              run_one ~seed ?n_replicas ?spec ?deadline ~key ~info ~factory
+                scenario)
             seeds)
         techniques)
     scenarios

@@ -128,6 +128,7 @@ val default_spec : Spec.t
 
 val run_one :
   ?seed:int ->
+  ?n_replicas:int ->
   ?spec:Spec.t ->
   ?deadline:Sim.Simtime.t ->
   key:string ->
@@ -136,9 +137,12 @@ val run_one :
   t ->
   outcome
 
-(** Sweep techniques × scenarios × seeds (default seeds: [[11]]). *)
+(** Sweep techniques × scenarios × seeds (default seeds: [[11]]; default
+    cluster: 3 replicas — raise [n_replicas] for sharded campaigns,
+    where each replication group needs its own replicas). *)
 val run_campaign :
   ?seeds:int list ->
+  ?n_replicas:int ->
   ?spec:Spec.t ->
   ?deadline:Sim.Simtime.t ->
   techniques:(string * Core.Technique.info * Runner.factory) list ->

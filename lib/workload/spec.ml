@@ -9,6 +9,13 @@ type t = {
   ops_per_txn : int;  (** operations per transaction (§5 model when > 1) *)
   txns_per_client : int;
   think_time : Sim.Simtime.t;  (** client pause between transactions *)
+  shards : int;
+      (** generate shard-aware transactions for this many shards
+          (1 = shard-oblivious: the pre-sharding key choice, unchanged) *)
+  cross_shard : float;
+      (** fraction of multi-op transactions forced to touch >= 2 shards
+          (the rest are confined to one shard); only read when
+          [shards > 1] *)
 }
 
 let default =
@@ -19,9 +26,14 @@ let default =
     ops_per_txn = 1;
     txns_per_client = 50;
     think_time = Sim.Simtime.of_ms 1;
+    shards = 1;
+    cross_shard = 0.;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "keys=%d skew=%.2f updates=%.0f%% ops/txn=%d txns/client=%d" t.n_keys
-    t.key_skew (100. *. t.update_ratio) t.ops_per_txn t.txns_per_client
+    t.key_skew (100. *. t.update_ratio) t.ops_per_txn t.txns_per_client;
+  if t.shards > 1 then
+    Format.fprintf ppf " shards=%d cross=%.0f%%" t.shards
+      (100. *. t.cross_shard)

@@ -9,6 +9,13 @@ type t = {
   ops_per_txn : int;  (** operations per transaction (§5 model when > 1) *)
   txns_per_client : int;
   think_time : Sim.Simtime.t;  (** client pause between transactions *)
+  shards : int;
+      (** generate shard-aware transactions for this many shards
+          (1 = shard-oblivious: the pre-sharding key choice, unchanged) *)
+  cross_shard : float;
+      (** fraction of multi-op transactions forced to touch >= 2 shards
+          (the rest are confined to one shard); only read when
+          [shards > 1] *)
 }
 
 val default : t

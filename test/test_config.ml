@@ -21,6 +21,8 @@ let non_default (k : Protocols.Config.key) =
   match (k.ty, k.default) with
   | Protocols.Config.TBool, Protocols.Config.Bool b ->
       Some (Protocols.Config.Bool (not b))
+  | Protocols.Config.TInt, Protocols.Config.Int i ->
+      Some (Protocols.Config.Int (i + 1))
   | Protocols.Config.TFloat, Protocols.Config.Float f ->
       Some (Protocols.Config.Float (f +. 0.25))
   | Protocols.Config.TTime, Protocols.Config.Time t ->
