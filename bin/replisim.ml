@@ -1113,6 +1113,222 @@ let profile_cmd =
 
 (* ---- bench-check ---------------------------------------------------- *)
 
+(* ---- audit ---------------------------------------------------------- *)
+
+let audit_cmd =
+  let doc =
+    "Measure client-visible consistency per technique: visibility latency \
+     (how long other replicas stay stale for each committed write), \
+     real-time stale reads, session-guarantee violations (read-your-writes, \
+     monotonic reads), residual version lag, and — on sharded \
+     configurations — cross-shard snapshot skew."
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pretty", `Pretty); ("json", `Json); ("csv", `Csv) ]) `Pretty
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: pretty, json or csv.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero unless every technique drains its version lag, \
+             eager techniques measure a zero session-order inconsistency \
+             window (no read-your-writes or monotonic-reads violations), \
+             and lazy techniques measure a strictly positive post-commit \
+             staleness window.")
+  in
+  let run technique directives n m updates txns ops keys skew cross seed fmt
+      check =
+    let entries =
+      match technique with Some e -> [ e ] | None -> Protocols.Registry.all
+    in
+    let rows =
+      List.map
+        (fun (entry : Protocols.Registry.entry) ->
+          let cfg, factory = Cli.resolve entry directives in
+          let shards = Cli.check_shards ~n cfg in
+          if cross > 0. && shards <= 1 then
+            Cli.fail
+              "--cross needs a sharded technique; add --set %s.shards=K (K >= 2)"
+              entry.key;
+          if cross > 0. && ops < 2 then
+            Cli.fail "--cross needs multi-op transactions; add --ops 2 (or more)";
+          let spec =
+            Workload.Builder.spec ~keys ~skew ~updates ~ops ~txns ~shards
+              ~cross ()
+          in
+          let builder =
+            Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec
+              ~sample:(Sim.Simtime.of_ms 5) ~audit:true ()
+          in
+          let result = Workload.Builder.run builder factory in
+          let a = Option.get result.Workload.Runner.audit in
+          (entry, shards, a))
+        entries
+    in
+    let propagation_of (entry : Protocols.Registry.entry) =
+      match entry.info.Core.Technique.propagation with
+      | Core.Technique.Eager -> "eager"
+      | Core.Technique.Lazy -> "lazy"
+    in
+    let max_lag (a : Workload.Audit.summary) =
+      List.fold_left (fun acc (_, l) -> Stdlib.max acc l) 0 a.final_lag
+    in
+    (* The gate: the measured form of the paper's §4 windows. Eager =
+       agreement before the reply, so the session-order inconsistency
+       window must be exactly zero; lazy = propagation after the reply,
+       so the post-commit window must be strictly positive — and finite,
+       i.e. fully drained by quiescence. Sub-millisecond real-time
+       staleness under an eager technique (a local read racing the
+       decision round) is reported but not gated: it is serializable
+       before the write, hence invisible to the paper's 1SR criterion. *)
+    let problems (entry : Protocols.Registry.entry) shards
+        (a : Workload.Audit.summary) =
+      let eager =
+        entry.info.Core.Technique.propagation = Core.Technique.Eager
+      in
+      (if a.drained then []
+       else
+         [
+           Printf.sprintf "version lag never drained (max residual %d)"
+             (max_lag a);
+         ])
+      @ (if eager && (a.ryw_violations > 0 || a.mr_violations > 0) then
+           [
+             Printf.sprintf
+               "eager technique with a non-zero inconsistency window: %d \
+                read-your-writes + %d monotonic-reads violations (window \
+                %.3f ms)"
+               a.ryw_violations a.mr_violations a.session_window_max_ms;
+           ]
+         else [])
+      @ (if (not eager) && a.post_commit_max_ms <= 0. then
+           [
+             "lazy technique measured no post-commit staleness window \
+              (propagation should run after the reply)";
+           ]
+         else [])
+      @
+      if shards = 1 && a.skew_pairs <> 0 then
+        [
+          Printf.sprintf
+            "%d snapshot-skew pairs at shards=1 (must be impossible)"
+            a.skew_pairs;
+        ]
+      else []
+    in
+    (match fmt with
+    | `Pretty ->
+        Fmt.pr
+          "%-18s %-6s %8s %7s %20s %11s %9s %6s %5s %5s %5s %4s %8s@."
+          "technique" "prop" "commits" "writes" "visibility p50/p95(ms)"
+          "postcmt(ms)" "sess(ms)" "stale" "ryw" "mr" "skew" "lag" "drained";
+        List.iter
+          (fun ((entry : Protocols.Registry.entry), _, (a : Workload.Audit.summary)) ->
+            Fmt.pr
+              "%-18s %-6s %8d %7d %10.2f/%9.2f %11.2f %9.3f %6d %5d %5d %5d \
+               %4d %8b@."
+              entry.key (propagation_of entry) a.commits a.writes
+              a.visibility_ms.Workload.Stats.p50
+              a.visibility_ms.Workload.Stats.p95 a.post_commit_max_ms
+              a.session_window_max_ms a.stale_reads a.ryw_violations
+              a.mr_violations a.skew_pairs (max_lag a) a.drained)
+          rows;
+        Fmt.pr
+          "@.Reading: postcmt is the propagation window after the commit \
+           reply (the@.lazy staleness window; ~0 for eager), sess the \
+           largest staleness behind a@.session-guarantee violation (must \
+           be 0 for eager), stale counts reads that@.missed an already- \
+           acknowledged write anywhere (sub-ms races are 1SR-legal).@."
+    | `Csv ->
+        Fmt.pr
+          "technique,propagation,n,shards,seed,commits,reads_checked,writes,\
+           fully_replicated,vis_count,vis_mean_ms,vis_p50_ms,vis_p95_ms,\
+           vis_p99_ms,vis_max_ms,post_commit_max_ms,session_window_max_ms,\
+           stale_reads,staleness_max_ms,ryw_violations,mr_violations,\
+           skew_pairs,cross_txns,max_lag,drained@.";
+        List.iter
+          (fun ((entry : Protocols.Registry.entry), shards, (a : Workload.Audit.summary)) ->
+            Fmt.pr
+              "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,\
+               %.3f,%d,%.3f,%d,%d,%d,%d,%d,%b@."
+              entry.key (propagation_of entry) n shards seed a.commits
+              a.reads_checked a.writes a.fully_replicated
+              a.visibility_ms.Workload.Stats.count
+              a.visibility_ms.Workload.Stats.mean
+              a.visibility_ms.Workload.Stats.p50
+              a.visibility_ms.Workload.Stats.p95
+              a.visibility_ms.Workload.Stats.p99
+              a.visibility_ms.Workload.Stats.max a.post_commit_max_ms
+              a.session_window_max_ms a.stale_reads
+              a.staleness_ms.Workload.Stats.max a.ryw_violations
+              a.mr_violations a.skew_pairs a.cross_txns (max_lag a) a.drained)
+          rows
+    | `Json ->
+        List.iter
+          (fun ((entry : Protocols.Registry.entry), shards, (a : Workload.Audit.summary)) ->
+            let jf = Sim.Metrics.json_float in
+            Fmt.pr
+              "{\"type\":\"audit\",\"technique\":\"%s\",\"propagation\":\"%s\",\
+               \"n\":%d,\"shards\":%d,\"seed\":%d,\"commits\":%d,\
+               \"reads_checked\":%d,\"writes\":%d,\"fully_replicated\":%d,\
+               \"visibility_ms\":{\"count\":%d,\"mean\":%s,\"p50\":%s,\
+               \"p95\":%s,\"p99\":%s,\"max\":%s},\"post_commit_max_ms\":%s,\
+               \"session_window_max_ms\":%s,\"stale_reads\":%d,\
+               \"staleness_max_ms\":%s,\"ryw_violations\":%d,\
+               \"mr_violations\":%d,\"skew_pairs\":%d,\"cross_txns\":%d,\
+               \"final_lag\":[%s],\"drained\":%b}@."
+              (Sim.Metrics.json_escape entry.key)
+              (propagation_of entry) n shards seed a.commits a.reads_checked
+              a.writes a.fully_replicated a.visibility_ms.Workload.Stats.count
+              (jf a.visibility_ms.Workload.Stats.mean)
+              (jf a.visibility_ms.Workload.Stats.p50)
+              (jf a.visibility_ms.Workload.Stats.p95)
+              (jf a.visibility_ms.Workload.Stats.p99)
+              (jf a.visibility_ms.Workload.Stats.max)
+              (jf a.post_commit_max_ms)
+              (jf a.session_window_max_ms)
+              a.stale_reads
+              (jf a.staleness_ms.Workload.Stats.max)
+              a.ryw_violations a.mr_violations a.skew_pairs a.cross_txns
+              (String.concat ","
+                 (List.map
+                    (fun (r, l) ->
+                      Printf.sprintf "{\"replica\":%d,\"lag\":%d}" r l)
+                    a.final_lag))
+              a.drained)
+          rows);
+    if check then begin
+      let bad = ref 0 in
+      List.iter
+        (fun (entry, shards, a) ->
+          match problems entry shards a with
+          | [] -> ()
+          | msgs ->
+              incr bad;
+              List.iter
+                (fun msg ->
+                  Fmt.epr "audit: %s: %s@." entry.Protocols.Registry.key msg)
+                msgs)
+        rows;
+      if !bad > 0 then exit 1;
+      Fmt.pr "audit: OK (%d technique%s)@." (List.length rows)
+        (if List.length rows = 1 then "" else "s")
+    end
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(
+      const run
+      $ Cli.technique_opt
+          ~doc:"Technique to audit (default: all techniques)."
+      $ Cli.directives_term $ Cli.replicas_arg () $ Cli.clients_arg ()
+      $ Cli.updates_arg $ Cli.txns_arg () $ Cli.ops_arg $ Cli.keys_arg
+      $ Cli.skew_arg $ Cli.cross_arg $ Cli.seed_arg () $ format_arg
+      $ check_arg)
+
 let bench_check_cmd =
   let doc =
     "Validate BENCH_*.json files written by the bench suite against the \
@@ -1210,5 +1426,6 @@ let () =
             campaign_cmd;
             timeline_cmd;
             profile_cmd;
+            audit_cmd;
             bench_check_cmd;
           ]))

@@ -105,4 +105,23 @@ dune exec bin/replisim.exe -- bench-check BENCH_perf16.json \
   --floor perf16:probe_flat:1 \
   --floor perf16:throughput:200
 
+# Consistency-audit smoke: --check gates the measured form of the §4
+# windows (eager: zero session-guarantee window; lazy: strictly positive
+# post-commit window, drained by quiescence), plus one sharded run
+# exercising the cross-shard snapshot-skew detector end to end.
+echo "== consistency audit smoke =="
+dune exec bin/replisim.exe -- audit -t active --check > /dev/null
+dune exec bin/replisim.exe -- audit -t lazy-primary --check > /dev/null
+dune exec bin/replisim.exe -- audit -t active -n 8 --set active.shards=4 \
+  --ops 2 --cross 0.3 --check > /dev/null
+
+# Consistency bench gate: perf17 at a CI-sized transaction count. Both
+# floors are aggregate verdicts emitted as single rows: every run must
+# drain, and every lazy run must measure a positive post-commit window.
+echo "== consistency bench =="
+PERF17_TXNS=10 dune exec bench/main.exe -- perf17 > /dev/null
+dune exec bin/replisim.exe -- bench-check BENCH_perf17.json \
+  --floor perf17:audit_drained:1 \
+  --floor perf17:lazy_visibility_positive:1
+
 echo "== ci: OK =="

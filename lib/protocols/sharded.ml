@@ -150,6 +150,8 @@ let create ~shards ~info ?(passthrough = false) ~factory net ~replicas ~clients
                 List.iter
                   (fun (s, ops) ->
                     let sub = Store.Operation.request ~client ops in
+                    Store.History.link_parent shared.Common.s_history
+                      ~parent:rid ~sub:sub.Store.Operation.rid;
                     phase ~rid
                       ~note:
                         (Printf.sprintf "sub-txn %d on shard %d"

@@ -140,7 +140,41 @@ let window_findings cfg (s : Timeseries.series) =
     (Timeseries.points s);
   List.rev !out
 
+(* Replication lag must reach zero by the end of the run (the runner
+   appends a quiescence period for exactly this): a [version_lag] series
+   whose final sample is still positive means some replica never saw
+   writes the rest of its group committed — unbounded staleness, the
+   lazy-replication failure mode the audit layer exists to catch. *)
+let lag_findings (s : Timeseries.series) =
+  match List.rev (Timeseries.points s) with
+  | ({ value; _ } : Timeseries.point) :: _ as rev_pts when value > 0. ->
+      let rec run_start acc = function
+        | (p : Timeseries.point) :: rest when p.value > 0. ->
+            run_start p rest
+        | _ -> acc
+      in
+      let first = run_start (List.hd rev_pts) (List.tl rev_pts) in
+      let lastp = List.hd rev_pts in
+      [
+        {
+          detector = "lag_undrained";
+          metric = s.name;
+          replica = s.replica;
+          at = first.Timeseries.at;
+          until = lastp.Timeseries.at;
+          peak = peak_of rev_pts;
+          detail =
+            Printf.sprintf
+              "version lag still %g at end of run (never drained)"
+              lastp.Timeseries.value;
+        };
+      ]
+  | _ -> []
+
 let analyze_series cfg (s : Timeseries.series) =
+  let lag = if s.name = "version_lag" then lag_findings s else [] in
+  lag
+  @
   match s.kind with
   | Timeseries.Queue -> queue_findings cfg s
   | Timeseries.Waiters -> waiters_findings cfg s

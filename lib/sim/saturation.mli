@@ -2,7 +2,10 @@
 
     One detector per gauge kind: sustained queue growth ([Queue]),
     lock-waiter convoys ([Waiters]) and over-long in-doubt windows
-    ([Window]). [Level]/[Flag] series are informational only. *)
+    ([Window]). [Level]/[Flag] series are informational only. A series
+    named ["version_lag"] (the consistency audit's per-replica staleness
+    gauge) additionally gets the [lag_undrained] detector: its final
+    sample must be zero, or the replica never caught up. *)
 
 type config = {
   queue_min_run : int;  (** Samples a queue must keep (non-strictly) growing. *)
@@ -15,7 +18,9 @@ type config = {
 val default : config
 
 type finding = {
-  detector : string;  (** ["queue_growth" | "waiter_convoy" | "window_overrun"]. *)
+  detector : string;
+      (** ["queue_growth" | "waiter_convoy" | "window_overrun" |
+          "lag_undrained"]. *)
   metric : string;
   replica : int;
   at : Simtime.t;  (** Start of the offending run. *)

@@ -25,4 +25,20 @@ val add_result :
 
 val records : t -> record list
 val length : t -> int
+
+(** [on_add t f] runs [f] on every subsequently added record — the
+    consistency audit layer indexes commits incrementally this way. *)
+val on_add : t -> (record -> unit) -> unit
+
+(** Cross-shard transactions split into per-group sub-transactions under
+    fresh tids; {!Protocols.Sharded} records the parentage here so
+    post-hoc analyses (snapshot-skew detection, session checkers) can
+    reassemble the client-visible transaction from its parts. *)
+val link_parent : t -> parent:int -> sub:int -> unit
+
+val parent_of : t -> sub:int -> int option
+
+(** Sub tids of a cross-shard parent, in creation order. *)
+val subs_of : t -> parent:int -> int list
+
 val pp_record : Format.formatter -> record -> unit

@@ -40,5 +40,16 @@ val keys : t -> Operation.key list
 val snapshot : t -> (Operation.key * (int * int)) list
 
 val equal : t -> t -> bool
+
+(** [copy t] duplicates the copies but not the watchers: a copy is
+    scratch state (state transfer, convergence snapshots), not a live
+    replica store. *)
 val copy : t -> t
+
+(** [on_update t f] registers [f] to run whenever a copy actually
+    changes: on every {!write}, on an {!install} that is not ignored,
+    and on every {!force}. The consistency audit layer uses this to
+    observe per-replica apply times without the protocols knowing. *)
+val on_update : t -> (Operation.key -> value:int -> version:int -> unit) -> unit
+
 val pp : Format.formatter -> t -> unit

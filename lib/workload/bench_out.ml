@@ -203,6 +203,8 @@ let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 let required_metrics = function
   | "perf15" -> [ "events_per_sec"; "txns_per_sec"; "peak_heap_words" ]
   | "perf16" -> [ "probe_messages"; "throughput"; "latency_p95" ]
+  | "perf17" ->
+      [ "visibility_p95_ms"; "post_commit_window_ms"; "audit_drained" ]
   | _ -> []
 
 let row_metric row = match member "metric" row with Some (Str m) -> Some m | _ -> None
@@ -281,7 +283,15 @@ let check_floor doc ~metric ~min_value =
           None rows
       in
       match best with
-      | None -> Error (Printf.sprintf "no rows with metric %S" metric)
+      | None ->
+          (* Name what IS in the file: a typo'd floor metric should point
+             straight at the spelling, not send the user to the JSON. *)
+          let present =
+            List.sort_uniq String.compare (List.filter_map row_metric rows)
+          in
+          Error
+            (Printf.sprintf "no rows with metric %S (file has: %s)" metric
+               (String.concat ", " present))
       | Some best ->
           if best >= min_value then Ok best
           else

@@ -23,12 +23,13 @@ type t = {
   profiler : Profiler.t option;
   tracing : bool;
   analyze : bool;
+  audit : bool;
 }
 
 let make ?(seed = 11) ?(replicas = 3) ?(clients = 4) ?(spec = Spec.default)
     ?(net = Network.default_config) ?(arrival = `Closed) ?(failures = [])
     ?(partitions = []) ?scenario ?(deadline = Simtime.of_sec 120.) ?sample
-    ?profiler ?(tracing = true) ?(analyze = true) () =
+    ?profiler ?(tracing = true) ?(analyze = true) ?(audit = false) () =
   {
     seed;
     n_replicas = replicas;
@@ -44,6 +45,7 @@ let make ?(seed = 11) ?(replicas = 3) ?(clients = 4) ?(spec = Spec.default)
     profiler;
     tracing;
     analyze;
+    audit;
   }
 
 let spec ?(keys = 100) ?(skew = 0.6) ?(updates = 0.5) ?(ops = 1) ?(txns = 50)
@@ -105,7 +107,7 @@ let run_with_instance t factory =
     ~n_clients:t.n_clients ~net:t.net ?tune ~arrival:t.arrival
     ~failures:t.failures ~partitions:t.partitions ~deadline:t.deadline
     ?sample:t.sample ?profiler:t.profiler ~tracing:t.tracing
-    ~analyze:t.analyze ~spec:t.spec factory
+    ~analyze:t.analyze ~audit:t.audit ~spec:t.spec factory
 
 let run t factory = fst (run_with_instance t factory)
 

@@ -26,6 +26,9 @@ type t = {
   analyze : bool;
       (** run the post-run convergence/serializability oracles
           (default on; see {!Runner.run_with_instance}) *)
+  audit : bool;
+      (** attach the consistency audit layer (default off; see
+          {!Audit} and {!Runner.run_with_instance}) *)
 }
 
 val make :
@@ -43,6 +46,7 @@ val make :
   ?profiler:Sim.Profiler.t ->
   ?tracing:bool ->
   ?analyze:bool ->
+  ?audit:bool ->
   unit ->
   t
 

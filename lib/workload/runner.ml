@@ -38,12 +38,14 @@ type result = {
   series : Timeseries.series list;
   events : int;  (* engine events executed — deterministic *)
   wall_s : float;  (* wall time inside the event loop — nondeterministic *)
+  audit : Audit.summary option;  (* consistency audit, when enabled *)
 }
 
 let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
     ?(net = Network.default_config) ?tune ?(arrival = `Closed)
     ?(failures = []) ?(partitions = []) ?(deadline = Simtime.of_sec 120.)
-    ?sample ?profiler ?(tracing = true) ?(analyze = true) ~spec factory =
+    ?sample ?profiler ?(tracing = true) ?(analyze = true) ?(audit = false)
+    ~spec factory =
   let engine = Engine.create ~seed () in
   Engine.set_profiler engine profiler;
   let network = Network.create engine ~n:(n_replicas + n_clients) net in
@@ -60,6 +62,22 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
   Option.iter (Network.set_timeseries network) sampler;
   (match tune with Some f -> f network ~replicas ~clients | None -> ());
   let inst = factory network ~replicas ~clients in
+  (* The audit's Kv watchers and History subscription must be installed
+     before the first submission below, or early applies go unseen. *)
+  let auditor =
+    if not audit then None
+    else begin
+      let a =
+        Audit.create ~engine ~metrics:inst.Core.Technique.metrics
+          ~history:inst.Core.Technique.history
+          ~groups:inst.Core.Technique.groups
+          ~store_of:inst.Core.Technique.replica_store
+          ~shards:spec.Spec.shards ()
+      in
+      (match sampler with Some ts -> Audit.register_series a ts | None -> ());
+      Some a
+    end
+  in
   List.iter
     (fun { at; replica; recover_at } ->
       ignore
@@ -98,6 +116,12 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
             let gap = Simtime.sub reply.Core.Technique.at !last_response in
             if Simtime.(gap > !max_gap) then max_gap := gap;
             last_response := Simtime.max !last_response reply.Core.Technique.at;
+            (match auditor with
+            | Some a ->
+                Audit.note_reply a ~client ~rid:request.Store.Operation.rid
+                  ~committed:reply.Core.Technique.committed ~submitted_at
+                  ~at:reply.Core.Technique.at
+            | None -> ());
             let lat_ms =
               Simtime.to_ms (Simtime.sub reply.Core.Technique.at submitted_at)
             in
@@ -121,6 +145,13 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
                   if Simtime.(gap > !max_gap) then max_gap := gap;
                   last_response :=
                     Simtime.max !last_response reply.Core.Technique.at;
+                  (match auditor with
+                  | Some a ->
+                      Audit.note_reply a ~client
+                        ~rid:request.Store.Operation.rid
+                        ~committed:reply.Core.Technique.committed ~submitted_at
+                        ~at:reply.Core.Technique.at
+                  | None -> ());
                   let lat_ms =
                     Simtime.to_ms
                       (Simtime.sub reply.Core.Technique.at submitted_at)
@@ -251,15 +282,16 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       series = (match sampler with Some ts -> Timeseries.series ts | None -> []);
       events = Engine.events_executed engine;
       wall_s;
+      audit = Option.map Audit.finalize auditor;
     },
     inst )
 
 let run ?seed ?n_replicas ?n_clients ?net ?tune ?arrival ?failures ?partitions
-    ?deadline ?sample ?profiler ?tracing ?analyze ~spec factory =
+    ?deadline ?sample ?profiler ?tracing ?analyze ?audit ~spec factory =
   fst
     (run_with_instance ?seed ?n_replicas ?n_clients ?net ?tune ?arrival
        ?failures ?partitions ?deadline ?sample ?profiler ?tracing ?analyze
-       ~spec factory)
+       ?audit ~spec factory)
 
 let pp_result ppf r =
   Format.fprintf ppf

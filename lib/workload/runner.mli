@@ -70,6 +70,9 @@ type result = {
       (** wall-clock seconds spent inside the event loop —
           {e non-deterministic}; zero it (or use a normalizer) before
           structural byte-determinism comparisons *)
+  audit : Audit.summary option;
+      (** consistency audit summary — [None] unless the run was started
+          with [~audit:true] *)
 }
 
 val run :
@@ -86,6 +89,7 @@ val run :
   ?profiler:Sim.Profiler.t ->
   ?tracing:bool ->
   ?analyze:bool ->
+  ?audit:bool ->
   spec:Spec.t ->
   factory ->
   result
@@ -102,7 +106,9 @@ val run :
     [analyze] (default [true]): when [false], the post-run convergence
     and serializability oracles are skipped and both fields report
     [true] vacuously — for throughput benchmarks where the oracle cost
-    would dwarf the run itself. *)
+    would dwarf the run itself. [audit] (default [false]) attaches the
+    consistency audit layer ({!Audit}) before the first submission and
+    fills [result.audit]. *)
 val run_with_instance :
   ?seed:int ->
   ?n_replicas:int ->
@@ -117,6 +123,7 @@ val run_with_instance :
   ?profiler:Sim.Profiler.t ->
   ?tracing:bool ->
   ?analyze:bool ->
+  ?audit:bool ->
   spec:Spec.t ->
   factory ->
   result * Core.Technique.instance

@@ -1,0 +1,218 @@
+(* The consistency audit layer: Kv watcher semantics, the eager
+   zero-inconsistency-window property (randomized), the lazy visibility
+   regression, the crafted cross-shard snapshot-skew case, and the
+   lag_undrained saturation detector. *)
+
+open Sim
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---- Kv watchers ---------------------------------------------------- *)
+
+let test_kv_watcher_fires () =
+  let kv = Store.Kv.create () in
+  let seen = ref [] in
+  Store.Kv.on_update kv (fun k ~value ~version ->
+      seen := (k, value, version) :: !seen);
+  let v1 = Store.Kv.write kv "x" 10 in
+  Alcotest.(check int) "write returns version 1" 1 v1;
+  Store.Kv.install kv "x" ~value:20 ~version:2;
+  (* An older install is ignored — and must not notify. *)
+  Store.Kv.install kv "x" ~value:99 ~version:1;
+  Store.Kv.force kv "x" ~value:5 ~version:1;
+  Alcotest.(check (list (triple string int int)))
+    "write, replacing install and force notify; stale install does not"
+    [ ("x", 10, 1); ("x", 20, 2); ("x", 5, 1) ]
+    (List.rev !seen)
+
+let test_kv_copy_drops_watchers () =
+  let kv = Store.Kv.create () in
+  let fired = ref 0 in
+  Store.Kv.on_update kv (fun _ ~value:_ ~version:_ -> incr fired);
+  ignore (Store.Kv.write kv "x" 1);
+  let scratch = Store.Kv.copy kv in
+  ignore (Store.Kv.write scratch "x" 2);
+  Alcotest.(check int) "copy is scratch state: no watcher carried over" 1
+    !fired;
+  Alcotest.(check int) "copy still duplicated the data" 2
+    (Store.Kv.version scratch "x")
+
+(* ---- eager techniques: zero inconsistency window (randomized) ------- *)
+
+(* The paper's claim, as a measured property: an eager technique under a
+   lossless network and no faults can never violate a session guarantee
+   — its agreement phase runs before the reply. Randomizes seed, client
+   count and per-client transaction count under closed arrivals. *)
+let prop_eager_zero_window name =
+  let entry = Option.get (Protocols.Registry.find name) in
+  let factory =
+    Protocols.Registry.configure_exn entry [ ("passthrough", "true") ]
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: no session violations, ever" name)
+    ~count:6
+    QCheck.(pair (int_range 0 10_000) (pair (int_range 2 5) (int_range 5 25)))
+    (fun (seed, (clients, txns)) ->
+      let spec = Workload.Builder.spec ~updates:0.5 ~txns ~keys:40 () in
+      let builder =
+        Workload.Builder.make ~seed ~replicas:3 ~clients ~spec ~audit:true ()
+      in
+      let result = Workload.Builder.run builder factory in
+      let a = Option.get result.Workload.Runner.audit in
+      a.Workload.Audit.ryw_violations = 0
+      && a.Workload.Audit.mr_violations = 0
+      && a.Workload.Audit.session_window_max_ms = 0.
+      && a.Workload.Audit.drained)
+
+(* ---- lazy-primary: the staleness window must be measurable ---------- *)
+
+let test_lazy_visibility_positive () =
+  let entry = Option.get (Protocols.Registry.find "lazy-primary") in
+  let factory =
+    Protocols.Registry.configure_exn entry [ ("passthrough", "true") ]
+  in
+  let spec = Workload.Builder.spec ~updates:0.5 ~txns:30 ~keys:50 () in
+  let builder =
+    Workload.Builder.make ~seed:11 ~replicas:3 ~clients:4 ~spec ~audit:true ()
+  in
+  let result = Workload.Builder.run builder factory in
+  let a = Option.get result.Workload.Runner.audit in
+  Alcotest.(check bool)
+    "post-commit window strictly positive (propagation after the reply)"
+    true
+    (a.Workload.Audit.post_commit_max_ms > 0.);
+  Alcotest.(check bool)
+    "visibility latency samples recorded" true
+    (a.Workload.Audit.visibility_ms.Workload.Stats.count > 0
+    && a.Workload.Audit.visibility_ms.Workload.Stats.p50 > 0.);
+  Alcotest.(check bool) "still drains by quiescence" true
+    a.Workload.Audit.drained
+
+(* ---- crafted cross-shard snapshot skew ------------------------------ *)
+
+(* Drives the audit directly (no protocol): a cross-shard writer W
+   installs (ka, v1) and (kb, v1) on different shards; a cross-shard
+   reader R observes W on ka's shard but misses it on kb's. That torn
+   snapshot must count exactly one (R, W) skew pair — and none at all
+   when the run is unsharded. *)
+let two_keys_on_different_shards map =
+  let rec hunt i =
+    if i > 999 then Alcotest.fail "no shard-distinct key pair found"
+    else
+      let k = Printf.sprintf "k%04d" i in
+      if
+        Store.Shard_map.shard_of_key map k
+        <> Store.Shard_map.shard_of_key map "k0000"
+      then ("k0000", k)
+      else hunt (i + 1)
+  in
+  hunt 1
+
+let drive_skew ~shards =
+  let engine = Engine.create ~seed:3 () in
+  let metrics = Metrics.create () in
+  let history = Store.History.create () in
+  let stores = [| Store.Kv.create (); Store.Kv.create () |] in
+  let audit =
+    Workload.Audit.create ~engine ~metrics ~history ~groups:[ [ 0 ]; [ 1 ] ]
+      ~store_of:(fun r -> stores.(r))
+      ~shards ()
+  in
+  let map = Store.Shard_map.create ~shards:2 () in
+  let ka, kb = two_keys_on_different_shards map in
+  let add ~tid ~replica ~at reads writes =
+    Store.History.add history
+      { Store.History.tid; reads; writes; replica; committed_at = at }
+  in
+  let t1 = Simtime.of_ms 1 and t2 = Simtime.of_ms 2 in
+  (* Writer W = parent 100, one sub-transaction per shard. *)
+  add ~tid:101 ~replica:0 ~at:t1 [] [ (ka, 1) ];
+  add ~tid:102 ~replica:1 ~at:t1 [] [ (kb, 1) ];
+  Store.History.link_parent history ~parent:100 ~sub:101;
+  Store.History.link_parent history ~parent:100 ~sub:102;
+  Workload.Audit.note_reply audit ~client:0 ~rid:100 ~committed:true
+    ~submitted_at:Simtime.zero ~at:t1;
+  (* Reader R = parent 200: sees (ka, 1) but still (kb, 0). *)
+  add ~tid:201 ~replica:0 ~at:t2 [ (ka, 1) ] [];
+  add ~tid:202 ~replica:1 ~at:t2 [ (kb, 0) ] [];
+  Store.History.link_parent history ~parent:200 ~sub:201;
+  Store.History.link_parent history ~parent:200 ~sub:202;
+  Workload.Audit.note_reply audit ~client:1 ~rid:200 ~committed:true
+    ~submitted_at:t1 ~at:t2;
+  Workload.Audit.finalize audit
+
+let test_skew_detected () =
+  let a = drive_skew ~shards:2 in
+  Alcotest.(check int) "two cross-shard transactions examined" 2
+    a.Workload.Audit.cross_txns;
+  Alcotest.(check int) "exactly one torn (reader, writer) pair" 1
+    a.Workload.Audit.skew_pairs;
+  Alcotest.(check int) "the missed write is also a stale read" 1
+    a.Workload.Audit.stale_reads
+
+let test_skew_needs_shards () =
+  let a = drive_skew ~shards:1 in
+  Alcotest.(check int) "detector disarmed at shards=1" 0
+    a.Workload.Audit.skew_pairs
+
+(* ---- lag_undrained saturation detector ------------------------------ *)
+
+let lag_series ~final =
+  {
+    Timeseries.name = "version_lag";
+    replica = 2;
+    kind = Timeseries.Queue;
+    unit_ = "versions";
+    points_rev =
+      List.rev
+        [
+          { Timeseries.at = Simtime.zero; value = 0. };
+          { Timeseries.at = Simtime.of_ms 5; value = 3. };
+          { Timeseries.at = Simtime.of_ms 10; value = final };
+        ];
+    n_points = 3;
+    thunks = [];
+  }
+
+let test_lag_undrained_fires () =
+  let findings = Saturation.analyze [ lag_series ~final:2. ] in
+  Alcotest.(check bool) "residual lag at end of run is a finding" true
+    (List.exists
+       (fun f -> f.Saturation.detector = "lag_undrained" && f.replica = 2)
+       findings)
+
+let test_lag_drained_silent () =
+  let findings = Saturation.analyze [ lag_series ~final:0. ] in
+  Alcotest.(check bool) "a drained replica raises nothing" true
+    (not
+       (List.exists
+          (fun f -> f.Saturation.detector = "lag_undrained")
+          findings))
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "watchers",
+        [
+          tc "kv watcher fires on actual changes" test_kv_watcher_fires;
+          tc "kv copy drops watchers" test_kv_copy_drops_watchers;
+        ] );
+      ( "eager window",
+        List.map
+          (fun name ->
+            QCheck_alcotest.to_alcotest (prop_eager_zero_window name))
+          [ "active"; "eager-primary" ] );
+      ( "lazy window",
+        [ tc "lazy-primary visibility positive" test_lazy_visibility_positive ]
+      );
+      ( "skew",
+        [
+          tc "torn cross-shard snapshot counted" test_skew_detected;
+          tc "unsharded runs never skew" test_skew_needs_shards;
+        ] );
+      ( "lag detector",
+        [
+          tc "undrained lag fires" test_lag_undrained_fires;
+          tc "drained lag silent" test_lag_drained_silent;
+        ] );
+    ]
