@@ -149,7 +149,12 @@ let cross_arg =
 let skew_arg =
   Arg.(
     value & opt float 0.6
-    & info [ "skew" ] ~docv:"THETA" ~doc:"Zipfian access skew (0 = uniform).")
+    & info [ "skew"; "zipf" ] ~docv:"THETA"
+        ~doc:
+          "Zipf-skewed key popularity: theta of the zipfian key sampler \
+           (0 = uniform; higher concentrates traffic on hot keys; \
+           deterministic per seed). $(b,--zipf) and $(b,--skew) are \
+           aliases.")
 
 (* ---- technique configuration (--set / --config) ---------------------- *)
 

@@ -74,6 +74,26 @@ let config_cmd =
   Cmd.v (Cmd.info "config" ~doc)
     Term.(const run $ technique $ Cli.directives_term)
 
+(* ---- run records ----------------------------------------------------- *)
+
+(* One finished run distilled into the canonical normalized run record
+   (see Workload.Run_record), including the probe-measured
+   single-transaction causal census — the document `replisim sweep`
+   writes per cell and `replisim compare` diffs. *)
+let make_record ~(entry : Protocols.Registry.entry) ~cfg ~factory ~seed ~n ~m
+    ~arrival ~spec result =
+  let census =
+    let p = Workload.Builder.probe ~n factory in
+    let _, sound, s = Workload.Builder.probe_summary p in
+    if sound && s.Sim.Msg_dag.replied then
+      Some (s.Sim.Msg_dag.messages, s.Sim.Msg_dag.steps)
+    else None
+  in
+  Workload.Run_record.normalize
+    (Workload.Run_record.of_run ~technique:entry.key
+       ~config:(Cli.config_pairs entry cfg) ~seed ~n_replicas:n ~n_clients:m
+       ~arrival ~spec ?census result)
+
 (* ---- run ------------------------------------------------------------ *)
 
 let run_cmd =
@@ -83,8 +103,18 @@ let run_cmd =
       value & flag
       & info [ "csv" ] ~doc:"Emit the result as a CSV row (with header).")
   in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Also write the run's canonical run record — the normalized \
+             JSON document $(b,replisim sweep) emits per cell and \
+             $(b,replisim compare) diffs — to FILE ($(b,-) for stdout).")
+  in
   let run (entry : Protocols.Registry.entry) directives n m updates txns ops
-      keys skew cross seed crashes recoveries csv =
+      keys skew cross seed crashes recoveries csv record_to =
     let cfg, factory = Cli.resolve entry directives in
     let shards = Cli.check_shards ~n cfg in
     if cross > 0. && shards <= 1 then
@@ -108,11 +138,30 @@ let run_cmd =
       Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ~failures ()
     in
     let result = Workload.Builder.run builder factory in
+    (* Emitted after the human report so that with "-" the record is the
+       last stdout line — `run ... --record - | tail -1` is the idiom. *)
+    let emit_record () =
+      match record_to with
+      | None -> ()
+      | Some file -> (
+          let record =
+            make_record ~entry ~cfg ~factory ~seed ~n ~m ~arrival:`Closed ~spec
+              result
+          in
+          match file with
+          | "-" -> print_endline (Workload.Run_record.to_json record)
+          | file ->
+              let oc = open_out file in
+              output_string oc (Workload.Run_record.to_json record);
+              output_char oc '\n';
+              close_out oc)
+    in
     if csv then begin
       let label =
         Printf.sprintf "%s;n=%d;upd=%.2f;seed=%d" entry.key n updates seed
       in
       Workload.Report.to_csv Fmt.stdout [ (label, result) ];
+      emit_record ();
       exit 0
     end;
     Fmt.pr "workload  : %a@." Workload.Spec.pp spec;
@@ -145,7 +194,8 @@ let run_cmd =
       (fun (phase, s) ->
         Fmt.pr "phase %-3s : [%a]@." (Core.Phase.code phase)
           Workload.Stats.pp_summary s)
-      result.Workload.Runner.phase_ms
+      result.Workload.Runner.phase_ms;
+    emit_record ()
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
@@ -153,7 +203,7 @@ let run_cmd =
       $ Cli.replicas_arg () $ Cli.clients_arg () $ Cli.updates_arg
       $ Cli.txns_arg () $ Cli.ops_arg $ Cli.keys_arg $ Cli.skew_arg
       $ Cli.cross_arg $ Cli.seed_arg () $ Cli.crashes_arg
-      $ Cli.recoveries_arg $ csv)
+      $ Cli.recoveries_arg $ csv $ record_arg)
 
 (* ---- trace ---------------------------------------------------------- *)
 
@@ -1329,6 +1379,378 @@ let audit_cmd =
       $ Cli.skew_arg $ Cli.cross_arg $ Cli.seed_arg () $ format_arg
       $ check_arg)
 
+(* ---- sweep ----------------------------------------------------------- *)
+
+(* "closed" (or "0") = closed loop; otherwise an open-loop Poisson rate. *)
+let load_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "closed" | "0" -> Ok 0.
+    | s -> (
+        match float_of_string_opt s with
+        | Some r when r > 0. -> Ok r
+        | _ ->
+            Error (`Msg "expected a positive arrival rate (txn/s) or 'closed'"))
+  in
+  let print ppf l =
+    if l <= 0. then Format.pp_print_string ppf "closed"
+    else Format.fprintf ppf "%g" l
+  in
+  Arg.conv (parse, print)
+
+(* TECH.KEY=V1,V2,... — a per-technique configuration axis. Technique
+   and key are validated against the registry up front, like --set. *)
+let vary_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None -> Error (`Msg "expected TECH.KEY=V1,V2,...")
+    | Some i -> (
+        let lhs = String.sub s 0 i in
+        let rhs = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.index_opt lhs '.' with
+        | None -> Error (`Msg "expected TECH.KEY=V1,V2,...")
+        | Some j -> (
+            let technique = String.sub lhs 0 j in
+            let key = String.sub lhs (j + 1) (String.length lhs - j - 1) in
+            let values = String.split_on_char ',' rhs in
+            if values = [] || List.exists (fun v -> v = "") values then
+              Error (`Msg "expected at least one non-empty value")
+            else
+              match Protocols.Registry.find_res technique with
+              | Error msg -> Error (`Msg msg)
+              | Ok entry -> (
+                  match Protocols.Config.find_key entry.schema key with
+                  | Some _ -> Ok (technique, key, values)
+                  | None ->
+                      Error
+                        (`Msg
+                          (Printf.sprintf
+                             "unknown config key %S for %s (valid keys: %s)"
+                             key entry.key
+                             (String.concat ", "
+                                (Protocols.Config.keys entry.schema)))))))
+  in
+  let print ppf (t, k, vs) =
+    Format.fprintf ppf "%s.%s=%s" t k (String.concat "," vs)
+  in
+  Arg.conv (parse, print)
+
+let sweep_cmd =
+  let doc =
+    "Run a declared grid — techniques × shards × load × update-ratio × \
+     zipf skew × seeds, plus any $(b,--vary) technique-config axis — \
+     through the shared workload path, write one canonical run record per \
+     cell plus an aggregate manifest into $(b,--out), and render the \
+     record set as an ASCII heatmap or Markdown matrix over any record \
+     metric: the paper's Figure-6 technique × workload study, measured. \
+     Feed the output directory to $(b,replisim compare) to gate \
+     regressions against a committed baseline."
+  in
+  let techniques_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "techniques" ] ~docv:"KEYS"
+          ~doc:
+            (Printf.sprintf
+               "Techniques to sweep: comma-separated registry keys (%s) or \
+                $(b,all)."
+               (String.concat ", " Protocols.Registry.keys)))
+  in
+  let shards_arg =
+    Arg.(
+      value & opt (list int) [ 1 ]
+      & info [ "shards" ] ~docv:"K1,K2,..."
+          ~doc:"Shard-count axis (1 = unsharded).")
+  in
+  let loads_arg =
+    Arg.(
+      value
+      & opt (list load_conv) [ 0. ]
+      & info [ "loads" ] ~docv:"L1,L2,..."
+          ~doc:
+            "Arrival-load axis: $(b,closed) for the closed loop, or an \
+             open-loop Poisson rate in txn/s (e.g. $(b,closed,200,1000)).")
+  in
+  let updates_arg =
+    Arg.(
+      value & opt (list float) [ 0.5 ]
+      & info [ "updates" ] ~docv:"R1,R2,..."
+          ~doc:"Update-ratio (write-fraction) axis.")
+  in
+  let zipfs_arg =
+    Arg.(
+      value & opt (list float) [ 0.6 ]
+      & info [ "zipf" ] ~docv:"T1,T2,..."
+          ~doc:"Zipf key-popularity skew axis (0 = uniform).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt (list int) [ 11 ]
+      & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Random-seed axis.")
+  in
+  let vary_arg =
+    Arg.(
+      value & opt_all vary_conv []
+      & info [ "vary" ] ~docv:"TECH.KEY=V1,V2"
+          ~doc:
+            "Sweep one technique parameter as an axis, e.g. $(b,--vary \
+             active.batch_window=0ms,5ms) (repeatable). Applies only to \
+             cells of the named technique; other techniques keep the \
+             default.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "_sweep"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the per-cell run records and the \
+             $(b,manifest.json) aggregate (created if missing).")
+  in
+  let cell_arg =
+    Arg.(
+      value
+      & opt_all string [ "latency_p95" ]
+      & info [ "cell" ] ~docv:"METRIC"
+          ~doc:
+            (Printf.sprintf
+               "Record metric to render as the matrix cell value \
+                (repeatable). One of: %s."
+               (String.concat ", " Workload.Run_record.metric_names)))
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ascii", `Ascii); ("md", `Md); ("none", `None) ]) `Ascii
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Matrix rendering: $(b,ascii) (heatmap-shaded table), $(b,md) \
+             (Markdown matrix) or $(b,none) (records and manifest only).")
+  in
+  let run technique_sel directives n m txns ops keys cross shards loads
+      updates zipfs seeds vary out cell_metrics format =
+    let techniques =
+      match technique_sel with
+      | "all" -> Protocols.Registry.all
+      | keys ->
+          List.map
+            (fun key ->
+              match Protocols.Registry.find_res key with
+              | Ok entry -> entry
+              | Error msg -> Cli.fail "%s" msg)
+            (String.split_on_char ',' keys)
+    in
+    List.iter
+      (fun k ->
+        if not (List.mem k Workload.Run_record.metric_names) then
+          Cli.fail "unknown --cell metric %S (known: %s)" k
+            (String.concat ", " Workload.Run_record.metric_names))
+      cell_metrics;
+    let axes =
+      {
+        Workload.Sweep.techniques =
+          List.map (fun (e : Protocols.Registry.entry) -> e.key) techniques;
+        shards;
+        loads;
+        updates;
+        zipfs;
+        seeds;
+        vary;
+      }
+    in
+    let cells = Workload.Sweep.cells axes in
+    if cells = [] then Cli.fail "empty sweep grid";
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755
+    else if not (Sys.is_directory out) then
+      Cli.fail "--out %s exists and is not a directory" out;
+    let total = List.length cells in
+    let records =
+      List.mapi
+        (fun i (c : Workload.Sweep.cell) ->
+          let entry =
+            match Protocols.Registry.find_res c.technique with
+            | Ok e -> e
+            | Error msg -> Cli.fail "%s" msg
+          in
+          let pairs =
+            Protocols.Config.pairs_for ~technique:entry.key directives
+            @ (if c.shards > 1 then [ ("shards", string_of_int c.shards) ]
+               else [])
+            @ c.vary
+          in
+          let cfg, factory =
+            match Protocols.Registry.configure entry pairs with
+            | Ok x -> x
+            | Error msg -> Cli.fail "cell %s: %s" c.technique msg
+          in
+          ignore (Cli.check_shards ~n cfg);
+          let spec =
+            Workload.Builder.spec ~keys ~skew:c.zipf ~updates:c.updates ~ops
+              ~txns ~shards:c.shards ~cross ()
+          in
+          let arrival = Workload.Sweep.arrival_of_cell c in
+          let builder =
+            Workload.Builder.make ~seed:c.seed ~replicas:n ~clients:m ~spec
+              ~arrival
+              ~sample:(Sim.Simtime.of_ms 5)
+              ~audit:true ()
+          in
+          let result = Workload.Builder.run builder factory in
+          let record =
+            make_record ~entry ~cfg ~factory ~seed:c.seed ~n ~m ~arrival ~spec
+              result
+          in
+          let path = Workload.Run_record.save ~dir:out record in
+          Fmt.epr "sweep: [%d/%d] %s@." (i + 1) total
+            (Workload.Run_record.cell_id record);
+          (Filename.basename path, record))
+        cells
+    in
+    let manifest =
+      Workload.Sweep.manifest_json axes ~records ~metrics:cell_metrics
+    in
+    let oc = open_out (Filename.concat out "manifest.json") in
+    output_string oc manifest;
+    output_char oc '\n';
+    close_out oc;
+    (match format with
+    | `None -> ()
+    | (`Ascii | `Md) as fmt ->
+        List.iteri
+          (fun i metric ->
+            if i > 0 then print_newline ();
+            let m = Workload.Sweep.matrix ~metric (List.map snd records) in
+            print_string
+              (match fmt with
+              | `Ascii -> Workload.Sweep.render_ascii m
+              | `Md -> Workload.Sweep.render_markdown m))
+          cell_metrics);
+    Fmt.epr "sweep: %d records + manifest.json written to %s/@." total out
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ techniques_arg $ Cli.directives_term $ Cli.replicas_arg ()
+      $ Cli.clients_arg () $ Cli.txns_arg ~default:25 () $ Cli.ops_arg
+      $ Cli.keys_arg $ Cli.cross_arg $ shards_arg $ loads_arg $ updates_arg
+      $ zipfs_arg $ seeds_arg $ vary_arg $ out_arg $ cell_arg $ format_arg)
+
+(* ---- compare --------------------------------------------------------- *)
+
+(* A record set: a single run-record file, or a directory of them (a
+   sweep output or a committed baseline; manifest.json is skipped). *)
+let load_record_set path =
+  let load file =
+    match Workload.Run_record.load_file file with
+    | Ok r -> r
+    | Error msg -> Cli.fail "%s: %s" file msg
+  in
+  if not (Sys.file_exists path) then Cli.fail "%s: no such file or directory" path;
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".json" && f <> "manifest.json")
+    |> List.map (fun f -> load (Filename.concat path f))
+  else [ load path ]
+
+(* METRIC:VALUE, shared by --threshold (relative fraction) and --perturb
+   (multiplier). *)
+let metric_value_conv ~what =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "expected METRIC:%s" what))
+    | Some i -> (
+        let metric = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt v with
+        | Some v when metric <> "" -> Ok (metric, v)
+        | _ -> Error (`Msg (Printf.sprintf "expected METRIC:%s" what)))
+  in
+  let print ppf (m, v) = Format.fprintf ppf "%s:%g" m v in
+  Arg.conv (parse, print)
+
+let compare_cmd =
+  let doc =
+    "Diff two run-record sets — run-vs-run, or a sweep directory against a \
+     committed baseline directory — under per-metric relative thresholds. \
+     Each (cell, metric) pair is classified improved, regressed or \
+     unchanged; the command exits non-zero on any regression or missing \
+     baseline cell, which is how perf and msgs/txn regressions gate CI. \
+     Cells are matched by their identity (technique, configuration, \
+     workload, seed), so records may be renamed freely."
+  in
+  let base_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE"
+          ~doc:"Baseline record file or directory (e.g. $(b,baseline/)).")
+  in
+  let cand_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CANDIDATE"
+          ~doc:"Candidate record file or directory (e.g. a fresh sweep).")
+  in
+  let thresholds_arg =
+    Arg.(
+      value
+      & opt_all (metric_value_conv ~what:"RATIO") []
+      & info [ "threshold" ] ~docv:"METRIC:RATIO"
+          ~doc:
+            "Override or add one comparison rule: relative threshold as a \
+             fraction, e.g. $(b,--threshold latency_p95:0.3) tolerates \
+             30%. Direction is inferred from the metric name (throughput- \
+             like metrics are higher-better, everything else \
+             lower-better). Defaults: latency_p50/p95 20%, latency_p99 \
+             25%, throughput 20%, msgs_per_txn 10%.")
+  in
+  let perturb_arg =
+    Arg.(
+      value
+      & opt_all (metric_value_conv ~what:"FACTOR") []
+      & info [ "perturb" ] ~docv:"METRIC:FACTOR"
+          ~doc:
+            "Self-test knob: multiply METRIC in every candidate record by \
+             FACTOR before comparing (e.g. $(b,--perturb \
+             latency_p95:1.5) injects a 50% latency regression). CI uses \
+             this to prove the gate actually trips.")
+  in
+  let run base_path cand_path thresholds perturb =
+    let rules =
+      List.fold_left
+        (fun rules (metric, threshold) ->
+          Workload.Compare.rule ~threshold metric
+          :: List.filter
+               (fun (r : Workload.Compare.rule) -> r.metric <> metric)
+               rules)
+        Workload.Compare.default_rules thresholds
+    in
+    let flat perturbed records =
+      List.map
+        (fun r ->
+          let metrics = Workload.Run_record.metrics r in
+          let metrics =
+            if not perturbed then metrics
+            else
+              List.map
+                (fun (name, v) ->
+                  match List.assoc_opt name perturb with
+                  | Some factor -> (name, v *. factor)
+                  | None -> (name, v))
+                metrics
+          in
+          (Workload.Run_record.cell_id r, metrics))
+        records
+    in
+    let base = flat false (load_record_set base_path) in
+    let cand = flat true (load_record_set cand_path) in
+    let report = Workload.Compare.compare_sets ~rules ~base ~cand () in
+    Fmt.pr "%a" Workload.Compare.pp_report report;
+    if not (Workload.Compare.ok report) then exit 1
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ base_arg $ cand_arg $ thresholds_arg $ perturb_arg)
+
 let bench_check_cmd =
   let doc =
     "Validate BENCH_*.json files written by the bench suite against the \
@@ -1365,7 +1787,17 @@ let bench_check_cmd =
              least MIN (repeatable) — the CI throughput gate, e.g. \
              $(b,--floor perf15:events_per_sec:50000).")
   in
-  let run files floors =
+  let ceilings =
+    Arg.(
+      value & opt_all floor_conv []
+      & info [ "ceiling" ] ~docv:"BENCH:METRIC:MAX"
+          ~doc:
+            "Require the worst value of METRIC in BENCH's file to be at \
+             most MAX (repeatable) — the floor's mirror, for metrics where \
+             growth is the regression, e.g. $(b,--ceiling \
+             perf18:worst_msgs_per_txn:50).")
+  in
+  let run files floors ceilings =
     let bad = ref 0 in
     List.iter
       (fun path ->
@@ -1400,11 +1832,26 @@ let bench_check_cmd =
                       | Error msg ->
                           incr bad;
                           Fmt.epr "bench-check: %s: %s@." path msg)
-                  floors))
+                  floors;
+                List.iter
+                  (fun (b, metric, max_value) ->
+                    if b = bench then
+                      match
+                        Workload.Bench_out.check_ceiling doc ~metric ~max_value
+                      with
+                      | Ok worst ->
+                          Fmt.pr
+                            "bench-check: %s ceiling %s<=%g OK (worst %g)@."
+                            path metric max_value worst
+                      | Error msg ->
+                          incr bad;
+                          Fmt.epr "bench-check: %s: %s@." path msg)
+                  ceilings))
       files;
     if !bad > 0 then exit 1
   in
-  Cmd.v (Cmd.info "bench-check" ~doc) Term.(const run $ files $ floors)
+  Cmd.v (Cmd.info "bench-check" ~doc)
+    Term.(const run $ files $ floors $ ceilings)
 
 let () =
   let doc =
@@ -1427,5 +1874,7 @@ let () =
             timeline_cmd;
             profile_cmd;
             audit_cmd;
+            sweep_cmd;
+            compare_cmd;
             bench_check_cmd;
           ]))

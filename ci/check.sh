@@ -124,4 +124,39 @@ dune exec bin/replisim.exe -- bench-check BENCH_perf17.json \
   --floor perf17:audit_drained:1 \
   --floor perf17:lazy_visibility_positive:1
 
+# Sweep + regression gates. The sweep re-runs the committed baseline's
+# grid (2 techniques × closed/open load × zipf off/on) with the same
+# seeds; records are normalized, so compare against baseline/ must come
+# back all-unchanged — any drift in a measured metric beyond the
+# per-metric thresholds is a regression and fails the build. The
+# --perturb leg injects a 50% latency regression into the candidate set
+# and requires the gate to trip, so a silently-passing compare is itself
+# caught.
+echo "== sweep + regression gates =="
+rm -rf _sweep_ci
+dune exec bin/replisim.exe -- sweep --techniques active,lazy-primary \
+  --loads closed,200 --zipf 0,0.9 --txns 10 --out _sweep_ci \
+  --format none 2> /dev/null
+dune exec bin/replisim.exe -- compare baseline _sweep_ci
+if dune exec bin/replisim.exe -- compare baseline _sweep_ci \
+     --perturb latency_p95:1.5 > /dev/null 2>&1; then
+  echo "compare failed to flag an injected 50% latency regression" >&2
+  exit 1
+fi
+rm -rf _sweep_ci
+
+# Quadrant-sweep bench gate: perf18 at a CI-sized transaction count.
+# The floors pin the grid size, the taxonomy verdict (every lazy
+# quadrant replies below its eager column-mate) and a throughput
+# sanity bound; the ceiling is the first use of the upper-bound gate —
+# the grid's best p95 collapsing upward means every technique got
+# slower at once.
+echo "== quadrant sweep bench =="
+PERF18_TXNS=10 dune exec bench/main.exe -- perf18 > /dev/null
+dune exec bin/replisim.exe -- bench-check BENCH_perf18.json \
+  --floor perf18:cells:16 \
+  --floor perf18:lazy_faster_than_eager:1 \
+  --floor perf18:best_throughput:400 \
+  --ceiling perf18:best_latency_p95:25
+
 echo "== ci: OK =="

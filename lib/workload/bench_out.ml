@@ -205,6 +205,8 @@ let required_metrics = function
   | "perf16" -> [ "probe_messages"; "throughput"; "latency_p95" ]
   | "perf17" ->
       [ "visibility_p95_ms"; "post_commit_window_ms"; "audit_drained" ]
+  | "perf18" ->
+      [ "cells"; "best_latency_p95"; "best_throughput"; "worst_msgs_per_txn" ]
   | _ -> []
 
 let row_metric row = match member "metric" row with Some (Str m) -> Some m | _ -> None
@@ -295,9 +297,53 @@ let check_floor doc ~metric ~min_value =
       | Some best ->
           if best >= min_value then Ok best
           else
+            (* Report the observation and its distance from the gate,
+               not just pass/fail: the margin is what tells the reader
+               whether this is noise or a collapse. *)
             Error
-              (Printf.sprintf "metric %S best value %g is below floor %g"
-                 metric best min_value))
+              (Printf.sprintf
+                 "metric %S observed %g is below floor %g (margin %g, %.1f%% \
+                  short)"
+                 metric best min_value (min_value -. best)
+                 (if min_value <> 0. then
+                    (min_value -. best) /. Float.abs min_value *. 100.
+                  else 100.)))
+  | _ -> Error "missing \"results\" array"
+
+(* Ceiling gate, the floor's mirror: the worst (max) value of [metric]
+   must stay at or below [max_value] — how msgs/txn and staleness-window
+   metrics are gated from above. *)
+let check_ceiling doc ~metric ~max_value =
+  match member "results" doc with
+  | Some (Arr rows) -> (
+      let worst =
+        List.fold_left
+          (fun acc row ->
+            match (row_metric row, row_value row) with
+            | Some m, Some v when m = metric -> (
+                match acc with Some b -> Some (Float.max b v) | None -> Some v)
+            | _ -> acc)
+          None rows
+      in
+      match worst with
+      | None ->
+          let present =
+            List.sort_uniq String.compare (List.filter_map row_metric rows)
+          in
+          Error
+            (Printf.sprintf "no rows with metric %S (file has: %s)" metric
+               (String.concat ", " present))
+      | Some worst ->
+          if worst <= max_value then Ok worst
+          else
+            Error
+              (Printf.sprintf
+                 "metric %S observed %g is above ceiling %g (margin %g, \
+                  %.1f%% over)"
+                 metric worst max_value (worst -. max_value)
+                 (if max_value <> 0. then
+                    (worst -. max_value) /. Float.abs max_value *. 100.
+                  else 100.)))
   | _ -> Error "missing \"results\" array"
 
 let validate_file path =

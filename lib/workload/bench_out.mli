@@ -59,6 +59,14 @@ val validate_file : string -> (unit, string) result
 
 (** [check_floor doc ~metric ~min_value] succeeds with the best (max)
     value of [metric] across the result rows when it is at least
-    [min_value] — the CI throughput gate. *)
+    [min_value] — the CI throughput gate. The failure message reports
+    the observed value and its margin below the floor. *)
 val check_floor :
   json -> metric:string -> min_value:float -> (float, string) result
+
+(** [check_ceiling doc ~metric ~max_value] — the floor's mirror:
+    succeeds with the worst (max) value of [metric] when it is at most
+    [max_value] — how msgs/txn and staleness-window metrics are gated
+    from above. *)
+val check_ceiling :
+  json -> metric:string -> max_value:float -> (float, string) result

@@ -1,0 +1,122 @@
+(** The canonical run record: one finished run distilled into a single
+    versioned, byte-deterministic JSON document.
+
+    Every observability signal the repo measures feeds this one schema:
+    throughput and percentile latency from the {!Runner}, msgs/txn plus
+    the single-transaction causal census from {!Sim.Msg_dag}, drop
+    counters, saturation findings over the sampled series, the
+    consistency-audit staleness summary and the engine's deterministic
+    event counter. Sweeps ([replisim sweep]) write one record per cell,
+    baselines are committed directories of records, and the comparison
+    engine ([replisim compare], {!Compare}) diffs record sets — so the
+    record is the unit of cross-run observability.
+
+    After {!normalize} (which zeroes the only wall-clock-derived field)
+    a same-seed re-run renders byte-identically via {!to_json}. *)
+
+(** Bumped on any field change; {!of_json} refuses other versions so a
+    stale baseline fails loudly instead of comparing garbage. *)
+val schema_version : int
+
+type workload = {
+  keys : int;
+  zipf : float;  (** zipfian key-popularity skew theta; 0 = uniform *)
+  updates : float;
+  ops : int;
+  txns_per_client : int;
+  shards : int;
+  cross : float;
+  arrival : string;  (** ["closed"] or ["poisson:<rate>"] *)
+}
+
+type audit = {
+  visibility_p95_ms : float;
+  post_commit_max_ms : float;
+  session_window_max_ms : float;
+  stale_reads : int;
+  ryw_violations : int;
+  mr_violations : int;
+  skew_pairs : int;
+  drained : bool;
+}
+
+type t = {
+  technique : string;
+  config : (string * string) list;  (** non-default settings, sorted *)
+  seed : int;
+  n_replicas : int;
+  n_clients : int;
+  workload : workload;
+  committed : int;
+  aborted : int;
+  unanswered : int;
+  converged : bool;
+  serializable : bool;
+  throughput : float;
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_p99_ms : float;
+  latency_max_ms : float;
+  messages : int;
+  msgs_per_txn : float;
+  census : (int * int) option;
+      (** single-transaction causal census (messages, steps), when a
+          probe was run alongside the workload *)
+  drops : int;
+  drops_loss : int;
+  drops_crashed : int;
+  drops_partitioned : int;
+  saturation_findings : int;
+  events : int;  (** engine events executed — deterministic *)
+  wall_s : float;  (** the one nondeterministic field; see {!normalize} *)
+  audit : audit option;
+}
+
+(** Distill a finished run. [config] is the resolved non-default
+    technique configuration (see [Cli.config_pairs]); [census] the
+    optional probe-measured (messages, steps) pair. *)
+val of_run :
+  technique:string ->
+  config:(string * string) list ->
+  seed:int ->
+  n_replicas:int ->
+  n_clients:int ->
+  arrival:Runner.arrival ->
+  spec:Spec.t ->
+  ?census:int * int ->
+  Runner.result ->
+  t
+
+(** Zero the wall-clock field; normalized same-seed records render
+    byte-identically. *)
+val normalize : t -> t
+
+val to_json : t -> string
+val of_json : Bench_out.json -> (t, string) result
+val of_string : string -> (t, string) result
+val load_file : string -> (t, string) result
+
+(** The record's cell identity — everything the experimenter chose
+    (technique, config, workload, seed, cluster shape), nothing the run
+    produced. Compare matches baseline and candidate records on it. *)
+val cell_id : t -> string
+
+(** Filesystem-safe file name derived from {!cell_id}. *)
+val filename : t -> string
+
+(** Write [filename t] into [dir] (default ["."]); returns the path. *)
+val save : ?dir:string -> t -> string
+
+(** {2 Flat metric view}
+
+    The (name, value) view cross-run consumers work from: the sweep
+    heatmap's [--cell] axis and the compare engine's rules both index
+    records by these names. *)
+
+val metrics : t -> (string * float) list
+val metric : t -> string -> float option
+
+(** Every name {!metrics} can emit (census/audit names appear only when
+    those sections are present in the record). *)
+val metric_names : string list
