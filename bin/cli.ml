@@ -126,8 +126,32 @@ let txns_arg ?(default = 50) () =
 
 let updates_arg =
   Arg.(
-    value & opt float 0.5
-    & info [ "updates" ] ~docv:"RATIO" ~doc:"Fraction of update transactions.")
+    value
+    & opt (some float) None
+    & info [ "updates" ] ~docv:"RATIO"
+        ~doc:
+          "Fraction of update transactions (default 0.5; mutually exclusive \
+           with $(b,--reads)).")
+
+let reads_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "reads" ] ~docv:"RATIO"
+        ~doc:
+          "Fraction of read transactions — shorthand for $(b,--updates) \
+           (1 - RATIO); mutually exclusive with it.")
+
+(* Resolve the --updates / --reads pair into the spec's update ratio;
+   naming both is an error rather than a silent precedence rule. *)
+let mix ?updates ?reads () =
+  match (updates, reads) with
+  | Some _, Some _ -> fail "--updates and --reads are mutually exclusive"
+  | Some u, None -> u
+  | None, Some r ->
+      if r < 0. || r > 1. then fail "--reads must be in [0,1], got %g" r;
+      1. -. r
+  | None, None -> 0.5
 
 let ops_arg =
   Arg.(
@@ -155,6 +179,56 @@ let skew_arg =
            (0 = uniform; higher concentrates traffic on hot keys; \
            deterministic per seed). $(b,--zipf) and $(b,--skew) are \
            aliases.")
+
+(* ---- routing tier / session workloads -------------------------------- *)
+
+let router_arg =
+  Arg.(
+    value & flag
+    & info [ "router" ]
+        ~doc:
+          "Route every request through the client-side routing tier: \
+           read/write splitting, cached primary discovery, bounded \
+           retry-with-backoff across failover (see also $(b,--sticky)).")
+
+let sticky_arg =
+  Arg.(
+    value & flag
+    & info [ "sticky" ]
+        ~doc:
+          "Pin each session's reads to the replica that answered its writes \
+           (implies $(b,--router)); restores read-your-writes over lazy \
+           techniques at a latency cost.")
+
+(* --sticky implies --router; plain --router keeps round-robin reads. *)
+let router_config ~router ~sticky =
+  if router || sticky then
+    Some { Workload.Router.default_config with Workload.Router.sticky }
+  else None
+
+let shape_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("mixed", Workload.Spec.Mixed); ("tpcb", Workload.Spec.Tpcb) ])
+        Workload.Spec.Mixed
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:
+          "Session workload shape: $(b,mixed) (single-key transactions, the \
+           default) or $(b,tpcb) (TPC-B-like two-key transfers and \
+           balance-probe reads).")
+
+let flash_arg =
+  Arg.(
+    value & flag
+    & info [ "flash-crowd" ]
+        ~doc:
+          "Declare a flash-crowd phase: mid-run the load spikes and the \
+           zipfian hot set re-skews and rotates for the duration of the \
+           window (the built-in spike profile; see Workload.Spec).")
+
+let flash_spec flash =
+  if flash then Some Workload.Spec.default_flash_crowd else None
 
 (* ---- technique configuration (--set / --config) ---------------------- *)
 

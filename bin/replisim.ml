@@ -113,8 +113,10 @@ let run_cmd =
              JSON document $(b,replisim sweep) emits per cell and \
              $(b,replisim compare) diffs — to FILE ($(b,-) for stdout).")
   in
-  let run (entry : Protocols.Registry.entry) directives n m updates txns ops
-      keys skew cross seed crashes recoveries csv record_to =
+  let run (entry : Protocols.Registry.entry) directives n m updates reads txns
+      ops keys skew cross seed crashes recoveries router sticky shape flash
+      csv record_to =
+    let updates = Cli.mix ?updates ?reads () in
     let cfg, factory = Cli.resolve entry directives in
     let shards = Cli.check_shards ~n cfg in
     if cross > 0. && shards <= 1 then
@@ -132,10 +134,12 @@ let run_cmd =
       | Error msg -> Cli.fail "%s" msg
     in
     let spec =
-      Workload.Builder.spec ~keys ~skew ~updates ~ops ~txns ~shards ~cross ()
+      Workload.Builder.spec ~keys ~skew ~updates ~ops ~txns ~shards ~cross
+        ~shape ?flash:(Cli.flash_spec flash) ()
     in
     let builder =
-      Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ~failures ()
+      Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec ~failures
+        ?router:(Cli.router_config ~router ~sticky) ()
     in
     let result = Workload.Builder.run builder factory in
     (* Emitted after the human report so that with "-" the record is the
@@ -186,6 +190,12 @@ let run_cmd =
       result.Workload.Runner.read_latency_ms;
     Fmt.pr "failover  : max response gap %a@." Sim.Simtime.pp
       result.Workload.Runner.max_response_gap;
+    (match result.Workload.Runner.router with
+    | None -> ()
+    | Some st ->
+        Fmt.pr "router    : %s %a@."
+          (if st.Workload.Router.sticky then "sticky" else "round-robin")
+          Workload.Router.pp_stats st);
     Fmt.pr "drops     : %d (loss %d, crashed %d, partitioned %d)@."
       result.Workload.Runner.dropped result.Workload.Runner.dropped_loss
       result.Workload.Runner.dropped_crashed
@@ -201,9 +211,10 @@ let run_cmd =
     Term.(
       const run $ Cli.technique_arg $ Cli.directives_term
       $ Cli.replicas_arg () $ Cli.clients_arg () $ Cli.updates_arg
-      $ Cli.txns_arg () $ Cli.ops_arg $ Cli.keys_arg $ Cli.skew_arg
-      $ Cli.cross_arg $ Cli.seed_arg () $ Cli.crashes_arg
-      $ Cli.recoveries_arg $ csv $ record_arg)
+      $ Cli.reads_arg $ Cli.txns_arg () $ Cli.ops_arg $ Cli.keys_arg
+      $ Cli.skew_arg $ Cli.cross_arg $ Cli.seed_arg () $ Cli.crashes_arg
+      $ Cli.recoveries_arg $ Cli.router_arg $ Cli.sticky_arg $ Cli.shape_arg
+      $ Cli.flash_arg $ csv $ record_arg)
 
 (* ---- trace ---------------------------------------------------------- *)
 
@@ -634,6 +645,7 @@ let metrics_cmd =
   in
   let run (entry : Protocols.Registry.entry) directives n m updates txns seed
       json =
+    let updates = Cli.mix ?updates () in
     let cfg, factory = Cli.resolve entry directives in
     let shards = Cli.check_shards ~n cfg in
     let spec = Workload.Builder.spec ~updates ~txns ~shards () in
@@ -1036,6 +1048,7 @@ let profile_cmd =
   in
   let run (entry : Protocols.Registry.entry) directives n m updates txns seed
       top format no_tracing sample check =
+    let updates = Cli.mix ?updates () in
     let _cfg, factory = Cli.resolve entry directives in
     let spec = Workload.Builder.spec ~updates ~txns () in
     let profiler = Sim.Profiler.create () in
@@ -1190,8 +1203,9 @@ let audit_cmd =
              and lazy techniques measure a strictly positive post-commit \
              staleness window.")
   in
-  let run technique directives n m updates txns ops keys skew cross seed fmt
-      check =
+  let run technique directives n m updates reads txns ops keys skew cross seed
+      router sticky shape flash fmt check =
+    let updates = Cli.mix ?updates ?reads () in
     let entries =
       match technique with Some e -> [ e ] | None -> Protocols.Registry.all
     in
@@ -1208,11 +1222,12 @@ let audit_cmd =
             Cli.fail "--cross needs multi-op transactions; add --ops 2 (or more)";
           let spec =
             Workload.Builder.spec ~keys ~skew ~updates ~ops ~txns ~shards
-              ~cross ()
+              ~cross ~shape ?flash:(Cli.flash_spec flash) ()
           in
           let builder =
             Workload.Builder.make ~seed ~replicas:n ~clients:m ~spec
-              ~sample:(Sim.Simtime.of_ms 5) ~audit:true ()
+              ~sample:(Sim.Simtime.of_ms 5) ~audit:true
+              ?router:(Cli.router_config ~router ~sticky) ()
           in
           let result = Workload.Builder.run builder factory in
           let a = Option.get result.Workload.Runner.audit in
@@ -1375,9 +1390,10 @@ let audit_cmd =
       $ Cli.technique_opt
           ~doc:"Technique to audit (default: all techniques)."
       $ Cli.directives_term $ Cli.replicas_arg () $ Cli.clients_arg ()
-      $ Cli.updates_arg $ Cli.txns_arg () $ Cli.ops_arg $ Cli.keys_arg
-      $ Cli.skew_arg $ Cli.cross_arg $ Cli.seed_arg () $ format_arg
-      $ check_arg)
+      $ Cli.updates_arg $ Cli.reads_arg $ Cli.txns_arg () $ Cli.ops_arg
+      $ Cli.keys_arg $ Cli.skew_arg $ Cli.cross_arg $ Cli.seed_arg ()
+      $ Cli.router_arg $ Cli.sticky_arg $ Cli.shape_arg $ Cli.flash_arg
+      $ format_arg $ check_arg)
 
 (* ---- sweep ----------------------------------------------------------- *)
 
@@ -1473,9 +1489,21 @@ let sweep_cmd =
   in
   let updates_arg =
     Arg.(
-      value & opt (list float) [ 0.5 ]
+      value
+      & opt (some (list float)) None
       & info [ "updates" ] ~docv:"R1,R2,..."
-          ~doc:"Update-ratio (write-fraction) axis.")
+          ~doc:
+            "Update-ratio (write-fraction) axis (default 0.5; mutually \
+             exclusive with $(b,--reads)).")
+  in
+  let reads_axis_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "reads" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Read-fraction axis — shorthand for $(b,--updates) with each \
+             value mapped to 1 - RATIO; mutually exclusive with it.")
   in
   let zipfs_arg =
     Arg.(
@@ -1527,7 +1555,22 @@ let sweep_cmd =
              (Markdown matrix) or $(b,none) (records and manifest only).")
   in
   let run technique_sel directives n m txns ops keys cross shards loads
-      updates zipfs seeds vary out cell_metrics format =
+      updates reads zipfs seeds vary router sticky shape flash out
+      cell_metrics format =
+    let updates =
+      match (updates, reads) with
+      | Some _, Some _ ->
+          Cli.fail "--updates and --reads are mutually exclusive"
+      | Some us, None -> us
+      | None, Some rs ->
+          List.map
+            (fun r ->
+              if r < 0. || r > 1. then
+                Cli.fail "--reads values must be in [0,1], got %g" r;
+              1. -. r)
+            rs
+      | None, None -> [ 0.5 ]
+    in
     let techniques =
       match technique_sel with
       | "all" -> Protocols.Registry.all
@@ -1585,14 +1628,16 @@ let sweep_cmd =
           ignore (Cli.check_shards ~n cfg);
           let spec =
             Workload.Builder.spec ~keys ~skew:c.zipf ~updates:c.updates ~ops
-              ~txns ~shards:c.shards ~cross ()
+              ~txns ~shards:c.shards ~cross ~shape
+              ?flash:(Cli.flash_spec flash) ()
           in
           let arrival = Workload.Sweep.arrival_of_cell c in
           let builder =
             Workload.Builder.make ~seed:c.seed ~replicas:n ~clients:m ~spec
               ~arrival
               ~sample:(Sim.Simtime.of_ms 5)
-              ~audit:true ()
+              ~audit:true
+              ?router:(Cli.router_config ~router ~sticky) ()
           in
           let result = Workload.Builder.run builder factory in
           let record =
@@ -1631,7 +1676,9 @@ let sweep_cmd =
       const run $ techniques_arg $ Cli.directives_term $ Cli.replicas_arg ()
       $ Cli.clients_arg () $ Cli.txns_arg ~default:25 () $ Cli.ops_arg
       $ Cli.keys_arg $ Cli.cross_arg $ shards_arg $ loads_arg $ updates_arg
-      $ zipfs_arg $ seeds_arg $ vary_arg $ out_arg $ cell_arg $ format_arg)
+      $ reads_axis_arg $ zipfs_arg $ seeds_arg $ vary_arg $ Cli.router_arg
+      $ Cli.sticky_arg $ Cli.shape_arg $ Cli.flash_arg $ out_arg $ cell_arg
+      $ format_arg)
 
 (* ---- compare --------------------------------------------------------- *)
 

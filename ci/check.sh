@@ -159,4 +159,38 @@ dune exec bin/replisim.exe -- bench-check BENCH_perf18.json \
   --floor perf18:best_throughput:400 \
   --ceiling perf18:best_latency_p95:25
 
+# Routing-tier smoke: the audit gate must hold with the router in the
+# path (sticky and round-robin — lazy's positive post-commit window is
+# measured at the replica stores, so stickiness can't mask it), a
+# flash-crowd run must complete, and the failover leg re-runs the
+# deterministic crash schedule from test_router and asserts the router
+# actually resent a read (failovers >= 1, nothing abandoned).
+echo "== routing tier smoke =="
+dune exec bin/replisim.exe -- audit -t lazy-primary --sticky --check > /dev/null
+dune exec bin/replisim.exe -- audit -t lazy-primary --router --check > /dev/null
+dune exec bin/replisim.exe -- run -t lazy-primary --router --flash-crowd \
+  > /dev/null
+if ! dune exec bin/replisim.exe -- run -t active --router \
+       --crash 0@60ms --recover 0@120ms \
+     | grep -Eq 'failovers=[1-9][0-9]* gave_up=0'; then
+  echo "router failover leg: no read survived the crash via retry" >&2
+  exit 1
+fi
+
+# Routed-tier bench gate: perf19 at a CI-sized transaction count. The
+# floors pin the headline verdicts — sticky routing measures zero
+# read-your-writes violations where round-robin measures a strictly
+# positive count, all four flash-crowd quadrant cells ran, and at least
+# one mid-spike read was answered only because the router failed it
+# over (with none abandoned). The ceiling nails ryw_sticky to zero.
+echo "== routed tier bench =="
+PERF19_TXNS=10 dune exec bench/main.exe -- perf19 > /dev/null
+dune exec bin/replisim.exe -- bench-check BENCH_perf19.json \
+  --floor perf19:sticky_eliminates_ryw:1 \
+  --floor perf19:ryw_nonsticky:1 \
+  --floor perf19:failover_success:1 \
+  --floor perf19:flash_cells:4 \
+  --floor perf19:flash_best_throughput:300 \
+  --ceiling perf19:ryw_sticky:0
+
 echo "== ci: OK =="

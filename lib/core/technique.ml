@@ -52,6 +52,25 @@ type reply = {
 type instance = {
   info : info;
   submit : client:int -> Store.Operation.request -> (reply -> unit) -> unit;
+  read_at :
+    (client:int ->
+    replica:int ->
+    Store.Operation.request ->
+    (reply -> unit) ->
+    unit)
+    option;
+      (** Explicit read path: execute a read-only request locally at a
+          chosen replica, bypassing the technique's update machinery. The
+          routing tier uses it for read/write splitting; [None] means the
+          technique has no local read path and reads must go through
+          [submit]. Calling it again with the same request id is a
+          resend (retry-on-failover) — the first reply still wins. *)
+  read_targets : Store.Operation.request -> int list;
+      (** Replicas able to serve the given read-only request through
+          [read_at]. Full replication: every replica; a sharded instance:
+          the owning group for a single-shard read, [[]] for a
+          cross-shard read (no single replica holds all the keys — the
+          router must fall back to [submit]). *)
   replica_store : int -> Store.Kv.t;
   history : Store.History.t;
   phases : Phase_trace.t;

@@ -12,10 +12,20 @@ type Msg.t +=
       value : int option;
       replica : int;
     }
+  | Read_req of {
+      cid : int;
+      client : int;
+      request : Store.Operation.request;
+    }
+      (* The routing tier's explicit read path: execute [request]
+         read-only at the receiving replica and reply directly. Never
+         sent unless a router is in front of the clients, so a run
+         without one is byte-identical to the pre-router request path. *)
 
 let () =
   Msg.register_printer (function
     | Reply _ -> Some "Reply"
+    | Read_req _ -> Some "Read_req"
     | _ -> None)
 
 type ctx = {
@@ -267,11 +277,56 @@ let cycling_target ctx ~preferred ~attempt =
   in
   List.nth pool ((start + attempt - 1) mod List.length pool)
 
+(* The replica side of the routed read path: execute the (read-only)
+   request against the local store, record it once, and answer the
+   client directly — the same local read every lazy technique already
+   performs, made available to the routing tier for every technique.
+   Installing the handler is inert (no timer, no message), so a run
+   without a router keeps its exact pre-router schedule. *)
+let install_read_path ctx =
+  List.iter
+    (fun r ->
+      Network.add_handler ctx.net r (fun ~src:_ msg ->
+          match msg with
+          | Read_req { cid = c; client; request } when c = ctx.cid ->
+              let rid = request.Store.Operation.rid in
+              count ctx
+                ~labels:[ ("replica", string_of_int r) ]
+                "routed_reads_total";
+              phase_begin ctx ~rid ~replica:r ~note:"routed local read"
+                Core.Phase.Execution;
+              let result =
+                Store.Apply.execute (store ctx r) request.Store.Operation.ops
+              in
+              record_once ctx ~rid ~replica:r result;
+              send_reply ctx ~replica:r ~client ~rid ~committed:true
+                ~value:(reply_value result);
+              true
+          | _ -> false))
+    ctx.replicas
+
+(** The client side of the routed read path: register (or, on a
+    failover retry for an already-registered request id, just refresh)
+    the reply callback and send the request to the chosen replica. *)
+let read_at ctx ~client ~replica (request : Store.Operation.request) cb =
+  let rid = request.Store.Operation.rid in
+  if Hashtbl.mem ctx.reply_cbs rid then
+    (* Resend after a router timeout: keep the original submit time and
+       submitted counter; only the callback is refreshed. *)
+    Hashtbl.replace ctx.reply_cbs rid cb
+  else register_submit ctx ~client ~request cb;
+  Network.send ctx.net ~src:client ~dst:replica
+    (Read_req { cid = ctx.cid; client; request })
+
 (** Build the uniform {!Core.Technique.instance} handle. *)
 let instance ctx ~info ~submit =
+  install_read_path ctx;
   {
     Core.Technique.info;
     submit;
+    read_at = Some (fun ~client ~replica request cb ->
+        read_at ctx ~client ~replica request cb);
+    read_targets = (fun _request -> ctx.replicas);
     replica_store = (fun r -> store ctx r);
     history = ctx.history;
     phases = ctx.phases;

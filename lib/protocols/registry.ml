@@ -141,7 +141,15 @@ let all = List.map shardable raw
 let keys = List.map (fun e -> e.key) all
 let infos = List.map (fun e -> e.info) all
 
-let find key = List.find_opt (fun e -> String.equal e.key key) all
+(* Keyed index over [all] — [find] is called per configured cell in
+   sweeps and campaigns, so it should not rescan the list each time. *)
+let by_key =
+  lazy
+    (let h = Hashtbl.create 16 in
+     List.iter (fun e -> Hashtbl.replace h e.key e) all;
+     h)
+
+let find key = Hashtbl.find_opt (Lazy.force by_key) key
 
 (* Unknown techniques must name the alternatives, exactly like unknown
    config keys do. *)

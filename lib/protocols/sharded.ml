@@ -173,6 +173,23 @@ let create ~shards ~info ?(passthrough = false) ~factory net ~replicas ~clients
   {
     Core.Technique.info;
     submit;
+    (* Routed reads: a single-shard read is served by the owning group's
+       own read path; a cross-shard read has no single replica holding
+       all its keys, so it falls back to the full (2PC) submit path. *)
+    read_at =
+      Some
+        (fun ~client ~replica request cb ->
+          match Store.Shard_map.shards_of_request map request with
+          | [ s ] -> (
+              match subs.(s).Core.Technique.read_at with
+              | Some f -> f ~client ~replica request cb
+              | None -> subs.(s).Core.Technique.submit ~client request cb)
+          | _ -> submit ~client request cb);
+    read_targets =
+      (fun request ->
+        match Store.Shard_map.shards_of_request map request with
+        | [ s ] -> subs.(s).Core.Technique.read_targets request
+        | _ -> []);
     replica_store =
       (fun r ->
         let rec owner s =

@@ -13,6 +13,11 @@ type timer = {
      "client:arrival", ...); self time and allocation of the action are
      attributed to this bucket when a profiler is attached. *)
   t_label : string;
+  (* The owning engine's live-timer counter (shared by every timer of the
+     engine): [cancel] has no engine handle, so the counter rides in the
+     timer. Periodic proxies (seq = -1) never sit in the heap and are
+     excluded from the count. *)
+  t_live : int ref;
 }
 
 type t = {
@@ -28,6 +33,10 @@ type t = {
   mutable scheduled : int;
   mutable cancelled_seen : int; (* cancelled timers discarded at the head *)
   mutable queue_peak : int;
+  (* Scheduled-and-not-yet-run-or-cancelled timers. Kept live on every
+     schedule/cancel/dispatch so [pending] is O(1) instead of a heap
+     scan; [pending_scan] is the O(n) reference it must always match. *)
+  live : int ref;
 }
 
 let compare_timer a b =
@@ -47,6 +56,7 @@ let create ?(seed = 0xC0FFEE) () =
     scheduled = 0;
     cancelled_seen = 0;
     queue_peak = 0;
+    live = ref 0;
   }
 
 let now t = t.clock
@@ -74,10 +84,12 @@ let schedule_at t ?(label = "timer") ~at f =
       action = Some f;
       t_ctx = t.cur_ctx;
       t_label = label;
+      t_live = t.live;
     }
   in
   t.next_seq <- t.next_seq + 1;
   t.scheduled <- t.scheduled + 1;
+  incr t.live;
   Heap.push t.queue timer;
   let depth = Heap.length t.queue in
   if depth > t.queue_peak then t.queue_peak <- depth;
@@ -85,6 +97,14 @@ let schedule_at t ?(label = "timer") ~at f =
 
 let schedule t ?label ~after f =
   schedule_at t ?label ~at:(Simtime.add t.clock after) f
+
+(* Null a heap timer's action, maintaining the live count. A no-op on a
+   timer already run or cancelled, so double-cancel never double-counts. *)
+let deactivate tm =
+  if tm.action <> None then begin
+    tm.action <- None;
+    decr tm.t_live
+  end
 
 let periodic t ?label ~every f =
   let armed = ref None in
@@ -98,7 +118,7 @@ let periodic t ?label ~every f =
   armed := Some (schedule t ?label ~after:every tick);
   let cancel_now () =
     cancelled := true;
-    match !armed with Some tm -> tm.action <- None | None -> ()
+    match !armed with Some tm -> deactivate tm | None -> ()
   in
   {
     time = t.clock;
@@ -106,6 +126,7 @@ let periodic t ?label ~every f =
     action = Some cancel_now;
     t_ctx = None;
     t_label = "timer";
+    t_live = t.live;
   }
 
 let cancel timer =
@@ -113,9 +134,13 @@ let cancel timer =
     (match timer.action with Some cancel_now -> cancel_now () | None -> ());
     timer.action <- None
   end
-  else timer.action <- None
+  else deactivate timer
 
-let pending t =
+let pending t = !(t.live)
+
+(* The O(n) scan [pending] used to be; kept as the reference the counter
+   is tested against. *)
+let pending_scan t =
   let n = ref 0 in
   Heap.iter t.queue (fun tm -> if tm.action <> None then incr n);
   !n
@@ -155,6 +180,7 @@ let step t =
             next ()
         | Some f ->
             tm.action <- None;
+            decr t.live;
             t.clock <- tm.time;
             dispatch t tm f;
             true)

@@ -49,8 +49,13 @@ val periodic : t -> ?label:string -> every:Simtime.t -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
 
-(** Number of scheduled (uncancelled) events. *)
+(** Number of scheduled (uncancelled) events. O(1): maintained as a live
+    counter on schedule/cancel/dispatch rather than a queue scan. *)
 val pending : t -> int
+
+(** O(n) reference implementation of {!pending} (a full heap scan); the
+    counter is tested to match it. *)
+val pending_scan : t -> int
 
 (** Execute the next event. Returns [false] when the queue is empty. *)
 val step : t -> bool

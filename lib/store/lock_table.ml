@@ -5,7 +5,7 @@ type grant = [ `Granted | `Waiting | `Deadlock ]
 type waiter = { w_txn : int; w_mode : mode; w_cb : unit -> unit }
 
 type entry = {
-  mutable holders : (int * mode) list; (* txn, strongest mode held *)
+  holders : (int, mode) Hashtbl.t; (* txn -> strongest mode held *)
   mutable queue : waiter list; (* FIFO *)
 }
 
@@ -17,19 +17,20 @@ let entry t key =
   match Hashtbl.find_opt t.entries key with
   | Some e -> e
   | None ->
-      let e = { holders = []; queue = [] } in
+      let e = { holders = Hashtbl.create 4; queue = [] } in
       Hashtbl.replace t.entries key e;
       e
 
 let compatible a b = a = S && b = S
 
-let held_mode e txn = List.assoc_opt txn e.holders
+let held_mode e txn = Hashtbl.find_opt e.holders txn
 
 (* Can [txn] acquire [mode] given current holders (ignoring the queue)? *)
 let grantable e ~txn ~mode =
-  List.for_all
-    (fun (holder, hmode) -> holder = txn || compatible mode hmode)
-    e.holders
+  Hashtbl.fold
+    (fun holder hmode ok ->
+      ok && (holder = txn || compatible mode hmode))
+    e.holders true
 
 let do_grant e ~txn ~mode =
   let strongest =
@@ -38,7 +39,7 @@ let do_grant e ~txn ~mode =
     | Some S -> if mode = X then X else S
     | None -> mode
   in
-  e.holders <- (txn, strongest) :: List.remove_assoc txn e.holders
+  Hashtbl.replace e.holders txn strongest
 
 (* ---- waits-for graph -------------------------------------------------- *)
 
@@ -46,10 +47,10 @@ let do_grant e ~txn ~mode =
    conflicting earlier waiters (they will be granted first). *)
 let blockers e ~txn ~mode =
   let holding =
-    List.filter_map
-      (fun (h, hm) ->
-        if h <> txn && not (compatible mode hm) then Some h else None)
-      e.holders
+    Hashtbl.fold
+      (fun h hm acc ->
+        if h <> txn && not (compatible mode hm) then h :: acc else acc)
+      e.holders []
   in
   let queued =
     List.filter_map
@@ -146,23 +147,30 @@ let acquire t ~txn ~key mode ~granted =
 let release_all t ~txn =
   Hashtbl.iter
     (fun _ e ->
-      e.holders <- List.remove_assoc txn e.holders;
+      Hashtbl.remove e.holders txn;
       e.queue <- List.filter (fun w -> w.w_txn <> txn) e.queue;
       confer e)
     t.entries
 
+(* Sorted by txn so callers see a deterministic view regardless of hash
+   bucket order. *)
 let holders t key =
-  match Hashtbl.find_opt t.entries key with Some e -> e.holders | None -> []
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+      Hashtbl.fold (fun txn m acc -> (txn, m) :: acc) e.holders []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  | None -> []
 
 let waiting_count t =
   Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.entries 0
 
 let held_count t =
-  Hashtbl.fold (fun _ e acc -> acc + List.length e.holders) t.entries 0
+  Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.holders) t.entries 0
 
 let active_txns t =
   Hashtbl.fold
     (fun _ e acc ->
-      List.map fst e.holders @ List.map (fun w -> w.w_txn) e.queue @ acc)
+      Hashtbl.fold (fun txn _ acc -> txn :: acc) e.holders acc
+      @ List.map (fun w -> w.w_txn) e.queue)
     t.entries []
   |> List.sort_uniq Int.compare

@@ -28,7 +28,7 @@ val acquire :
     requests that become grantable. *)
 val release_all : t -> txn:int -> unit
 
-(** Current holders of [key] (for tests). *)
+(** Current holders of [key], sorted by transaction id (for tests). *)
 val holders : t -> Operation.key -> (int * mode) list
 
 (** Number of requests currently waiting (for tests/stats). *)

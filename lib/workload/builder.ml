@@ -24,12 +24,14 @@ type t = {
   tracing : bool;
   analyze : bool;
   audit : bool;
+  router : Router.config option;
 }
 
 let make ?(seed = 11) ?(replicas = 3) ?(clients = 4) ?(spec = Spec.default)
     ?(net = Network.default_config) ?(arrival = `Closed) ?(failures = [])
     ?(partitions = []) ?scenario ?(deadline = Simtime.of_sec 120.) ?sample
-    ?profiler ?(tracing = true) ?(analyze = true) ?(audit = false) () =
+    ?profiler ?(tracing = true) ?(analyze = true) ?(audit = false) ?router ()
+    =
   {
     seed;
     n_replicas = replicas;
@@ -46,10 +48,12 @@ let make ?(seed = 11) ?(replicas = 3) ?(clients = 4) ?(spec = Spec.default)
     tracing;
     analyze;
     audit;
+    router;
   }
 
 let spec ?(keys = 100) ?(skew = 0.6) ?(updates = 0.5) ?(ops = 1) ?(txns = 50)
-    ?(think = Simtime.of_ms 1) ?(shards = 1) ?(cross = 0.) () =
+    ?(think = Simtime.of_ms 1) ?(shards = 1) ?(cross = 0.)
+    ?(shape = Spec.Mixed) ?flash () =
   {
     Spec.n_keys = keys;
     key_skew = skew;
@@ -59,6 +63,8 @@ let spec ?(keys = 100) ?(skew = 0.6) ?(updates = 0.5) ?(ops = 1) ?(txns = 50)
     think_time = think;
     shards;
     cross_shard = cross;
+    shape;
+    flash_crowd = flash;
   }
 
 (* Pair each recovery with the crash of the same replica; a recovery
@@ -107,7 +113,7 @@ let run_with_instance t factory =
     ~n_clients:t.n_clients ~net:t.net ?tune ~arrival:t.arrival
     ~failures:t.failures ~partitions:t.partitions ~deadline:t.deadline
     ?sample:t.sample ?profiler:t.profiler ~tracing:t.tracing
-    ~analyze:t.analyze ~audit:t.audit ~spec:t.spec factory
+    ~analyze:t.analyze ~audit:t.audit ?router:t.router ~spec:t.spec factory
 
 let run t factory = fst (run_with_instance t factory)
 

@@ -29,6 +29,9 @@ type t = {
   audit : bool;
       (** attach the consistency audit layer (default off; see
           {!Audit} and {!Runner.run_with_instance}) *)
+  router : Router.config option;
+      (** route requests through the client-side routing tier (default
+          off; see {!Router} and {!Runner.run_with_instance}) *)
 }
 
 val make :
@@ -47,6 +50,7 @@ val make :
   ?tracing:bool ->
   ?analyze:bool ->
   ?audit:bool ->
+  ?router:Router.config ->
   unit ->
   t
 
@@ -60,6 +64,8 @@ val spec :
   ?think:Sim.Simtime.t ->
   ?shards:int ->
   ?cross:float ->
+  ?shape:Spec.shape ->
+  ?flash:Spec.flash_crowd ->
   unit ->
   Spec.t
 

@@ -1,0 +1,264 @@
+(* The client-side routing tier: every request of a routed run flows
+   client session -> router -> replica instead of straight into the
+   technique's submit. The router splits reads from writes (reads go to
+   the instance's explicit read path, writes to the technique's update
+   entry point), discovers the update location from write replies
+   (cached, refreshed whenever a reply comes from somewhere else),
+   retries reads across failover with bounded exponential backoff, and
+   optionally pins each session's reads to the replica that served its
+   writes — which is what restores read-your-writes over lazy
+   techniques. The router is deterministic: no RNG, round-robin fan-out
+   per session. *)
+
+open Sim
+
+type config = {
+  sticky : bool;
+      (* pin each session's reads to the replica that answered its last
+         write (falling back to the cached primary, then the session's
+         home replica); off = fan reads over all live replicas *)
+  read_timeout : Simtime.t;  (* per-attempt wait before failing over *)
+  backoff : Simtime.t;  (* base retry backoff; doubles per attempt *)
+  max_retries : int;  (* retargeted resends before giving up *)
+}
+
+let default_config =
+  {
+    sticky = false;
+    read_timeout = Simtime.of_ms 50;
+    backoff = Simtime.of_ms 2;
+    max_retries = 5;
+  }
+
+type session = {
+  s_client : int;
+  s_home : int;  (* deterministic default read location *)
+  mutable s_pinned : int option;
+      (* replica that answered the session's last write (or, sticky, its
+         last routed read) — the session-stickiness state *)
+  mutable s_rr : int;  (* round-robin cursor for non-sticky fan-out *)
+  mutable s_reads : int;
+  mutable s_writes : int;
+  mutable s_sticky_reads : int;
+  mutable s_retries : int;
+}
+
+type session_view = {
+  v_client : int;
+  v_reads : int;
+  v_writes : int;
+  v_sticky_reads : int;
+  v_retries : int;
+  v_pinned : int option;
+}
+
+type stats = {
+  sticky : bool;  (* config echo: was session stickiness on? *)
+  reads_routed : int;
+  writes_routed : int;
+  sticky_reads : int;  (* reads served from the session's pinned replica *)
+  fallback_reads : int;
+      (* reads with no single-replica target (e.g. cross-shard) routed
+         through the technique's submit instead *)
+  retries : int;  (* read resends after a timeout *)
+  failovers : int;  (* reads answered only after at least one retry *)
+  gave_up : int;  (* reads abandoned after max_retries *)
+  primary_moves : int;  (* cached update-location changes observed *)
+  sessions : session_view list;  (* per-session, ascending by client *)
+}
+
+type t = {
+  cfg : config;
+  net : Network.t;
+  inst : Core.Technique.instance;
+  sessions : (int, session) Hashtbl.t;
+  mutable primary : int option;  (* cached update location *)
+  mutable reads_routed : int;
+  mutable writes_routed : int;
+  mutable sticky_reads : int;
+  mutable fallback_reads : int;
+  mutable retries : int;
+  mutable failovers : int;
+  mutable gave_up : int;
+  mutable primary_moves : int;
+}
+
+let create ?(config = default_config) ~net inst =
+  {
+    cfg = config;
+    net;
+    inst;
+    sessions = Hashtbl.create 16;
+    primary = None;
+    reads_routed = 0;
+    writes_routed = 0;
+    sticky_reads = 0;
+    fallback_reads = 0;
+    retries = 0;
+    failovers = 0;
+    gave_up = 0;
+    primary_moves = 0;
+  }
+
+let session t client =
+  match Hashtbl.find_opt t.sessions client with
+  | Some s -> s
+  | None ->
+      let replicas = t.inst.Core.Technique.replicas in
+      let s =
+        {
+          s_client = client;
+          s_home = List.nth replicas (client mod List.length replicas);
+          s_pinned = None;
+          s_rr = client;
+          s_reads = 0;
+          s_writes = 0;
+          s_sticky_reads = 0;
+          s_retries = 0;
+        }
+      in
+      Hashtbl.replace t.sessions client s;
+      s
+
+(* Note a write (or, under sticky, any) reply's origin: refresh the
+   cached update location and the session pin. *)
+let note_location t s ~(pin : bool) replica =
+  if pin then begin
+    (match t.primary with
+    | Some p when p = replica -> ()
+    | _ ->
+        t.primary <- Some replica;
+        t.primary_moves <- t.primary_moves + 1);
+    s.s_pinned <- Some replica
+  end
+
+(* The replica a read should try first. Sticky: the session pin, then
+   the cached primary, then the session's home replica — each demoted
+   when dead or not serving this request. Non-sticky: round-robin over
+   the targets. Preference only consults liveness the router can
+   observe; a stale choice is corrected by the retry path. *)
+let choose_target t s ~targets ~attempt =
+  let live r = Network.alive t.net r in
+  let preferred =
+    if t.cfg.sticky then
+      match s.s_pinned with
+      | Some p when List.mem p targets && live p -> Some p
+      | _ -> (
+          match t.primary with
+          | Some p when List.mem p targets && live p -> Some p
+          | _ ->
+              if List.mem s.s_home targets && live s.s_home then Some s.s_home
+              else None)
+    else None
+  in
+  match preferred with
+  | Some p when attempt = 0 -> p
+  | _ ->
+      (* Fan-out / failover: cycle the session cursor through the live
+         targets (all targets if none look alive — one may recover). *)
+      let pool =
+        match List.filter live targets with [] -> targets | l -> l
+      in
+      let i = (s.s_rr + attempt) mod List.length pool in
+      s.s_rr <- s.s_rr + 1;
+      List.nth pool i
+
+let read_via_submit t ~client request cb =
+  t.fallback_reads <- t.fallback_reads + 1;
+  t.inst.Core.Technique.submit ~client request cb
+
+(* Route one read: explicit read path to the chosen replica, bounded
+   retry-with-backoff on silence. The first reply wins; a reply that
+   needed at least one resend counts as a failover success. *)
+let route_read t s ~read_at ~targets request cb =
+  t.reads_routed <- t.reads_routed + 1;
+  s.s_reads <- s.s_reads + 1;
+  let engine = Network.engine t.net in
+  let resolved = ref false in
+  let rec attempt k =
+    let target = choose_target t s ~targets ~attempt:k in
+    if t.cfg.sticky && s.s_pinned = Some target then begin
+      t.sticky_reads <- t.sticky_reads + 1;
+      s.s_sticky_reads <- s.s_sticky_reads + 1
+    end;
+    read_at ~client:s.s_client ~replica:target request
+      (fun (reply : Core.Technique.reply) ->
+        if not !resolved then begin
+          resolved := true;
+          if k > 0 then t.failovers <- t.failovers + 1;
+          note_location t s ~pin:t.cfg.sticky reply.Core.Technique.replica;
+          cb reply
+        end);
+    ignore
+      (Engine.schedule engine ~label:"router:retry" ~after:t.cfg.read_timeout
+         (fun () ->
+           if not !resolved then
+             if k >= t.cfg.max_retries then t.gave_up <- t.gave_up + 1
+             else begin
+               t.retries <- t.retries + 1;
+               s.s_retries <- s.s_retries + 1;
+               let delay = Simtime.mul t.cfg.backoff (1 lsl k) in
+               ignore
+                 (Engine.schedule engine ~label:"router:retry" ~after:delay
+                    (fun () -> if not !resolved then attempt (k + 1)))
+             end))
+  in
+  attempt 0
+
+(** Route one request. Writes go to the technique's update entry point
+    ([submit]), and their replies refresh the cached update location and
+    the session pin; reads go to the explicit read path of a replica the
+    router chooses (or through [submit] when the instance offers no
+    single-replica read path for this request). *)
+let submit t ~client request cb =
+  let s = session t client in
+  if Store.Operation.request_is_update request then begin
+    t.writes_routed <- t.writes_routed + 1;
+    s.s_writes <- s.s_writes + 1;
+    t.inst.Core.Technique.submit ~client request
+      (fun (reply : Core.Technique.reply) ->
+        if reply.Core.Technique.committed then
+          note_location t s ~pin:true reply.Core.Technique.replica;
+        cb reply)
+  end
+  else
+    match t.inst.Core.Technique.read_at with
+    | None -> read_via_submit t ~client request cb
+    | Some read_at -> (
+        match t.inst.Core.Technique.read_targets request with
+        | [] -> read_via_submit t ~client request cb
+        | targets -> route_read t s ~read_at ~targets request cb)
+
+let stats t =
+  {
+    sticky = t.cfg.sticky;
+    reads_routed = t.reads_routed;
+    writes_routed = t.writes_routed;
+    sticky_reads = t.sticky_reads;
+    fallback_reads = t.fallback_reads;
+    retries = t.retries;
+    failovers = t.failovers;
+    gave_up = t.gave_up;
+    primary_moves = t.primary_moves;
+    sessions =
+      Hashtbl.fold
+        (fun _ s acc ->
+          {
+            v_client = s.s_client;
+            v_reads = s.s_reads;
+            v_writes = s.s_writes;
+            v_sticky_reads = s.s_sticky_reads;
+            v_retries = s.s_retries;
+            v_pinned = s.s_pinned;
+          }
+          :: acc)
+        t.sessions []
+      |> List.sort (fun a b -> Int.compare a.v_client b.v_client);
+  }
+
+let pp_stats ppf (st : stats) =
+  Format.fprintf ppf
+    "reads=%d writes=%d sticky=%d fallback=%d retries=%d failovers=%d \
+     gave_up=%d primary_moves=%d"
+    st.reads_routed st.writes_routed st.sticky_reads st.fallback_reads
+    st.retries st.failovers st.gave_up st.primary_moves

@@ -1,0 +1,77 @@
+(** The client-side routing tier (middleware-based replication à la
+    Cecchet et al.): in a routed run every request flows client session
+    -> router -> replica instead of straight into the technique's
+    [submit].
+
+    The router performs read/write splitting (writes go to the
+    technique's update entry point; reads to the instance's explicit
+    read path — {!Core.Technique.instance.read_at}), discovers the
+    update location from write replies (cached, refreshed when a reply
+    arrives from somewhere else), retries reads across failover with
+    bounded exponential backoff when the target replica is crashed or
+    partitioned, and — under [sticky] — pins each session's reads to
+    the replica that served its writes, restoring read-your-writes over
+    lazy techniques at a measurable latency cost.
+
+    The router is deterministic: no randomness, per-session round-robin
+    fan-out, and creating one schedules nothing — a run without a
+    router is byte-identical to the pre-router request path. *)
+
+type config = {
+  sticky : bool;
+      (** pin each session's reads to the replica that answered its
+          last write (then the cached primary, then the session's home
+          replica); off = fan reads round-robin over live replicas *)
+  read_timeout : Sim.Simtime.t;
+      (** per-attempt wait for a read reply before failing over *)
+  backoff : Sim.Simtime.t;
+      (** base retry backoff, doubled on every further attempt *)
+  max_retries : int;  (** retargeted resends before giving up *)
+}
+
+(** Non-sticky, 50 ms read timeout, 2 ms base backoff, 5 retries. *)
+val default_config : config
+
+(** Per-session counters, as observed at the end of a run. *)
+type session_view = {
+  v_client : int;
+  v_reads : int;
+  v_writes : int;
+  v_sticky_reads : int;
+  v_retries : int;
+  v_pinned : int option;  (** final pinned replica, when sticky *)
+}
+
+type stats = {
+  sticky : bool;  (** config echo: was session stickiness on? *)
+  reads_routed : int;
+  writes_routed : int;
+  sticky_reads : int;
+      (** reads served from the session's pinned replica *)
+  fallback_reads : int;
+      (** reads with no single-replica target (e.g. cross-shard reads)
+          routed through the technique's [submit] instead *)
+  retries : int;  (** read resends after a silence timeout *)
+  failovers : int;  (** reads answered only after at least one retry *)
+  gave_up : int;  (** reads abandoned after [max_retries] *)
+  primary_moves : int;  (** cached update-location changes observed *)
+  sessions : session_view list;  (** ascending by client id *)
+}
+
+type t
+
+(** [create ?config ~net inst] — a router in front of [inst]'s replicas.
+    Creation schedules nothing and draws no randomness. *)
+val create : ?config:config -> net:Sim.Network.t -> Core.Technique.instance -> t
+
+(** Route one request (the routed run's replacement for
+    [inst.submit]). *)
+val submit :
+  t ->
+  client:int ->
+  Store.Operation.request ->
+  (Core.Technique.reply -> unit) ->
+  unit
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

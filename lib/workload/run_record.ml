@@ -11,8 +11,9 @@
 
 (* Bump when a field is added/renamed; [of_json] accepts only this
    version, so a stale baseline fails loudly instead of comparing
-   garbage. *)
-let schema_version = 1
+   garbage. v2 added the session-workload fields (shape, flash) and the
+   routing-tier section. *)
+let schema_version = 2
 
 type workload = {
   keys : int;
@@ -23,6 +24,21 @@ type workload = {
   shards : int;
   cross : float;
   arrival : string;  (* "closed" or "poisson:<rate>" *)
+  shape : string;  (* "mixed" or "tpcb" *)
+  flash : string option;  (* flash-crowd phase, when declared *)
+}
+
+(* Routing-tier section: config echo plus the router's own counters. *)
+type router = {
+  sticky : bool;
+  reads_routed : int;
+  writes_routed : int;
+  sticky_reads : int;
+  fallback_reads : int;
+  router_retries : int;
+  failovers : int;
+  gave_up : int;
+  primary_moves : int;
 }
 
 type audit = {
@@ -65,6 +81,7 @@ type t = {
   events : int;  (* engine events executed — deterministic *)
   wall_s : float;  (* wall time — the one nondeterministic field *)
   audit : audit option;
+  router : router option;
 }
 
 let arrival_to_string = function
@@ -89,6 +106,8 @@ let of_run ~technique ~config ~seed ~n_replicas ~n_clients ~arrival
         shards = spec.Spec.shards;
         cross = spec.Spec.cross_shard;
         arrival = arrival_to_string arrival;
+        shape = Spec.shape_to_string spec.Spec.shape;
+        flash = Option.map Spec.flash_crowd_to_string spec.Spec.flash_crowd;
       };
     committed = r.Runner.committed;
     aborted = r.Runner.aborted;
@@ -126,6 +145,21 @@ let of_run ~technique ~config ~seed ~n_replicas ~n_clients ~arrival
             drained = a.Audit.drained;
           })
         r.Runner.audit;
+    router =
+      Option.map
+        (fun (s : Router.stats) ->
+          {
+            sticky = s.Router.sticky;
+            reads_routed = s.Router.reads_routed;
+            writes_routed = s.Router.writes_routed;
+            sticky_reads = s.Router.sticky_reads;
+            fallback_reads = s.Router.fallback_reads;
+            router_retries = s.Router.retries;
+            failovers = s.Router.failovers;
+            gave_up = s.Router.gave_up;
+            primary_moves = s.Router.primary_moves;
+          })
+        r.Runner.router;
   }
 
 let normalize t = { t with wall_s = 0. }
@@ -165,12 +199,31 @@ let to_json t =
           a.stale_reads a.ryw_violations a.mr_violations a.skew_pairs
           a.drained
   in
+  let router =
+    match t.router with
+    | None -> ""
+    | Some r ->
+        Printf.sprintf
+          ",\"router\":{\"sticky\":%b,\"reads_routed\":%d,\
+           \"writes_routed\":%d,\"sticky_reads\":%d,\"fallback_reads\":%d,\
+           \"retries\":%d,\"failovers\":%d,\"gave_up\":%d,\
+           \"primary_moves\":%d}"
+          r.sticky r.reads_routed r.writes_routed r.sticky_reads
+          r.fallback_reads r.router_retries r.failovers r.gave_up
+          r.primary_moves
+  in
+  let flash =
+    match w.flash with
+    | None -> ""
+    | Some f -> Printf.sprintf ",\"flash\":\"%s\"" (esc f)
+  in
   Printf.sprintf
     "{\"type\":\"run_record\",\"record_version\":%d,\"tool_version\":\"%s\",\
      \"technique\":\"%s\",\"seed\":%d,\"n_replicas\":%d,\"n_clients\":%d,\
      \"config\":%s,\
      \"workload\":{\"keys\":%d,\"zipf\":%s,\"updates\":%s,\"ops\":%d,\
-     \"txns_per_client\":%d,\"shards\":%d,\"cross\":%s,\"arrival\":\"%s\"},\
+     \"txns_per_client\":%d,\"shards\":%d,\"cross\":%s,\"arrival\":\"%s\",\
+     \"shape\":\"%s\"%s},\
      \"outcome\":{\"committed\":%d,\"aborted\":%d,\"unanswered\":%d,\
      \"converged\":%b,\"serializable\":%b},\
      \"perf\":{\"throughput_tps\":%s,\"latency_ms\":{\"mean\":%s,\"p50\":%s,\
@@ -178,17 +231,18 @@ let to_json t =
      %s,\
      \"drops\":{\"total\":%d,\"loss\":%d,\"crashed\":%d,\"partitioned\":%d},\
      \"saturation_findings\":%d,\
-     \"engine\":{\"events\":%d,\"wall_s\":%s}%s}"
+     \"engine\":{\"events\":%d,\"wall_s\":%s}%s%s}"
     schema_version Report.version (esc t.technique) t.seed t.n_replicas
     t.n_clients
     (config_json t.config)
     w.keys (jf w.zipf) (jf w.updates) w.ops w.txns_per_client w.shards
-    (jf w.cross) (esc w.arrival) t.committed t.aborted t.unanswered
-    t.converged t.serializable (jf t.throughput) (jf t.latency_mean_ms)
-    (jf t.latency_p50_ms) (jf t.latency_p95_ms) (jf t.latency_p99_ms)
-    (jf t.latency_max_ms) t.messages (jf t.msgs_per_txn) census t.drops
-    t.drops_loss t.drops_crashed t.drops_partitioned t.saturation_findings
-    t.events (jf t.wall_s) audit
+    (jf w.cross) (esc w.arrival) (esc w.shape) flash t.committed t.aborted
+    t.unanswered t.converged t.serializable (jf t.throughput)
+    (jf t.latency_mean_ms) (jf t.latency_p50_ms) (jf t.latency_p95_ms)
+    (jf t.latency_p99_ms) (jf t.latency_max_ms) t.messages
+    (jf t.msgs_per_txn) census t.drops t.drops_loss t.drops_crashed
+    t.drops_partitioned t.saturation_findings t.events (jf t.wall_s) audit
+    router
 
 (* ---- parsing --------------------------------------------------------- *)
 
@@ -258,6 +312,13 @@ let of_json doc =
   let* shards = int_ "shards" w in
   let* cross = num "cross" w in
   let* arrival = str "arrival" w in
+  let* shape = str "shape" w in
+  let* flash =
+    match member "flash" w with
+    | None -> Ok None
+    | Some (Bench_out.Str s) -> Ok (Some s)
+    | Some _ -> Error "non-string field \"flash\""
+  in
   let* o = obj "outcome" doc in
   let* committed = int_ "committed" o in
   let* aborted = int_ "aborted" o in
@@ -316,6 +377,33 @@ let of_json doc =
                drained;
              })
   in
+  let* router =
+    match member "router" doc with
+    | None -> Ok None
+    | Some r ->
+        let* sticky = bool_ "sticky" r in
+        let* reads_routed = int_ "reads_routed" r in
+        let* writes_routed = int_ "writes_routed" r in
+        let* sticky_reads = int_ "sticky_reads" r in
+        let* fallback_reads = int_ "fallback_reads" r in
+        let* router_retries = int_ "retries" r in
+        let* failovers = int_ "failovers" r in
+        let* gave_up = int_ "gave_up" r in
+        let* primary_moves = int_ "primary_moves" r in
+        Ok
+          (Some
+             {
+               sticky;
+               reads_routed;
+               writes_routed;
+               sticky_reads;
+               fallback_reads;
+               router_retries;
+               failovers;
+               gave_up;
+               primary_moves;
+             })
+  in
   Ok
     {
       technique;
@@ -324,7 +412,18 @@ let of_json doc =
       n_replicas;
       n_clients;
       workload =
-        { keys; zipf; updates; ops; txns_per_client; shards; cross; arrival };
+        {
+          keys;
+          zipf;
+          updates;
+          ops;
+          txns_per_client;
+          shards;
+          cross;
+          arrival;
+          shape;
+          flash;
+        };
       committed;
       aborted;
       unanswered;
@@ -347,6 +446,7 @@ let of_json doc =
       events;
       wall_s;
       audit;
+      router;
     }
 
 let of_string s =
@@ -369,9 +469,14 @@ let cell_id t =
   let w = t.workload in
   Printf.sprintf
     "%s n=%d m=%d seed=%d keys=%d zipf=%g u=%g ops=%d txns=%d shards=%d \
-     cross=%g %s%s"
+     cross=%g %s%s%s%s%s"
     t.technique t.n_replicas t.n_clients t.seed w.keys w.zipf w.updates w.ops
     w.txns_per_client w.shards w.cross w.arrival
+    (if w.shape = "mixed" then "" else " shape=" ^ w.shape)
+    (match w.flash with None -> "" | Some f -> " flash[" ^ f ^ "]")
+    (match t.router with
+    | None -> ""
+    | Some r -> if r.sticky then " router=sticky" else " router=on")
     (match t.config with
     | [] -> ""
     | kvs ->
@@ -454,7 +559,23 @@ let metrics t =
           ("drained", if a.drained then 1. else 0.);
         ]
   in
-  base @ census @ audit
+  let router =
+    match t.router with
+    | None -> []
+    | Some r ->
+        [
+          ("router_sticky", if r.sticky then 1. else 0.);
+          ("router_reads", float_of_int r.reads_routed);
+          ("router_writes", float_of_int r.writes_routed);
+          ("router_sticky_reads", float_of_int r.sticky_reads);
+          ("router_fallback_reads", float_of_int r.fallback_reads);
+          ("router_retries", float_of_int r.router_retries);
+          ("router_failovers", float_of_int r.failovers);
+          ("router_gave_up", float_of_int r.gave_up);
+          ("router_primary_moves", float_of_int r.primary_moves);
+        ]
+  in
+  base @ census @ audit @ router
 
 let metric t name = List.assoc_opt name (metrics t)
 
@@ -489,4 +610,13 @@ let metric_names =
     "mr_violations";
     "skew_pairs";
     "drained";
+    "router_sticky";
+    "router_reads";
+    "router_writes";
+    "router_sticky_reads";
+    "router_fallback_reads";
+    "router_retries";
+    "router_failovers";
+    "router_gave_up";
+    "router_primary_moves";
   ]

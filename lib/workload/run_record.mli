@@ -27,6 +27,24 @@ type workload = {
   shards : int;
   cross : float;
   arrival : string;  (** ["closed"] or ["poisson:<rate>"] *)
+  shape : string;  (** ["mixed"] or ["tpcb"] *)
+  flash : string option;
+      (** rendered flash-crowd phase ({!Spec.flash_crowd_to_string}),
+          when the workload declared one *)
+}
+
+(** Routing-tier section (schema v2): the sticky config echo plus the
+    router's own counters, present when the run was routed. *)
+type router = {
+  sticky : bool;
+  reads_routed : int;
+  writes_routed : int;
+  sticky_reads : int;
+  fallback_reads : int;
+  router_retries : int;
+  failovers : int;
+  gave_up : int;
+  primary_moves : int;
 }
 
 type audit = {
@@ -71,6 +89,7 @@ type t = {
   events : int;  (** engine events executed — deterministic *)
   wall_s : float;  (** the one nondeterministic field; see {!normalize} *)
   audit : audit option;
+  router : router option;
 }
 
 (** Distill a finished run. [config] is the resolved non-default
@@ -117,6 +136,6 @@ val save : ?dir:string -> t -> string
 val metrics : t -> (string * float) list
 val metric : t -> string -> float option
 
-(** Every name {!metrics} can emit (census/audit names appear only when
-    those sections are present in the record). *)
+(** Every name {!metrics} can emit (census/audit/router names appear
+    only when those sections are present in the record). *)
 val metric_names : string list

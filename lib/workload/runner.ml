@@ -39,13 +39,14 @@ type result = {
   events : int;  (* engine events executed — deterministic *)
   wall_s : float;  (* wall time inside the event loop — nondeterministic *)
   audit : Audit.summary option;  (* consistency audit, when enabled *)
+  router : Router.stats option;  (* routing-tier stats, when routed *)
 }
 
 let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
     ?(net = Network.default_config) ?tune ?(arrival = `Closed)
     ?(failures = []) ?(partitions = []) ?(deadline = Simtime.of_sec 120.)
     ?sample ?profiler ?(tracing = true) ?(analyze = true) ?(audit = false)
-    ~spec factory =
+    ?router ~spec factory =
   let engine = Engine.create ~seed () in
   Engine.set_profiler engine profiler;
   let network = Network.create engine ~n:(n_replicas + n_clients) net in
@@ -96,6 +97,31 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       ignore
         (Engine.schedule_at engine ~label:"fault" ~at:heal_at (fun () -> Network.heal network)))
     partitions;
+  (* The routing tier, when requested: requests flow client session ->
+     router -> replica instead of straight into the technique. With
+     [router = None] the dispatch below IS the direct call — nothing
+     else is constructed or scheduled, so an unrouted run stays
+     byte-identical to the pre-router path. *)
+  let routerv =
+    Option.map (fun config -> Router.create ~config ~net:network inst) router
+  in
+  let dispatch ~client request cb =
+    match routerv with
+    | None -> inst.Core.Technique.submit ~client request cb
+    | Some r -> Router.submit r ~client request cb
+  in
+  (* Flash-crowd load scaling: inside the spike window closed-loop think
+     times shrink and open-loop arrival gaps compress by the declared
+     intensity. Without a flash crowd both are the identity. *)
+  let scale_time span ~at =
+    match spec.Spec.flash_crowd with
+    | Some fc when Spec.in_flash spec ~at ->
+        Simtime.of_us
+          (max 1
+             (int_of_float
+                (float_of_int (Simtime.to_us span) /. fc.Spec.fc_intensity)))
+    | _ -> span
+  in
   let committed = ref 0 and aborted = ref 0 and submitted = ref 0 in
   let answered = ref 0 in
   let all_lat = Stats.recorder () in
@@ -108,10 +134,12 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       let gen = Generator.create ~seed:(seed + client) spec in
       let arrival_rng = Sim.Rng.create ~seed:(seed + client + 7919) in
       let submit_one () =
-        let update, request = Generator.request gen ~client in
+        let update, request =
+          Generator.request ~at:(Engine.now engine) gen ~client
+        in
         incr submitted;
         let submitted_at = Engine.now engine in
-        inst.Core.Technique.submit ~client request (fun reply ->
+        dispatch ~client request (fun reply ->
             incr answered;
             let gap = Simtime.sub reply.Core.Technique.at !last_response in
             if Simtime.(gap > !max_gap) then max_gap := gap;
@@ -136,10 +164,12 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       | `Closed ->
           let rec next i =
             if i < spec.Spec.txns_per_client then begin
-              let update, request = Generator.request gen ~client in
+              let update, request =
+                Generator.request ~at:(Engine.now engine) gen ~client
+              in
               incr submitted;
               let submitted_at = Engine.now engine in
-              inst.Core.Technique.submit ~client request (fun reply ->
+              dispatch ~client request (fun reply ->
                   incr answered;
                   let gap = Simtime.sub reply.Core.Technique.at !last_response in
                   if Simtime.(gap > !max_gap) then max_gap := gap;
@@ -163,7 +193,10 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
                   end
                   else incr aborted;
                   ignore
-                    (Engine.schedule engine ~label:"client:arrival" ~after:spec.Spec.think_time
+                    (Engine.schedule engine ~label:"client:arrival"
+                       ~after:
+                         (scale_time spec.Spec.think_time
+                            ~at:reply.Core.Technique.at)
                        (fun () -> next (i + 1))))
             end
           in
@@ -174,7 +207,10 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
               submit_one ();
               let gap_s = Sim.Rng.exponential arrival_rng ~mean:(1. /. rate) in
               ignore
-                (Engine.schedule engine ~label:"client:arrival" ~after:(Simtime.of_sec gap_s)
+                (Engine.schedule engine ~label:"client:arrival"
+                   ~after:
+                     (scale_time (Simtime.of_sec gap_s)
+                        ~at:(Engine.now engine))
                    (fun () -> arrive (i + 1)))
             end
           in
@@ -283,15 +319,17 @@ let run_with_instance ?(seed = 11) ?(n_replicas = 3) ?(n_clients = 4)
       events = Engine.events_executed engine;
       wall_s;
       audit = Option.map Audit.finalize auditor;
+      router = Option.map Router.stats routerv;
     },
     inst )
 
 let run ?seed ?n_replicas ?n_clients ?net ?tune ?arrival ?failures ?partitions
-    ?deadline ?sample ?profiler ?tracing ?analyze ?audit ~spec factory =
+    ?deadline ?sample ?profiler ?tracing ?analyze ?audit ?router ~spec factory
+    =
   fst
     (run_with_instance ?seed ?n_replicas ?n_clients ?net ?tune ?arrival
        ?failures ?partitions ?deadline ?sample ?profiler ?tracing ?analyze
-       ?audit ~spec factory)
+       ?audit ?router ~spec factory)
 
 let pp_result ppf r =
   Format.fprintf ppf

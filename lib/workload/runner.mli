@@ -73,6 +73,9 @@ type result = {
   audit : Audit.summary option;
       (** consistency audit summary — [None] unless the run was started
           with [~audit:true] *)
+  router : Router.stats option;
+      (** routing-tier stats — [None] unless the run was started with
+          [?router] *)
 }
 
 val run :
@@ -90,6 +93,7 @@ val run :
   ?tracing:bool ->
   ?analyze:bool ->
   ?audit:bool ->
+  ?router:Router.config ->
   spec:Spec.t ->
   factory ->
   result
@@ -108,7 +112,11 @@ val run :
     [true] vacuously — for throughput benchmarks where the oracle cost
     would dwarf the run itself. [audit] (default [false]) attaches the
     consistency audit layer ({!Audit}) before the first submission and
-    fills [result.audit]. *)
+    fills [result.audit]. [router] routes every request through the
+    client-side routing tier ({!Router}) — read/write splitting,
+    failover retries and optional session stickiness; omitted, requests
+    go straight into the technique's [submit] and the event schedule is
+    byte-identical to the pre-router path. *)
 val run_with_instance :
   ?seed:int ->
   ?n_replicas:int ->
@@ -124,6 +132,7 @@ val run_with_instance :
   ?tracing:bool ->
   ?analyze:bool ->
   ?audit:bool ->
+  ?router:Router.config ->
   spec:Spec.t ->
   factory ->
   result * Core.Technique.instance

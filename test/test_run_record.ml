@@ -6,11 +6,15 @@
 let tc name f = Alcotest.test_case name `Quick f
 
 (* One small audited run distilled into a normalized record. *)
-let record_of ?(seed = 11) (entry : Protocols.Registry.entry) =
+let record_of ?(seed = 11) ?shape ?flash ?router
+    (entry : Protocols.Registry.entry) =
   let factory = Protocols.Registry.configure_exn entry [] in
-  let spec = Workload.Builder.spec ~updates:0.5 ~txns:5 ~keys:40 () in
+  let spec =
+    Workload.Builder.spec ~updates:0.5 ~txns:5 ~keys:40 ?shape ?flash ()
+  in
   let builder =
-    Workload.Builder.make ~seed ~replicas:3 ~clients:2 ~spec ~audit:true ()
+    Workload.Builder.make ~seed ~replicas:3 ~clients:2 ~spec ~audit:true
+      ?router ()
   in
   let result = Workload.Builder.run builder factory in
   Workload.Run_record.normalize
@@ -47,12 +51,15 @@ let test_record_roundtrip_all_techniques () =
             (Workload.Run_record.cell_id r'))
     Protocols.Registry.all
 
-(* A stale baseline written by a future schema must fail loudly, not
-   parse into garbage. *)
+(* A stale baseline written by another schema version must fail loudly,
+   not parse into garbage — in particular the v1 records this repo's
+   pre-router baselines were written in. *)
 let test_record_rejects_other_versions () =
   let entry = Option.get (Protocols.Registry.find "active") in
   let json = Workload.Run_record.to_json (record_of entry) in
-  let needle = "\"record_version\":1" in
+  let needle =
+    Printf.sprintf "\"record_version\":%d" Workload.Run_record.schema_version
+  in
   let i =
     let rec find i =
       if String.sub json i (String.length needle) = needle then i
@@ -60,15 +67,62 @@ let test_record_rejects_other_versions () =
     in
     find 0
   in
-  let bumped =
-    String.sub json 0 i ^ "\"record_version\":2"
+  let rewrite_to v =
+    String.sub json 0 i
+    ^ Printf.sprintf "\"record_version\":%d" v
     ^ String.sub json
         (i + String.length needle)
         (String.length json - i - String.length needle)
   in
-  match Workload.Run_record.of_string bumped with
-  | Ok _ -> Alcotest.fail "record from another schema version parsed"
-  | Error _ -> ()
+  List.iter
+    (fun v ->
+      match Workload.Run_record.of_string (rewrite_to v) with
+      | Ok _ -> Alcotest.failf "record from schema version %d parsed" v
+      | Error msg ->
+          Alcotest.(check bool)
+            "the error names the version mismatch" true
+            (String.length msg > 0))
+    [ 1; Workload.Run_record.schema_version + 1 ]
+
+(* The v2 additions — session shape, flash crowd, router section —
+   survive the round-trip and surface in the cell identity and the flat
+   metric view. *)
+let test_record_v2_router_roundtrip () =
+  let entry = Option.get (Protocols.Registry.find "lazy-primary") in
+  let r =
+    record_of ~shape:Workload.Spec.Tpcb
+      ~flash:Workload.Spec.default_flash_crowd
+      ~router:
+        { Workload.Router.default_config with Workload.Router.sticky = true }
+      entry
+  in
+  let json = Workload.Run_record.to_json r in
+  Alcotest.(check bool) "record carries a router section" true
+    (r.Workload.Run_record.router <> None);
+  (match Workload.Run_record.of_string json with
+  | Error msg -> Alcotest.failf "v2 round-trip failed: %s" msg
+  | Ok r' ->
+      Alcotest.(check string) "parse . print is the identity" json
+        (Workload.Run_record.to_json r');
+      Alcotest.(check string) "cell identity survives"
+        (Workload.Run_record.cell_id r)
+        (Workload.Run_record.cell_id r'));
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "cell id names the shape" true
+    (contains (Workload.Run_record.cell_id r) "shape=tpcb");
+  Alcotest.(check bool) "cell id names the sticky router" true
+    (contains (Workload.Run_record.cell_id r) "router=sticky");
+  Alcotest.(check bool) "cell id names the flash phase" true
+    (contains (Workload.Run_record.cell_id r) "flash[");
+  Alcotest.(check (option (float 1e-9)))
+    "router metrics surface in the flat view" (Some 1.)
+    (Workload.Run_record.metric r "router_sticky")
 
 let test_metric_view () =
   let entry = Option.get (Protocols.Registry.find "lazy-primary") in
@@ -212,8 +266,10 @@ let () =
             test_record_deterministic;
           tc "to_json/of_string round-trips for every technique"
             test_record_roundtrip_all_techniques;
-          tc "other schema versions are rejected"
+          tc "other schema versions (incl. v1 baselines) are rejected"
             test_record_rejects_other_versions;
+          tc "v2 shape/flash/router fields round-trip"
+            test_record_v2_router_roundtrip;
           tc "flat metric view matches the fields" test_metric_view;
         ] );
       ( "sweep",

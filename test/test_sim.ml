@@ -214,6 +214,65 @@ let test_engine_schedule_at_past_clamps () =
   ignore (Engine.run e);
   Alcotest.(check int) "clamped to now" 50_000 (Simtime.to_us !ran_at)
 
+let test_engine_pending_counter () =
+  (* The O(1) counter must track the O(n) heap scan through schedules,
+     cancels (including double-cancel), dispatch and periodic timers. *)
+  let e = Engine.create () in
+  let agree label =
+    Alcotest.(check int) label (Engine.pending_scan e) (Engine.pending e)
+  in
+  agree "empty";
+  let tms =
+    List.init 10 (fun i ->
+        Engine.schedule e ~after:(Simtime.of_ms (i + 1)) (fun () -> ()))
+  in
+  agree "after schedules";
+  Alcotest.(check int) "ten live" 10 (Engine.pending e);
+  List.iteri (fun i tm -> if i mod 3 = 0 then Engine.cancel tm) tms;
+  agree "after cancels";
+  (* Cancelling an already-cancelled timer must not double-count. *)
+  Engine.cancel (List.hd tms);
+  agree "double cancel";
+  ignore (Engine.run ~until:(Simtime.of_ms 5) e);
+  agree "after partial run";
+  let p = Engine.periodic e ~every:(Simtime.of_ms 2) (fun () -> ()) in
+  agree "periodic armed";
+  ignore (Engine.run ~until:(Simtime.of_ms 9) e);
+  agree "periodic ticking";
+  Engine.cancel p;
+  agree "periodic cancelled";
+  ignore (Engine.run e);
+  agree "drained";
+  Alcotest.(check int) "empty again" 0 (Engine.pending e)
+
+let prop_engine_pending_matches_scan =
+  QCheck.Test.make ~name:"pending counter matches heap scan" ~count:200
+    QCheck.(list (pair (int_range 1 20) (int_range 0 3)))
+    (fun script ->
+      let e = Engine.create () in
+      let live = ref [] in
+      let ok = ref true in
+      let check () = if Engine.pending e <> Engine.pending_scan e then ok := false in
+      List.iter
+        (fun (ms, action) ->
+          (match action with
+          | 0 | 1 ->
+              live :=
+                Engine.schedule e ~after:(Simtime.of_ms ms) (fun () -> ())
+                :: !live
+          | 2 -> (
+              match !live with
+              | tm :: rest ->
+                  Engine.cancel tm;
+                  live := rest
+              | [] -> ())
+          | _ -> ignore (Engine.step e));
+          check ())
+        script;
+      ignore (Engine.run e);
+      check ();
+      !ok && Engine.pending e = 0)
+
 (* ------------------------------------------------------------------ *)
 (* Network                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -722,6 +781,8 @@ let () =
           tc "max events" test_engine_max_events;
           tc "cancelled head vs until" test_engine_cancelled_head_respects_until;
           tc "schedule_at past clamps" test_engine_schedule_at_past_clamps;
+          tc "pending counter" test_engine_pending_counter;
+          QCheck_alcotest.to_alcotest prop_engine_pending_matches_scan;
         ] );
       ( "network",
         [
